@@ -1,0 +1,232 @@
+package chipmunk_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/pisa"
+)
+
+// buildTool compiles one of the cmd/ binaries into a temp dir, skipping
+// the test if the Go toolchain is unavailable.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command(goBin, "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = mustModuleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func mustModuleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func samplingPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(mustModuleRoot(t), "testdata", "sampling.domino")
+}
+
+func TestCLIChipmunkCompiles(t *testing.T) {
+	bin := buildTool(t, "chipmunk")
+	out, err := exec.Command(bin, "-width", "2", "-alu", "if_else_raw", samplingPath(t)).CombinedOutput()
+	if err != nil {
+		t.Fatalf("chipmunk CLI failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"compiled", "resources:", "stateful[0] (active)"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIChipmunkJSONFeedsPisasim(t *testing.T) {
+	chip := buildTool(t, "chipmunk")
+	sim := buildTool(t, "pisasim")
+
+	out, err := exec.Command(chip, "-width", "2", "-alu", "if_else_raw", "-json", samplingPath(t)).Output()
+	if err != nil {
+		t.Fatalf("chipmunk -json failed: %v", err)
+	}
+	var cfg pisa.Config
+	if err := json.Unmarshal(out, &cfg); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	cfgPath := filepath.Join(t.TempDir(), "cfg.json")
+	if err := os.WriteFile(cfgPath, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	simOut, err := exec.Command(sim,
+		"-config", cfgPath,
+		"-program", samplingPath(t),
+		"-packets", "500",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pisasim failed: %v\n%s", err, simOut)
+	}
+	if !strings.Contains(string(simOut), "0 divergences") {
+		t.Fatalf("expected zero divergences:\n%s", simOut)
+	}
+}
+
+func TestCLIChipmunkInfeasibleExitCode(t *testing.T) {
+	bin := buildTool(t, "chipmunk")
+	src := filepath.Join(t.TempDir(), "hard.domino")
+	if err := os.WriteFile(src, []byte("pkt.a = pkt.a * pkt.b;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-width", "2", "-alu", "counter", "-max-stages", "2", src)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Fatalf("want exit code 3 for infeasible, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "INFEASIBLE") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestCLIDominoc(t *testing.T) {
+	bin := buildTool(t, "dominoc")
+	out, err := exec.Command(bin, "-alu", "if_else_raw", "-flat", samplingPath(t)).CombinedOutput()
+	if err != nil {
+		t.Fatalf("dominoc failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"atom if_else_raw", "predicated form:"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// A rejected program exits 3 with a reason.
+	src := filepath.Join(t.TempDir(), "rej.domino")
+	os.WriteFile(src, []byte("if (!(pkt.a == 0)) { s = s + 1; }\n"), 0o644)
+	out, err = exec.Command(bin, "-alu", "pred_raw", src).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 || !strings.Contains(string(out), "REJECTED") {
+		t.Fatalf("want REJECTED exit 3, got %v\n%s", err, out)
+	}
+}
+
+func TestCLIMutgen(t *testing.T) {
+	bin := buildTool(t, "mutgen")
+	out, err := exec.Command(bin, "-n", "5", "-check", samplingPath(t)).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mutgen failed: %v\n%s", err, out)
+	}
+	if got := strings.Count(string(out), "// --- mutant"); got != 5 {
+		t.Fatalf("printed %d mutants, want 5:\n%s", got, out)
+	}
+}
+
+func TestCLISuperopt(t *testing.T) {
+	bin := buildTool(t, "superopt")
+	src := filepath.Join(t.TempDir(), "x5.domino")
+	if err := os.WriteFile(src, []byte("pkt.y = pkt.x * 5;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("superopt failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "2 instruction(s)") {
+		t.Fatalf("x*5 should superoptimize to 2 instructions:\n%s", out)
+	}
+}
+
+func TestCLIRepairhint(t *testing.T) {
+	bin := buildTool(t, "repairhint")
+	src := filepath.Join(t.TempDir(), "broken.domino")
+	if err := os.WriteFile(src, []byte("if (pkt.a == 0) { s = 1 + s; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-alu", "pred_raw", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("repairhint failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "commute") || !strings.Contains(string(out), "repaired program") {
+		t.Fatalf("expected a commute hint:\n%s", out)
+	}
+}
+
+func TestCLIEvalgenSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evalgen run in -short mode")
+	}
+	bin := buildTool(t, "evalgen")
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	out, err := exec.Command(bin,
+		"-programs", "sampling",
+		"-mutants", "3",
+		"-csv", csv,
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("evalgen failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Table 2", "Figure 5", "sampling"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 4 { // header + 3 mutants
+		t.Fatalf("CSV has %d lines, want 4:\n%s", lines, data)
+	}
+}
+
+func TestCLIChipmunkEmit(t *testing.T) {
+	bin := buildTool(t, "chipmunk")
+	out, err := exec.Command(bin, "-width", "2", "-alu", "if_else_raw", "-emit", "p4", samplingPath(t)).Output()
+	if err != nil {
+		t.Fatalf("chipmunk -emit p4 failed: %v", err)
+	}
+	if !strings.Contains(string(out), "control ChipmunkPipe") {
+		t.Fatalf("P4 output malformed:\n%s", out)
+	}
+	out, err = exec.Command(bin, "-width", "2", "-alu", "if_else_raw", "-emit", "go", samplingPath(t)).Output()
+	if err != nil {
+		t.Fatalf("chipmunk -emit go failed: %v", err)
+	}
+	if !strings.Contains(string(out), "func process(") {
+		t.Fatalf("Go output malformed:\n%s", out)
+	}
+}
+
+func TestCLIPisasimWorkload(t *testing.T) {
+	chip := buildTool(t, "chipmunk")
+	sim := buildTool(t, "pisasim")
+	cfgJSON, err := exec.Command(chip, "-width", "2", "-alu", "if_else_raw", "-json", samplingPath(t)).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(t.TempDir(), "cfg.json")
+	os.WriteFile(cfgPath, cfgJSON, 0o644)
+	out, err := exec.Command(sim,
+		"-config", cfgPath, "-program", samplingPath(t),
+		"-flows", "4", "-packets", "200",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pisasim -flows failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 divergences") {
+		t.Fatalf("expected zero divergences:\n%s", out)
+	}
+}

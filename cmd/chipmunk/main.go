@@ -1,0 +1,162 @@
+// Command chipmunk compiles a Domino packet-transaction program onto a
+// simulated PISA pipeline using program synthesis (the paper's §3).
+//
+// Usage:
+//
+//	chipmunk [flags] program.domino
+//
+// The program is read from the named file, or from standard input when no
+// file is given. On success the synthesized hardware configuration is
+// printed (or dumped as JSON with -json) together with Figure 5's resource
+// metrics; on failure the tool reports whether the program is infeasible on
+// the requested grid or the compile timed out.
+//
+// Example:
+//
+//	chipmunk -width 2 -alu if_else_raw -max-stages 3 sampling.domino
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/cegis"
+	"repro/internal/core"
+	"repro/internal/emit"
+	"repro/internal/parser"
+	"repro/internal/word"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chipmunk:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		width       = flag.Int("width", 2, "pipeline width (PHV containers / ALUs per stage)")
+		maxStages   = flag.Int("max-stages", 4, "maximum pipeline stages for iterative deepening")
+		aluKind     = flag.String("alu", "if_else_raw", "stateful ALU template: counter, pred_raw, if_else_raw, sub, nested_ifs, pair")
+		constBits   = flag.Int("const-bits", alu.DefaultConstBits, "immediate-operand hole width in bits")
+		synthWidth  = flag.Int("synth-width", 4, "datapath bit width for the synthesis phase")
+		verifyWidth = flag.Int("verify-width", 10, "datapath bit width for the verification phase")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "compile timeout")
+		indicator   = flag.Bool("indicator-alloc", false, "use indicator-variable field allocation instead of canonical")
+		fixed       = flag.Bool("fixed-stages", false, "synthesize at exactly max-stages (skip depth minimization)")
+		seed        = flag.Int64("seed", 1, "random seed for CEGIS test inputs")
+		asJSON      = flag.Bool("json", false, "emit the configuration as JSON")
+		emitLang    = flag.String("emit", "", "translate the configuration to low-level code: \"go\" or \"p4\"")
+		verbose     = flag.Bool("v", false, "trace CEGIS phases")
+	)
+	flag.Parse()
+
+	src, name, err := readSource(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := parser.Parse(name, src)
+	if err != nil {
+		return err
+	}
+
+	kind, err := alu.KindByName(*aluKind)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Width:          *width,
+		MaxStages:      *maxStages,
+		StatelessALU:   alu.Stateless{ConstBits: *constBits},
+		StatefulALU:    alu.Stateful{Kind: kind, ConstBits: *constBits},
+		SynthWidth:     word.Width(*synthWidth),
+		VerifyWidth:    word.Width(*verifyWidth),
+		IndicatorAlloc: *indicator,
+		FixedStages:    *fixed,
+		Seed:           *seed,
+	}
+	if *verbose {
+		opts.Trace = func(e cegis.Event) {
+			fmt.Fprintf(os.Stderr, "  iter %2d %-6s %-7s %v\n", e.Iter, e.Phase, e.Outcome, e.Elapsed.Round(time.Millisecond))
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	rep, err := core.Compile(ctx, prog, opts)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case rep.TimedOut:
+		fmt.Printf("TIMEOUT after %v (depths probed: %s)\n", rep.Elapsed.Round(time.Millisecond), depthSummary(rep))
+		os.Exit(2)
+	case !rep.Feasible:
+		fmt.Printf("INFEASIBLE on a %d-wide grid up to %d stages (%v)\n", *width, *maxStages, rep.Elapsed.Round(time.Millisecond))
+		os.Exit(3)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep.Config)
+	}
+	switch *emitLang {
+	case "":
+	case "go":
+		src, err := emit.Go(rep.Config, 100, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Print(src)
+		return nil
+	case "p4":
+		src, err := emit.P4(rep.Config)
+		if err != nil {
+			return err
+		}
+		fmt.Print(src)
+		return nil
+	default:
+		return fmt.Errorf("unknown -emit language %q (want go or p4)", *emitLang)
+	}
+	fmt.Printf("compiled %q in %v (%s)\n", prog.Name, rep.Elapsed.Round(time.Millisecond), depthSummary(rep))
+	fmt.Printf("resources: %d stage(s), max %d ALU(s)/stage, %d total\n\n",
+		rep.Usage.Stages, rep.Usage.MaxALUsPerStage, rep.Usage.TotalALUs)
+	fmt.Print(rep.Config.String())
+	return nil
+}
+
+func depthSummary(rep *core.Report) string {
+	s := ""
+	for i, d := range rep.Depths {
+		if i > 0 {
+			s += ", "
+		}
+		verdict := "infeasible"
+		if d.Feasible {
+			verdict = "feasible"
+		} else if d.TimedOut {
+			verdict = "timeout"
+		}
+		s += fmt.Sprintf("%d stage(s): %s after %d iters", d.Stages, verdict, d.Iters)
+	}
+	return s
+}
+
+func readSource(path string) (src, name string, err error) {
+	if path == "" {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), "stdin", err
+	}
+	data, err := os.ReadFile(path)
+	return string(data), path, err
+}

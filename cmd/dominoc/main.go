@@ -1,0 +1,87 @@
+// Command dominoc runs the classical rewrite-rule baseline — the Domino
+// compiler of the paper's §4 — on a Domino program.
+//
+// Usage:
+//
+//	dominoc [flags] program.domino
+//
+// On success it prints the scheduled pipeline (stages, stateless
+// operations, and stateful atoms) and the resource usage; on rejection it
+// prints the reason the pattern matcher gave up — the failure mode Table 2
+// of the paper measures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/domino"
+	"repro/internal/parser"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dominoc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		aluKind   = flag.String("alu", "if_else_raw", "stateful ALU template: counter, pred_raw, if_else_raw, sub, nested_ifs, pair")
+		constBits = flag.Int("const-bits", alu.DefaultConstBits, "immediate-operand width in bits")
+		showFlat  = flag.Bool("flat", false, "also print the predicated, flattened program")
+	)
+	flag.Parse()
+
+	src, name, err := readSource(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := parser.Parse(name, src)
+	if err != nil {
+		return err
+	}
+	kind, err := alu.KindByName(*aluKind)
+	if err != nil {
+		return err
+	}
+
+	res, err := domino.Compile(prog, kind, *constBits)
+	if err != nil {
+		return err
+	}
+	if !res.OK {
+		fmt.Printf("REJECTED: %s\n", res.Reason)
+		os.Exit(3)
+	}
+	fmt.Printf("compiled %q in %v\n", prog.Name, res.Elapsed.Round(time.Microsecond))
+	fmt.Printf("resources: %d stage(s), max %d ALU(s)/stage, %d total\n\n",
+		res.Usage.Stages, res.Usage.MaxALUsPerStage, res.Usage.TotalALUs)
+	for i, st := range res.Pipeline.Stages {
+		fmt.Printf("stage %d:\n", i)
+		for _, a := range st.Atoms {
+			fmt.Printf("  atom %-12s states=%v\n", a.Kind, a.States)
+		}
+		for _, op := range st.Ops {
+			fmt.Printf("  %s = %s\n", op.Dst, op.Expr)
+		}
+	}
+	if *showFlat {
+		fmt.Printf("\npredicated form:\n%s", res.Flat.Print())
+	}
+	return nil
+}
+
+func readSource(path string) (src, name string, err error) {
+	if path == "" {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), "stdin", err
+	}
+	data, err := os.ReadFile(path)
+	return string(data), path, err
+}

@@ -1,0 +1,207 @@
+// Command pisasim executes a synthesized PISA configuration over a packet
+// trace, optionally differential-testing it against the source program's
+// transactional semantics.
+//
+// Usage:
+//
+//	pisasim -config cfg.json [-program prog.domino] [-packets 100] [-trace]
+//
+// The configuration comes from `chipmunk -json`. Packets are generated
+// with uniformly random field values (deterministic under -seed); with
+// -program, every packet's pipeline output is compared against the
+// reference interpreter and any divergence aborts with a non-zero exit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/pisa"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pisasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		cfgPath  = flag.String("config", "", "configuration JSON from `chipmunk -json` (required)")
+		progPath = flag.String("program", "", "Domino source to differential-test against")
+		packets  = flag.Int("packets", 100, "number of packets to simulate")
+		seed     = flag.Int64("seed", 1, "random packet generator seed")
+		trace    = flag.Bool("trace", false, "print every packet's output")
+		flows    = flag.Int("flows", 0, "simulate a multi-flow workload with per-flow state (0 = single flow, uniform random fields)")
+		zipf     = flag.Float64("zipf", 1.0, "flow-popularity skew for -flows")
+	)
+	flag.Parse()
+	if *cfgPath == "" {
+		return fmt.Errorf("-config is required")
+	}
+	data, err := os.ReadFile(*cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg pisa.Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %w", *cfgPath, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	var ref *interp.Interp
+	var prog *ast.Program
+	if *progPath != "" {
+		src, err := os.ReadFile(*progPath)
+		if err != nil {
+			return err
+		}
+		prog, err = parser.Parse(*progPath, string(src))
+		if err != nil {
+			return err
+		}
+		ref, err = interp.New(cfg.Grid.WordWidth)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *flows > 0 {
+		return runWorkload(&cfg, prog, ref, *flows, *zipf, *packets, *seed, *trace)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	w := cfg.Grid.WordWidth
+	state := map[string]uint64{}
+	refState := map[string]uint64{}
+	for _, s := range cfg.States {
+		state[s] = 0
+		refState[s] = 0
+	}
+	divergences := 0
+	for i := 0; i < *packets; i++ {
+		pkt := map[string]uint64{}
+		for _, f := range cfg.Fields {
+			pkt[f] = w.Trunc(rng.Uint64())
+		}
+		outPkt, outState := cfg.Exec(pkt, state)
+		if *trace {
+			fmt.Printf("pkt %3d: in=%s out=%s state=%s\n", i, renderMap(pkt), renderMap(outPkt), renderMap(outState))
+		}
+		if ref != nil {
+			snap := interp.Snapshot{Pkt: pkt, State: refState}
+			want, err := ref.Run(prog, snap)
+			if err != nil {
+				return err
+			}
+			for _, f := range cfg.Fields {
+				if outPkt[f] != want.Pkt[f] {
+					divergences++
+					fmt.Printf("DIVERGENCE pkt %d field %s: pipeline=%d spec=%d\n", i, f, outPkt[f], want.Pkt[f])
+				}
+			}
+			for _, s := range cfg.States {
+				if outState[s] != want.State[s] {
+					divergences++
+					fmt.Printf("DIVERGENCE pkt %d state %s: pipeline=%d spec=%d\n", i, s, outState[s], want.State[s])
+				}
+			}
+			refState = want.State
+		}
+		state = outState
+	}
+	fmt.Printf("simulated %d packets through %d-stage pipeline", *packets, cfg.Grid.Stages)
+	if ref != nil {
+		fmt.Printf("; %d divergences from specification", divergences)
+	}
+	fmt.Println()
+	if divergences > 0 {
+		os.Exit(4)
+	}
+	return nil
+}
+
+// runWorkload replays a generated multi-flow trace with per-flow state,
+// differential-testing per flow when a program is supplied.
+func runWorkload(cfg *pisa.Config, prog *ast.Program, ref *interp.Interp, flows int, zipf float64, packets int, seed int64, traceOut bool) error {
+	trace := workload.Generate(workload.Spec{
+		Flows:   flows,
+		Packets: packets,
+		ZipfS:   zipf,
+		Seed:    seed,
+	})
+	fmt.Printf("workload: %s\n", workload.Summarize(trace))
+	pf := workload.NewPerFlow(cfg)
+	w := cfg.Grid.WordWidth
+	refState := map[int]map[string]uint64{}
+	divergences := 0
+	for i, p := range trace {
+		// Ensure every config field exists on the packet.
+		for _, f := range cfg.Fields {
+			if _, ok := p.Fields[f]; !ok {
+				p.Fields[f] = 0
+			}
+		}
+		out := pf.Process(p)
+		if traceOut {
+			fmt.Printf("pkt %4d flow %2d out=%s\n", i, p.Flow, renderMap(out))
+		}
+		if ref != nil {
+			snap := interp.NewSnapshot()
+			for k, v := range p.Fields {
+				snap.Pkt[k] = w.Trunc(v)
+			}
+			if st := refState[p.Flow]; st != nil {
+				snap.State = st
+			}
+			want, err := ref.Run(prog, snap)
+			if err != nil {
+				return err
+			}
+			refState[p.Flow] = want.State
+			for _, f := range cfg.Fields {
+				if out[f] != want.Pkt[f] {
+					divergences++
+					fmt.Printf("DIVERGENCE pkt %d flow %d field %s: pipeline=%d spec=%d\n",
+						i, p.Flow, f, out[f], want.Pkt[f])
+				}
+			}
+		}
+	}
+	fmt.Printf("simulated %d packets across %d flows", packets, flows)
+	if ref != nil {
+		fmt.Printf("; %d divergences from specification", divergences)
+	}
+	fmt.Println()
+	if divergences > 0 {
+		os.Exit(4)
+	}
+	return nil
+}
+
+func renderMap(m map[string]uint64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return out + "}"
+}

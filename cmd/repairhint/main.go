@@ -1,0 +1,90 @@
+// Command repairhint implements the §5.3 troubleshooting workflow: given a
+// Domino program the classical compiler rejects, it searches for small
+// semantics-preserving rewrites after which the program compiles, and
+// prints them as hints.
+//
+// Usage:
+//
+//	repairhint [-alu pred_raw] [-max-depth 4] program.domino
+//
+// Exit status 0 when repaired (or already accepted), 3 when no repair was
+// found within the budgets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/parser"
+	"repro/internal/repair"
+	"repro/internal/word"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "repairhint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		aluKind    = flag.String("alu", "pred_raw", "stateful ALU template the program targets")
+		constBits  = flag.Int("const-bits", alu.DefaultConstBits, "immediate width")
+		maxDepth   = flag.Int("max-depth", 4, "maximum rewrites per hint")
+		maxExplore = flag.Int("max-explored", 2000, "search budget (candidate programs)")
+		checkWidth = flag.Int("check-width", 3, "exhaustive equivalence-check width")
+	)
+	flag.Parse()
+
+	src, name, err := readSource(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := parser.Parse(name, src)
+	if err != nil {
+		return err
+	}
+	kind, err := alu.KindByName(*aluKind)
+	if err != nil {
+		return err
+	}
+
+	res, err := repair.Repair(prog, kind, *constBits, repair.Options{
+		MaxDepth:    *maxDepth,
+		MaxExplored: *maxExplore,
+		CheckWidth:  word.Width(*checkWidth),
+	})
+	if err != nil {
+		return err
+	}
+	if !res.Repaired {
+		fmt.Printf("NO REPAIR within depth %d / %d candidates (%v)\n", *maxDepth, res.Explored, res.Elapsed.Round(time.Millisecond))
+		fmt.Printf("last rejection: %s\n", res.Reason)
+		os.Exit(3)
+	}
+	if len(res.Steps) == 0 {
+		fmt.Println("program already compiles; no repair needed")
+		return nil
+	}
+	fmt.Printf("repairable with %d rewrite(s) (%d candidates explored, %v):\n",
+		len(res.Steps), res.Explored, res.Elapsed.Round(time.Millisecond))
+	for i, s := range res.Steps {
+		fmt.Printf("  %d. %s\n", i+1, s)
+	}
+	fmt.Printf("\nrepaired program (equivalent to the original):\n%s", res.Program.Print())
+	return nil
+}
+
+func readSource(path string) (src, name string, err error) {
+	if path == "" {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), "stdin", err
+	}
+	data, err := os.ReadFile(path)
+	return string(data), path, err
+}

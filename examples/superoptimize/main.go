@@ -1,0 +1,86 @@
+// Superoptimizing packet-processing snippets (§5.1): search for minimal
+// instruction sequences instead of lowering the expression tree.
+//
+// The example runs a small gallery of specifications through the
+// superoptimizer and contrasts the found sequence length with a naive
+// per-AST-node lowering, including the paper's own Figure 1 example (x*5
+// on a machine without a multiplier).
+//
+// Run with:
+//
+//	go run ./examples/superoptimize
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	chipmunk "repro"
+)
+
+func main() {
+	gallery := []struct {
+		name, src string
+		naive     int // instructions a per-node lowering would emit
+	}{
+		{"figure1_x_times_5", "pkt.y = pkt.x * 5;", 4},
+		{"x_times_15", "pkt.y = pkt.x * 15;", 4},
+		{"or_plus_and", "pkt.r = (pkt.x | pkt.y) + (pkt.x & pkt.y);", 3},
+		{"double_negate", "pkt.r = -(-pkt.x);", 2},
+		{"average_floor", "pkt.r = (pkt.x & pkt.y) + ((pkt.x ^ pkt.y) >> 1);", 4},
+		{"select_nonzero", "pkt.r = pkt.c ? pkt.x : 0;", 1},
+	}
+
+	fmt.Printf("%-20s %6s %7s  %s\n", "spec", "naive", "optimal", "sequence")
+	for _, g := range gallery {
+		prog := chipmunk.MustParse(g.name, g.src)
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+		res, err := chipmunk.Superoptimize(ctx, prog, chipmunk.SuperoptOptions{
+			MaxInstrs: 4,
+			Seed:      1,
+		})
+		cancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Feasible {
+			fmt.Printf("%-20s %6d %7s\n", g.name, g.naive, "(none)")
+			continue
+		}
+		fmt.Printf("%-20s %6d %7d\n", g.name, g.naive, res.Length)
+		fmt.Print(indentSeq(res))
+	}
+
+	fmt.Println("\nthe superoptimizer rediscovers shift-and-add multiplication, the")
+	fmt.Println("or/and carry identity, and the SWAR floor-average — strength")
+	fmt.Println("reductions a peephole pass would need dedicated rules for.")
+}
+
+func indentSeq(res *chipmunk.SuperoptResult) string {
+	out := ""
+	for _, line := range splitLines(res.Seq.String()) {
+		if line != "" {
+			out += "                                     " + line + "\n"
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}

@@ -1,0 +1,106 @@
+package arith
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestEvalProgramErrorPaths(t *testing.T) {
+	c := Conc{W: 8}
+	cases := []*ast.Program{
+		{Name: "nil-stmt", Stmts: []ast.Stmt{nil}, Init: map[string]int64{}},
+		{Name: "nil-rhs", Stmts: []ast.Stmt{
+			&ast.Assign{LHS: ast.LValue{Name: "a", IsField: true}, RHS: nil},
+		}, Init: map[string]int64{}},
+		{Name: "nil-cond", Stmts: []ast.Stmt{
+			&ast.If{Cond: nil},
+		}, Init: map[string]int64{}},
+		{Name: "bad-then", Stmts: []ast.Stmt{
+			&ast.If{Cond: &ast.Num{Value: 1}, Then: []ast.Stmt{
+				&ast.Assign{LHS: ast.LValue{Name: "a", IsField: true}, RHS: nil},
+			}},
+		}, Init: map[string]int64{}},
+		{Name: "bad-else", Stmts: []ast.Stmt{
+			&ast.If{Cond: &ast.Num{Value: 1}, Else: []ast.Stmt{
+				&ast.Assign{LHS: ast.LValue{Name: "a", IsField: true}, RHS: nil},
+			}},
+		}, Init: map[string]int64{}},
+	}
+	for _, p := range cases {
+		if _, err := EvalProgram[uint64](c, p, NewEnv[uint64]()); err == nil {
+			t.Errorf("%s: expected error", p.Name)
+		}
+	}
+}
+
+func TestEvalExprErrorPaths(t *testing.T) {
+	c := Conc{W: 8}
+	env := NewEnv[uint64]()
+	exprs := []ast.Expr{
+		&ast.Unary{Op: ast.OpNeg, X: nil},
+		&ast.Binary{Op: ast.OpAdd, X: nil, Y: &ast.Num{Value: 1}},
+		&ast.Binary{Op: ast.OpAdd, X: &ast.Num{Value: 1}, Y: nil},
+		&ast.Ternary{Cond: nil, T: &ast.Num{Value: 1}, F: &ast.Num{Value: 1}},
+		&ast.Ternary{Cond: &ast.Num{Value: 1}, T: nil, F: &ast.Num{Value: 1}},
+		&ast.Ternary{Cond: &ast.Num{Value: 1}, T: &ast.Num{Value: 1}, F: nil},
+	}
+	for i, e := range exprs {
+		if _, err := EvalExpr[uint64](c, e, env); err == nil {
+			t.Errorf("expr %d: expected error", i)
+		}
+	}
+}
+
+func TestUnaryPanicsOnBinaryOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unary should panic on a binary op")
+		}
+	}()
+	Unary[uint64](Conc{W: 8}, ast.OpAdd, 1)
+}
+
+func TestEnvCloneIndependence(t *testing.T) {
+	e := NewEnv[uint64]()
+	e.Pkt["a"] = 1
+	e.State["s"] = 2
+	c := e.Clone()
+	c.Pkt["a"] = 9
+	c.State["s"] = 9
+	if e.Pkt["a"] != 1 || e.State["s"] != 2 {
+		t.Fatal("Clone shares maps")
+	}
+}
+
+// TestMergePartialWrites pins the if-to-mux merge semantics when a branch
+// writes a variable the other branch (and the pre-state) never mentions.
+func TestMergePartialWrites(t *testing.T) {
+	c := Conc{W: 8}
+	prog := &ast.Program{Name: "t", Init: map[string]int64{}, Stmts: []ast.Stmt{
+		&ast.If{
+			Cond: &ast.Field{Name: "c"},
+			Then: []ast.Stmt{
+				&ast.Assign{LHS: ast.LValue{Name: "x", IsField: true}, RHS: &ast.Num{Value: 7}},
+			},
+			Else: []ast.Stmt{
+				&ast.Assign{LHS: ast.LValue{Name: "y", IsField: true}, RHS: &ast.Num{Value: 9}},
+			},
+		},
+	}}
+	for _, cond := range []uint64{0, 1} {
+		env := NewEnv[uint64]()
+		env.Pkt["c"] = cond
+		out, err := EvalProgram[uint64](c, prog, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantX, wantY := uint64(0), uint64(9)
+		if cond == 1 {
+			wantX, wantY = 7, 0
+		}
+		if out.Pkt["x"] != wantX || out.Pkt["y"] != wantY {
+			t.Fatalf("cond=%d: x=%d y=%d, want %d %d", cond, out.Pkt["x"], out.Pkt["y"], wantX, wantY)
+		}
+	}
+}

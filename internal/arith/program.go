@@ -1,0 +1,172 @@
+package arith
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Env is a variable environment for generic program evaluation: packet
+// fields and state variables mapped to values of the instantiation type.
+type Env[V any] struct {
+	Pkt   map[string]V
+	State map[string]V
+}
+
+// NewEnv returns an empty environment.
+func NewEnv[V any]() Env[V] {
+	return Env[V]{Pkt: map[string]V{}, State: map[string]V{}}
+}
+
+// Clone copies the environment maps (values are shared, which is safe for
+// both uint64 and circuit.Word — words are never mutated in place).
+func (e Env[V]) Clone() Env[V] {
+	c := Env[V]{Pkt: make(map[string]V, len(e.Pkt)), State: make(map[string]V, len(e.State))}
+	for k, v := range e.Pkt {
+		c.Pkt[k] = v
+	}
+	for k, v := range e.State {
+		c.State[k] = v
+	}
+	return c
+}
+
+// EvalExpr evaluates a Domino expression over any Arith instantiation.
+// Reading a variable absent from the environment yields the constant 0,
+// matching the reference interpreter.
+func EvalExpr[V any](a Arith[V], e ast.Expr, env Env[V]) (V, error) {
+	switch e := e.(type) {
+	case *ast.Num:
+		return a.ConstInt(e.Value), nil
+	case *ast.Field:
+		if v, ok := env.Pkt[e.Name]; ok {
+			return v, nil
+		}
+		return a.ConstInt(0), nil
+	case *ast.State:
+		if v, ok := env.State[e.Name]; ok {
+			return v, nil
+		}
+		return a.ConstInt(0), nil
+	case *ast.Unary:
+		x, err := EvalExpr(a, e.X, env)
+		if err != nil {
+			var zero V
+			return zero, err
+		}
+		return Unary(a, e.Op, x), nil
+	case *ast.Binary:
+		x, err := EvalExpr(a, e.X, env)
+		if err != nil {
+			var zero V
+			return zero, err
+		}
+		y, err := EvalExpr(a, e.Y, env)
+		if err != nil {
+			var zero V
+			return zero, err
+		}
+		return Binary(a, e.Op, x, y), nil
+	case *ast.Ternary:
+		c, err := EvalExpr(a, e.Cond, env)
+		if err != nil {
+			var zero V
+			return zero, err
+		}
+		t, err := EvalExpr(a, e.T, env)
+		if err != nil {
+			var zero V
+			return zero, err
+		}
+		f, err := EvalExpr(a, e.F, env)
+		if err != nil {
+			var zero V
+			return zero, err
+		}
+		return a.Mux(c, t, f), nil
+	default:
+		var zero V
+		return zero, fmt.Errorf("arith: unknown expression type %T", e)
+	}
+}
+
+// EvalProgram evaluates a whole packet transaction over any Arith
+// instantiation, returning the post-transaction environment. Control flow
+// is handled by evaluating both branches of every if and merging the
+// results with Mux — the standard predication transform for a pure,
+// loop-free language. State variables declared in Init but absent from the
+// input environment are seeded with their initial constants.
+//
+// Instantiated with Conc this is a second interpreter (differential-tested
+// against internal/interp); instantiated with Circ it is the specification
+// circuit S(x) used by the CEGIS verification phase.
+func EvalProgram[V any](a Arith[V], p *ast.Program, input Env[V]) (Env[V], error) {
+	env := input.Clone()
+	for name, init := range p.Init {
+		if _, ok := env.State[name]; !ok {
+			env.State[name] = a.ConstInt(init)
+		}
+	}
+	if err := evalStmts(a, p.Stmts, &env); err != nil {
+		return Env[V]{}, fmt.Errorf("arith: %s: %w", p.Name, err)
+	}
+	return env, nil
+}
+
+func evalStmts[V any](a Arith[V], stmts []ast.Stmt, env *Env[V]) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.Assign:
+			v, err := EvalExpr(a, s.RHS, *env)
+			if err != nil {
+				return err
+			}
+			if s.LHS.IsField {
+				env.Pkt[s.LHS.Name] = v
+			} else {
+				env.State[s.LHS.Name] = v
+			}
+		case *ast.If:
+			cond, err := EvalExpr(a, s.Cond, *env)
+			if err != nil {
+				return err
+			}
+			thenEnv := env.Clone()
+			if err := evalStmts(a, s.Then, &thenEnv); err != nil {
+				return err
+			}
+			elseEnv := env.Clone()
+			if err := evalStmts(a, s.Else, &elseEnv); err != nil {
+				return err
+			}
+			mergeEnv(a, cond, env, thenEnv, elseEnv)
+		default:
+			return fmt.Errorf("unknown statement type %T", s)
+		}
+	}
+	return nil
+}
+
+// mergeEnv writes Mux(cond, thenV, elseV) for every variable either branch
+// touched. Variables written in only one branch read their pre-branch value
+// (or 0 if never set) on the other path, matching sequential semantics.
+func mergeEnv[V any](a Arith[V], cond V, base *Env[V], thenEnv, elseEnv Env[V]) {
+	zero := a.ConstInt(0)
+	merge := func(dst, t, f map[string]V) {
+		for k := range t {
+			tv, fv := t[k], f[k]
+			if _, ok := f[k]; !ok {
+				fv = zero
+			}
+			dst[k] = a.Mux(cond, tv, fv)
+		}
+		for k := range f {
+			if _, ok := t[k]; ok {
+				continue
+			}
+			dst[k] = a.Mux(cond, zero, f[k])
+		}
+	}
+	merge(base.Pkt, thenEnv.Pkt, elseEnv.Pkt)
+	merge(base.State, thenEnv.State, elseEnv.State)
+}

@@ -1,0 +1,441 @@
+// Package ast defines the abstract syntax tree of the Domino
+// packet-transaction language, together with utilities shared by the
+// interpreter, the two compilers, and the mutation generator: cloning,
+// structural equality, pretty-printing back to source, traversal, and
+// variable inventory.
+//
+// A Domino program is a straight-line sequence of assignments and if/else
+// statements executed atomically per packet (paper §2.1). Expressions read
+// packet fields (pkt.f) and persistent state variables; assignments write
+// them. There are no loops, pointers, or function calls.
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op enumerates unary and binary operators.
+type Op int
+
+// Operators. Binary operators group by precedence in the parser; here they
+// are flat.
+const (
+	OpAdd    Op = iota // +
+	OpSub              // -
+	OpMul              // *
+	OpBitAnd           // &
+	OpBitOr            // |
+	OpBitXor           // ^
+	OpShl              // <<
+	OpShr              // >>
+	OpEq               // ==
+	OpNe               // !=
+	OpLt               // <
+	OpLe               // <=
+	OpGt               // >
+	OpGe               // >=
+	OpLAnd             // &&
+	OpLOr              // ||
+
+	OpNeg    // unary -
+	OpNot    // unary !
+	OpBitNot // unary ~
+)
+
+var opStrings = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*",
+	OpBitAnd: "&", OpBitOr: "|", OpBitXor: "^",
+	OpShl: "<<", OpShr: ">>",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpLAnd: "&&", OpLOr: "||",
+	OpNeg: "-", OpNot: "!", OpBitNot: "~",
+}
+
+// String returns the source spelling of the operator.
+func (o Op) String() string { return opStrings[o] }
+
+// IsCommutative reports whether swapping a binary operator's operands
+// preserves its value (used by the mutation generator).
+func (o Op) IsCommutative() bool {
+	switch o {
+	case OpAdd, OpMul, OpBitAnd, OpBitOr, OpBitXor, OpEq, OpNe:
+		return true
+	}
+	return false
+}
+
+// IsComparison reports whether the operator yields a 0/1 truth value.
+func (o Op) IsComparison() bool {
+	switch o {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLAnd, OpLOr, OpNot:
+		return true
+	}
+	return false
+}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Num is an integer literal.
+type Num struct {
+	Value int64
+}
+
+func (*Num) exprNode() {}
+
+func (n *Num) String() string {
+	if n.Value < 0 {
+		return fmt.Sprintf("(%d)", n.Value)
+	}
+	return fmt.Sprintf("%d", n.Value)
+}
+
+// Field reads a packet field pkt.Name.
+type Field struct {
+	Name string
+}
+
+func (*Field) exprNode() {}
+
+func (f *Field) String() string { return "pkt." + f.Name }
+
+// State reads a persistent state variable.
+type State struct {
+	Name string
+}
+
+func (*State) exprNode() {}
+
+func (s *State) String() string { return s.Name }
+
+// Unary applies a unary operator.
+type Unary struct {
+	Op Op
+	X  Expr
+}
+
+func (*Unary) exprNode() {}
+
+func (u *Unary) String() string { return fmt.Sprintf("%s(%s)", u.Op, u.X) }
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   Op
+	X, Y Expr
+}
+
+func (*Binary) exprNode() {}
+
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.X, b.Op, b.Y)
+}
+
+// Ternary is the conditional expression Cond ? T : F.
+type Ternary struct {
+	Cond, T, F Expr
+}
+
+func (*Ternary) exprNode() {}
+
+func (t *Ternary) String() string {
+	return fmt.Sprintf("(%s ? %s : %s)", t.Cond, t.T, t.F)
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+}
+
+// LValue identifies an assignable location: a packet field or state var.
+type LValue struct {
+	Name    string
+	IsField bool
+}
+
+// String renders the lvalue in source form.
+func (l LValue) String() string {
+	if l.IsField {
+		return "pkt." + l.Name
+	}
+	return l.Name
+}
+
+// Ref returns the expression that reads this lvalue.
+func (l LValue) Ref() Expr {
+	if l.IsField {
+		return &Field{Name: l.Name}
+	}
+	return &State{Name: l.Name}
+}
+
+// Assign is LHS = RHS.
+type Assign struct {
+	LHS LValue
+	RHS Expr
+}
+
+func (*Assign) stmtNode() {}
+
+// If is an if/else statement; Else may be empty.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+func (*If) stmtNode() {}
+
+// Program is a packet transaction: an ordered statement list plus declared
+// initial values for state variables (zero if undeclared).
+type Program struct {
+	Name  string
+	Stmts []Stmt
+	// Init maps state variables to their declared initial value. Variables
+	// absent from the map start at zero.
+	Init map[string]int64
+}
+
+// --- Printing ---------------------------------------------------------------
+
+// Print renders the program back to parseable Domino source.
+func (p *Program) Print() string {
+	var sb strings.Builder
+	// Emit declarations in sorted order for deterministic output.
+	names := make([]string, 0, len(p.Init))
+	for n := range p.Init {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "int %s = %d;\n", n, p.Init[n])
+	}
+	printStmts(&sb, p.Stmts, 0)
+	return sb.String()
+}
+
+func printStmts(sb *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Assign:
+			fmt.Fprintf(sb, "%s%s = %s;\n", ind, s.LHS, s.RHS)
+		case *If:
+			fmt.Fprintf(sb, "%sif (%s) {\n", ind, s.Cond)
+			printStmts(sb, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", ind)
+				printStmts(sb, s.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%s}\n", ind)
+		default:
+			panic(fmt.Sprintf("ast: unknown statement %T", s))
+		}
+	}
+}
+
+// --- Cloning ----------------------------------------------------------------
+
+// CloneExpr deep-copies an expression.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *Num:
+		c := *e
+		return &c
+	case *Field:
+		c := *e
+		return &c
+	case *State:
+		c := *e
+		return &c
+	case *Unary:
+		return &Unary{Op: e.Op, X: CloneExpr(e.X)}
+	case *Binary:
+		return &Binary{Op: e.Op, X: CloneExpr(e.X), Y: CloneExpr(e.Y)}
+	case *Ternary:
+		return &Ternary{Cond: CloneExpr(e.Cond), T: CloneExpr(e.T), F: CloneExpr(e.F)}
+	default:
+		panic(fmt.Sprintf("ast: unknown expression %T", e))
+	}
+}
+
+// CloneStmts deep-copies a statement list.
+func CloneStmts(stmts []Stmt) []Stmt {
+	out := make([]Stmt, len(stmts))
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case *Assign:
+			out[i] = &Assign{LHS: s.LHS, RHS: CloneExpr(s.RHS)}
+		case *If:
+			out[i] = &If{Cond: CloneExpr(s.Cond), Then: CloneStmts(s.Then), Else: CloneStmts(s.Else)}
+		default:
+			panic(fmt.Sprintf("ast: unknown statement %T", s))
+		}
+	}
+	return out
+}
+
+// Clone deep-copies a program.
+func (p *Program) Clone() *Program {
+	init := make(map[string]int64, len(p.Init))
+	for k, v := range p.Init {
+		init[k] = v
+	}
+	return &Program{Name: p.Name, Stmts: CloneStmts(p.Stmts), Init: init}
+}
+
+// --- Equality ----------------------------------------------------------------
+
+// EqualExpr reports structural equality of two expressions.
+func EqualExpr(a, b Expr) bool {
+	switch a := a.(type) {
+	case *Num:
+		b, ok := b.(*Num)
+		return ok && a.Value == b.Value
+	case *Field:
+		b, ok := b.(*Field)
+		return ok && a.Name == b.Name
+	case *State:
+		b, ok := b.(*State)
+		return ok && a.Name == b.Name
+	case *Unary:
+		b, ok := b.(*Unary)
+		return ok && a.Op == b.Op && EqualExpr(a.X, b.X)
+	case *Binary:
+		b, ok := b.(*Binary)
+		return ok && a.Op == b.Op && EqualExpr(a.X, b.X) && EqualExpr(a.Y, b.Y)
+	case *Ternary:
+		b, ok := b.(*Ternary)
+		return ok && EqualExpr(a.Cond, b.Cond) && EqualExpr(a.T, b.T) && EqualExpr(a.F, b.F)
+	default:
+		panic(fmt.Sprintf("ast: unknown expression %T", a))
+	}
+}
+
+// EqualStmts reports structural equality of two statement lists.
+func EqualStmts(a, b []Stmt) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		switch sa := a[i].(type) {
+		case *Assign:
+			sb, ok := b[i].(*Assign)
+			if !ok || sa.LHS != sb.LHS || !EqualExpr(sa.RHS, sb.RHS) {
+				return false
+			}
+		case *If:
+			sb, ok := b[i].(*If)
+			if !ok || !EqualExpr(sa.Cond, sb.Cond) ||
+				!EqualStmts(sa.Then, sb.Then) || !EqualStmts(sa.Else, sb.Else) {
+				return false
+			}
+		default:
+			panic(fmt.Sprintf("ast: unknown statement %T", a[i]))
+		}
+	}
+	return true
+}
+
+// --- Traversal ---------------------------------------------------------------
+
+// WalkExprs calls fn for every expression in the statement list, visiting
+// parents before children.
+func WalkExprs(stmts []Stmt, fn func(Expr)) {
+	var walkE func(Expr)
+	walkE = func(e Expr) {
+		fn(e)
+		switch e := e.(type) {
+		case *Unary:
+			walkE(e.X)
+		case *Binary:
+			walkE(e.X)
+			walkE(e.Y)
+		case *Ternary:
+			walkE(e.Cond)
+			walkE(e.T)
+			walkE(e.F)
+		}
+	}
+	var walkS func([]Stmt)
+	walkS = func(ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *Assign:
+				walkE(s.RHS)
+			case *If:
+				walkE(s.Cond)
+				walkS(s.Then)
+				walkS(s.Else)
+			}
+		}
+	}
+	walkS(stmts)
+}
+
+// Vars is the variable inventory of a program.
+type Vars struct {
+	Fields []string // packet fields, sorted
+	States []string // state variables, sorted
+}
+
+// Variables inventories all packet fields and state variables, in sorted
+// order for determinism.
+func (p *Program) Variables() Vars {
+	fields := map[string]bool{}
+	states := map[string]bool{}
+	for n := range p.Init {
+		states[n] = true
+	}
+	WalkExprs(p.Stmts, func(e Expr) {
+		switch e := e.(type) {
+		case *Field:
+			fields[e.Name] = true
+		case *State:
+			states[e.Name] = true
+		}
+	})
+	var walkS func([]Stmt)
+	walkS = func(ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *Assign:
+				if s.LHS.IsField {
+					fields[s.LHS.Name] = true
+				} else {
+					states[s.LHS.Name] = true
+				}
+			case *If:
+				walkS(s.Then)
+				walkS(s.Else)
+			}
+		}
+	}
+	walkS(p.Stmts)
+	v := Vars{}
+	for n := range fields {
+		v.Fields = append(v.Fields, n)
+	}
+	for n := range states {
+		v.States = append(v.States, n)
+	}
+	sort.Strings(v.Fields)
+	sort.Strings(v.States)
+	return v
+}
+
+// CountStmts returns the number of statements, counting nested bodies.
+func CountStmts(stmts []Stmt) int {
+	n := 0
+	for _, s := range stmts {
+		n++
+		if ifs, ok := s.(*If); ok {
+			n += CountStmts(ifs.Then) + CountStmts(ifs.Else)
+		}
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleProgram() *Program {
+	// if (count == 10) { count = 0; pkt.sample = 1; }
+	// else { count = count + 1; pkt.sample = 0; }
+	return &Program{
+		Name: "sampling",
+		Init: map[string]int64{"count": 0},
+		Stmts: []Stmt{
+			&If{
+				Cond: &Binary{Op: OpEq, X: &State{Name: "count"}, Y: &Num{Value: 10}},
+				Then: []Stmt{
+					&Assign{LHS: LValue{Name: "count"}, RHS: &Num{Value: 0}},
+					&Assign{LHS: LValue{Name: "sample", IsField: true}, RHS: &Num{Value: 1}},
+				},
+				Else: []Stmt{
+					&Assign{LHS: LValue{Name: "count"}, RHS: &Binary{Op: OpAdd, X: &State{Name: "count"}, Y: &Num{Value: 1}}},
+					&Assign{LHS: LValue{Name: "sample", IsField: true}, RHS: &Num{Value: 0}},
+				},
+			},
+		},
+	}
+}
+
+func TestPrint(t *testing.T) {
+	got := sampleProgram().Print()
+	want := `int count = 0;
+if ((count == 10)) {
+  count = 0;
+  pkt.sample = 1;
+} else {
+  count = (count + 1);
+  pkt.sample = 0;
+}
+`
+	if got != want {
+		t.Fatalf("Print:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := sampleProgram()
+	q := p.Clone()
+	if !EqualStmts(p.Stmts, q.Stmts) {
+		t.Fatal("clone should be structurally equal")
+	}
+	// Mutate the clone and confirm the original is untouched.
+	q.Stmts[0].(*If).Cond.(*Binary).Y.(*Num).Value = 99
+	q.Init["count"] = 5
+	if p.Stmts[0].(*If).Cond.(*Binary).Y.(*Num).Value != 10 {
+		t.Fatal("clone shares expression nodes with original")
+	}
+	if p.Init["count"] != 0 {
+		t.Fatal("clone shares Init map with original")
+	}
+	if EqualStmts(p.Stmts, q.Stmts) {
+		t.Fatal("mutated clone should no longer be equal")
+	}
+}
+
+func TestEqualExpr(t *testing.T) {
+	a := &Binary{Op: OpAdd, X: &Field{Name: "x"}, Y: &Num{Value: 1}}
+	b := &Binary{Op: OpAdd, X: &Field{Name: "x"}, Y: &Num{Value: 1}}
+	c := &Binary{Op: OpAdd, X: &Field{Name: "y"}, Y: &Num{Value: 1}}
+	d := &Binary{Op: OpSub, X: &Field{Name: "x"}, Y: &Num{Value: 1}}
+	if !EqualExpr(a, b) {
+		t.Fatal("identical trees should be equal")
+	}
+	if EqualExpr(a, c) || EqualExpr(a, d) {
+		t.Fatal("different trees should not be equal")
+	}
+	if EqualExpr(a, &Num{Value: 1}) {
+		t.Fatal("different node types should not be equal")
+	}
+	if !EqualExpr(&Ternary{Cond: a, T: b, F: c}, &Ternary{Cond: a, T: b, F: c}) {
+		t.Fatal("equal ternaries")
+	}
+	if !EqualExpr(&Unary{Op: OpNot, X: a}, &Unary{Op: OpNot, X: b}) {
+		t.Fatal("equal unaries")
+	}
+}
+
+func TestWalkExprsVisitsAll(t *testing.T) {
+	p := sampleProgram()
+	var kinds []string
+	WalkExprs(p.Stmts, func(e Expr) {
+		switch e.(type) {
+		case *Num:
+			kinds = append(kinds, "num")
+		case *State:
+			kinds = append(kinds, "state")
+		case *Binary:
+			kinds = append(kinds, "bin")
+		}
+	})
+	joined := strings.Join(kinds, ",")
+	// Cond binary + its two children, then 0, 1, add + children, 0.
+	want := "bin,state,num,num,num,bin,state,num,num"
+	if joined != want {
+		t.Fatalf("walk order = %s, want %s", joined, want)
+	}
+}
+
+func TestVariables(t *testing.T) {
+	p := sampleProgram()
+	v := p.Variables()
+	if len(v.Fields) != 1 || v.Fields[0] != "sample" {
+		t.Fatalf("fields = %v", v.Fields)
+	}
+	if len(v.States) != 1 || v.States[0] != "count" {
+		t.Fatalf("states = %v", v.States)
+	}
+}
+
+func TestLValue(t *testing.T) {
+	f := LValue{Name: "x", IsField: true}
+	s := LValue{Name: "y"}
+	if f.String() != "pkt.x" || s.String() != "y" {
+		t.Fatalf("LValue strings: %q, %q", f, s)
+	}
+	if _, ok := f.Ref().(*Field); !ok {
+		t.Fatal("field lvalue ref should be *Field")
+	}
+	if _, ok := s.Ref().(*State); !ok {
+		t.Fatal("state lvalue ref should be *State")
+	}
+}
+
+func TestOpProperties(t *testing.T) {
+	for _, op := range []Op{OpAdd, OpMul, OpBitAnd, OpBitOr, OpBitXor, OpEq, OpNe} {
+		if !op.IsCommutative() {
+			t.Errorf("%v should be commutative", op)
+		}
+	}
+	for _, op := range []Op{OpSub, OpShl, OpShr, OpLt, OpLOr} {
+		if op.IsCommutative() {
+			t.Errorf("%v should not be commutative", op)
+		}
+	}
+	for _, op := range []Op{OpEq, OpLt, OpLAnd, OpNot} {
+		if !op.IsComparison() {
+			t.Errorf("%v should be a comparison", op)
+		}
+	}
+	if OpAdd.IsComparison() {
+		t.Error("add is not a comparison")
+	}
+}
+
+func TestNumString(t *testing.T) {
+	if (&Num{Value: 5}).String() != "5" {
+		t.Fatal("positive literal")
+	}
+	if (&Num{Value: -5}).String() != "(-5)" {
+		t.Fatal("negative literal must parenthesize to stay reparseable")
+	}
+}
+
+func TestPanicsOnUnknownNodes(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("CloneExpr(nil)", func() { CloneExpr(nil) })
+	expectPanic("CloneStmts(nil stmt)", func() { CloneStmts([]Stmt{nil}) })
+	expectPanic("EqualExpr(nil)", func() { EqualExpr(nil, nil) })
+	expectPanic("EqualStmts(nil stmt)", func() { EqualStmts([]Stmt{nil}, []Stmt{nil}) })
+	expectPanic("Print(nil stmt)", func() {
+		(&Program{Stmts: []Stmt{nil}, Init: map[string]int64{}}).Print()
+	})
+}
+
+func TestEqualStmtsShapeMismatches(t *testing.T) {
+	assign := &Assign{LHS: LValue{Name: "x"}, RHS: &Num{Value: 1}}
+	ifs := &If{Cond: &Num{Value: 1}}
+	if EqualStmts([]Stmt{assign}, []Stmt{ifs}) {
+		t.Fatal("assign vs if should differ")
+	}
+	if EqualStmts([]Stmt{assign}, []Stmt{assign, assign}) {
+		t.Fatal("length mismatch should differ")
+	}
+	other := &Assign{LHS: LValue{Name: "y"}, RHS: &Num{Value: 1}}
+	if EqualStmts([]Stmt{assign}, []Stmt{other}) {
+		t.Fatal("different lvalues should differ")
+	}
+	ifs2 := &If{Cond: &Num{Value: 2}}
+	if EqualStmts([]Stmt{ifs}, []Stmt{ifs2}) {
+		t.Fatal("different conditions should differ")
+	}
+}
+
+func TestOpStringUnknown(t *testing.T) {
+	if Op(999).String() != "" {
+		// opStrings has no entry; the zero value is the empty string.
+		t.Fatal("unknown op should render empty")
+	}
+}
+
+func TestVariablesIncludesDeclaredOnly(t *testing.T) {
+	// A state declared in Init but never referenced still counts.
+	p := &Program{Name: "t", Init: map[string]int64{"ghost": 3}, Stmts: []Stmt{
+		&Assign{LHS: LValue{Name: "a", IsField: true}, RHS: &Num{Value: 1}},
+	}}
+	v := p.Variables()
+	if len(v.States) != 1 || v.States[0] != "ghost" {
+		t.Fatalf("states = %v", v.States)
+	}
+}

@@ -1,0 +1,382 @@
+// Package cegis implements counterexample-guided inductive synthesis — the
+// algorithm of the paper's Figure 3 — over the sketch and SAT substrates.
+//
+// The synthesis problem (Equation 1) asks for hole values c such that the
+// pipeline P equals the specification S on all inputs x:
+//
+//	∃c ∀x : S(x) = P(x, c)
+//
+// CEGIS splits this quantifier alternation into an alternation of two SAT
+// queries:
+//
+//   - Synthesis (Equation 2): on a finite test set {x1..xk}, find c with
+//     S(xi) = P(xi, c) for all i. Each test input becomes one datapath
+//     instantiation with constant inputs inside a single incremental
+//     solver, so learned clauses persist across iterations.
+//   - Verification (Equation 3): with c fixed, search for an x with
+//     S(x) ≠ P(x, c). A model is a counterexample, fed back to synthesis;
+//     UNSAT means the configuration is correct for every input at the
+//     verification width.
+//
+// Following §3.1 ("Scaling Chipmunk to a large number of input bits"), the
+// two phases run at different bit widths: synthesis instantiates test
+// inputs at a small width (SKETCH's role), verification at a wider one
+// (Z3's role, default 10 bits). Hole words are width-independent, so
+// wide-width counterexamples constrain the same synthesis solver.
+package cegis
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/arith"
+	"repro/internal/ast"
+	"repro/internal/circuit"
+	"repro/internal/interp"
+	"repro/internal/pisa"
+	"repro/internal/sat"
+	"repro/internal/sketch"
+	"repro/internal/word"
+)
+
+// Options tunes the CEGIS loop.
+type Options struct {
+	// SynthWidth is the datapath width for synthesis-phase test inputs
+	// (the paper notes SKETCH defaults to 5-bit integers; 4 is our
+	// default, swept by the two-tier ablation bench). 0 means 4.
+	SynthWidth word.Width
+	// VerifyWidth is the verification width (the paper's Z3 stage runs at
+	// 10-bit integers). 0 means 10.
+	VerifyWidth word.Width
+	// IndicatorAlloc selects the indicator-variable field allocation
+	// (Figure 4 ablation) instead of canonical allocation.
+	IndicatorAlloc bool
+	// InitialTests is the number of random test inputs seeded before the
+	// first synthesis call (Figure 3's "initialize X to random inputs").
+	// 0 means 2.
+	InitialTests int
+	// MaxIters bounds CEGIS iterations. 0 means 64.
+	MaxIters int
+	// Seed drives the initial random test inputs.
+	Seed int64
+	// Trace, when non-nil, receives an event per phase transition; used by
+	// tests and the evaluation harness to report convergence behaviour.
+	Trace func(Event)
+}
+
+func (o *Options) synthWidth() word.Width {
+	if o.SynthWidth == 0 {
+		return 4
+	}
+	return o.SynthWidth
+}
+
+func (o *Options) verifyWidth() word.Width {
+	if o.VerifyWidth == 0 {
+		return 10
+	}
+	return o.VerifyWidth
+}
+
+func (o *Options) initialTests() int {
+	if o.InitialTests == 0 {
+		return 2
+	}
+	return o.InitialTests
+}
+
+func (o *Options) maxIters() int {
+	if o.MaxIters == 0 {
+		return 64
+	}
+	return o.MaxIters
+}
+
+// Event reports one CEGIS phase outcome for tracing.
+type Event struct {
+	Iter int
+	// Phase is "synth" or "verify".
+	Phase string
+	// Outcome is "sat", "unsat", or "timeout".
+	Outcome string
+	// Counterexample is set on verify/sat events.
+	Counterexample *interp.Snapshot
+	Elapsed        time.Duration
+}
+
+// Result is the outcome of a synthesis run.
+type Result struct {
+	// Feasible reports whether a configuration implementing the program
+	// on this grid exists (false also when the run timed out — check
+	// TimedOut to distinguish).
+	Feasible bool
+	// TimedOut is true when the context expired before an answer.
+	TimedOut bool
+	// Config is the synthesized configuration when Feasible.
+	Config *pisa.Config
+	// Iters is the number of CEGIS iterations executed.
+	Iters int
+	// Tests is the final size of the concrete test set.
+	Tests int
+	// HoleBits is the total search-space size in bits (m of Equation 1).
+	HoleBits int
+	// SynthConflicts and VerifyConflicts aggregate SAT effort per phase.
+	SynthConflicts  int64
+	VerifyConflicts int64
+	// Elapsed is total wall-clock time.
+	Elapsed time.Duration
+}
+
+// budgetChunk is how many SAT conflicts run between context checks.
+const budgetChunk = 2000
+
+// Synthesize runs CEGIS to fit prog onto the grid. The grid's WordWidth is
+// ignored (widths come from Options); the returned configuration records
+// the verification width as its run width, since that is the widest width
+// at which it is proven correct.
+func Synthesize(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, opts Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+
+	vars := prog.Variables()
+	fields, states := vars.Fields, vars.States
+
+	// Capacity pre-check mirrors sketch.New but yields a clean infeasible
+	// result instead of an error: a program with more fields than
+	// containers can never fit, which is a legitimate "rejected" outcome.
+	g := grid
+	g.WordWidth = opts.synthWidth()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(fields) > grid.Width || len(states) > g.StateSlots() {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	b := circuit.New()
+	sk, err := sketch.New(b, grid, len(fields), len(states), sketch.Options{IndicatorAlloc: opts.IndicatorAlloc})
+	if err != nil {
+		return nil, err
+	}
+	_, res.HoleBits = sk.HoleCount()
+
+	synthSolver := sat.New()
+	synthCNF := circuit.NewCNF(b, synthSolver)
+	sk.AssertDomains(synthCNF)
+
+	// addTest encodes one concrete test input: instantiate the datapath at
+	// the input's width with constant inputs and assert equality with the
+	// specification's concrete outputs.
+	addTest := func(x interp.Snapshot, w word.Width) error {
+		in := interp.MustNew(w)
+		specOut, err := in.Run(prog, x)
+		if err != nil {
+			return err
+		}
+		fw := make([]circuit.Word, len(fields))
+		for i, f := range fields {
+			fw[i] = b.ConstWord(w.Trunc(x.Pkt[f]), w)
+		}
+		sw := make([]circuit.Word, len(states))
+		for i, s := range states {
+			sw[i] = b.ConstWord(w.Trunc(x.State[s]), w)
+		}
+		outF, outS := sk.Instantiate(w, fw, sw)
+		for i, f := range fields {
+			synthCNF.Assert(b.EqW(outF[i], b.ConstWord(specOut.Pkt[f], w)))
+		}
+		for i, s := range states {
+			synthCNF.Assert(b.EqW(outS[i], b.ConstWord(specOut.State[s], w)))
+		}
+		res.Tests++
+		return nil
+	}
+
+	// Figure 3: initialize X to random inputs (plus all-zeros, which pins
+	// down constant-output components cheaply). The synthesis width is
+	// clamped to the sketch's minimum sound width: control holes must not
+	// truncate (see sketch.MinWidth).
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sw, vw := opts.synthWidth(), opts.verifyWidth()
+	if mw := sk.MinWidth(); sw < mw {
+		sw = mw
+	}
+	if vw < sw {
+		vw = sw
+	}
+	if err := addTest(interp.NewSnapshot(), sw); err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.initialTests(); i++ {
+		if err := addTest(randomSnapshot(rng, sw, fields, states), sw); err != nil {
+			return nil, err
+		}
+	}
+
+	trace := func(ev Event) {
+		if opts.Trace != nil {
+			opts.Trace(ev)
+		}
+	}
+
+	for iter := 1; iter <= opts.maxIters(); iter++ {
+		res.Iters = iter
+
+		// --- Synthesis phase (Equation 2) ---
+		phaseStart := time.Now()
+		st, timedOut := solveWithContext(ctx, synthSolver)
+		res.SynthConflicts = synthSolver.Stats().Conflicts
+		if timedOut {
+			trace(Event{Iter: iter, Phase: "synth", Outcome: "timeout", Elapsed: time.Since(phaseStart)})
+			res.TimedOut = true
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		if st == sat.Unsat {
+			// No hole assignment matches the spec even on the current
+			// finite test set: the sketch is infeasible (Figure 1 right).
+			trace(Event{Iter: iter, Phase: "synth", Outcome: "unsat", Elapsed: time.Since(phaseStart)})
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		trace(Event{Iter: iter, Phase: "synth", Outcome: "sat", Elapsed: time.Since(phaseStart)})
+		cfg := sk.ExtractConfig(synthCNF, fields, states, vw)
+
+		// --- Verification phase (Equation 3) ---
+		phaseStart = time.Now()
+		cex, verified, vconf, timedOut := verify(ctx, prog, cfg, fields, states, vw)
+		res.VerifyConflicts += vconf
+		if timedOut {
+			trace(Event{Iter: iter, Phase: "verify", Outcome: "timeout", Elapsed: time.Since(phaseStart)})
+			res.TimedOut = true
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		if verified {
+			trace(Event{Iter: iter, Phase: "verify", Outcome: "unsat", Elapsed: time.Since(phaseStart)})
+			res.Feasible = true
+			res.Config = cfg
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		trace(Event{Iter: iter, Phase: "verify", Outcome: "sat", Counterexample: &cex, Elapsed: time.Since(phaseStart)})
+		// Feed the counterexample back at the verification width (the
+		// paper's outer loop: "rerun SKETCH using the counterexample as an
+		// additional concrete input").
+		if err := addTest(cex, vw); err != nil {
+			return nil, err
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, fmt.Errorf("cegis: no convergence after %d iterations (%d tests)", res.Iters, res.Tests)
+}
+
+// verify searches for an input on which the configured pipeline and the
+// specification disagree at width w. It returns the counterexample if one
+// exists.
+func verify(ctx context.Context, prog *ast.Program, cfg *pisa.Config, fields, states []string, w word.Width) (cex interp.Snapshot, verified bool, conflicts int64, timedOut bool) {
+	b := circuit.New()
+	cc := arith.Circ{B: b, W: w}
+
+	fw := make([]circuit.Word, len(fields))
+	env := arith.NewEnv[circuit.Word]()
+	for i, f := range fields {
+		fw[i] = b.InputWord("pkt."+f, w)
+		env.Pkt[f] = fw[i]
+	}
+	sw := make([]circuit.Word, len(states))
+	for i, s := range states {
+		sw[i] = b.InputWord(s, w)
+		env.State[s] = sw[i]
+	}
+
+	// Pipeline side: the datapath with holes lifted to constants.
+	g := cfg.Grid
+	g.WordWidth = w
+	holes := pisa.MapHoles(cfg.Values, func(v uint64) circuit.Word {
+		return b.ConstWord(v, w)
+	})
+	pipeF, pipeS := pisa.Datapath[circuit.Word](cc, g, holes, fw, sw)
+
+	// Specification side: the program as a circuit.
+	specEnv, err := arith.EvalProgram[circuit.Word](cc, prog, env)
+	if err != nil {
+		// The program was already interpreted successfully during
+		// synthesis; an encoding failure here is a programming error.
+		panic(fmt.Sprintf("cegis: spec encoding failed: %v", err))
+	}
+
+	equal := circuit.True
+	for i, f := range fields {
+		specW := specEnv.Pkt[f]
+		equal = b.And(equal, b.EqW(pipeF[i], specW))
+	}
+	for i, s := range states {
+		specW := specEnv.State[s]
+		equal = b.And(equal, b.EqW(pipeS[i], specW))
+	}
+
+	solver := sat.New()
+	cnf := circuit.NewCNF(b, solver)
+	cnf.AssertNot(equal)
+	st, timedOut := solveWithContext(ctx, solver)
+	conflicts = solver.Stats().Conflicts
+	if timedOut {
+		return interp.Snapshot{}, false, conflicts, true
+	}
+	if st == sat.Unsat {
+		return interp.Snapshot{}, true, conflicts, false
+	}
+	cex = interp.NewSnapshot()
+	for i, f := range fields {
+		cex.Pkt[f] = cnf.WordValue(fw[i])
+	}
+	for i, s := range states {
+		cex.State[s] = cnf.WordValue(sw[i])
+	}
+	return cex, false, conflicts, false
+}
+
+// solveWithContext runs the solver in budgeted chunks, checking the context
+// between chunks so compile timeouts (Table 2) interrupt long solves.
+func solveWithContext(ctx context.Context, s *sat.Solver) (sat.Status, bool) {
+	for {
+		select {
+		case <-ctx.Done():
+			return sat.Unknown, true
+		default:
+		}
+		st, err := s.SolveWithBudget(budgetChunk)
+		if err == nil {
+			return st, false
+		}
+	}
+}
+
+// randomSnapshot draws a uniformly random input at width w.
+func randomSnapshot(rng *rand.Rand, w word.Width, fields, states []string) interp.Snapshot {
+	x := interp.NewSnapshot()
+	for _, f := range fields {
+		x.Pkt[f] = w.Trunc(rng.Uint64())
+	}
+	for _, s := range states {
+		x.State[s] = w.Trunc(rng.Uint64())
+	}
+	return x
+}
+
+// CanonicalVars returns the canonical (sorted) field and state orders used
+// for allocation — the paper's §3.1 canonicalization (Figure 4). Exposed so
+// CLIs and reports can display the allocation.
+func CanonicalVars(prog *ast.Program) (fields, states []string) {
+	v := prog.Variables()
+	fields = append([]string{}, v.Fields...)
+	states = append([]string{}, v.States...)
+	sort.Strings(fields)
+	sort.Strings(states)
+	return fields, states
+}

@@ -1,0 +1,200 @@
+// Package core is the Chipmunk code generator — the paper's primary
+// contribution (§3). It compiles a Domino packet transaction onto a
+// simulated PISA pipeline by:
+//
+//  1. canonicalizing packet fields and state variables (§3.1, Figure 4) so
+//     field k occupies container k and state group j occupies stateful ALU
+//     slot j, exploiting the symmetry of homogeneous grids;
+//  2. generating a sketch of the datapath whose Table 1 hardware
+//     configurations are synthesis holes (internal/sketch);
+//  3. solving the sketch with CEGIS over the SAT backend (internal/cegis),
+//     with narrow-width synthesis and wide-width verification (§3.1,
+//     "Scaling Chipmunk to a large number of input bits"); and
+//  4. minimizing pipeline depth by iterative deepening over the stage
+//     count — Chipmunk tries a 1-stage grid first and widens only on proof
+//     of infeasibility, which is why its resource usage in Figure 5 is
+//     minimal and has no variance across program mutations.
+//
+// The compiler rejects nothing for syntactic reasons: any program whose
+// semantics fit the grid's computational capabilities compiles, which is
+// the property Table 2 measures against the classical Domino baseline.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/ast"
+	"repro/internal/cegis"
+	"repro/internal/interp"
+	"repro/internal/pisa"
+	"repro/internal/word"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// Width is the PHV width: containers and ALUs per stage. Must cover
+	// the program's packet fields (one container per field, §3.1).
+	Width int
+	// MaxStages bounds the iterative-deepening search. 0 means 4.
+	MaxStages int
+	// StatelessALU is installed at every stateless grid point.
+	StatelessALU alu.Stateless
+	// StatefulALU is installed at every stateful grid point; per the
+	// paper's evaluation it should be the template the program's original
+	// Domino compilation used.
+	StatefulALU alu.Stateful
+	// SynthWidth and VerifyWidth set the CEGIS tier widths (0 = defaults:
+	// 4 and 10 bits).
+	SynthWidth  word.Width
+	VerifyWidth word.Width
+	// IndicatorAlloc uses indicator-variable packet-field allocation
+	// instead of canonical allocation (Figure 4 ablation).
+	IndicatorAlloc bool
+	// FixedStages disables depth minimization and synthesizes directly at
+	// MaxStages (iterative-deepening ablation).
+	FixedStages bool
+	// Seed drives CEGIS's initial random test inputs.
+	Seed int64
+	// Trace receives CEGIS events, if non-nil.
+	Trace func(cegis.Event)
+}
+
+func (o *Options) maxStages() int {
+	if o.MaxStages == 0 {
+		return 4
+	}
+	return o.MaxStages
+}
+
+// DepthResult records one iterative-deepening probe.
+type DepthResult struct {
+	Stages   int
+	Feasible bool
+	TimedOut bool
+	Iters    int
+	HoleBits int
+	Elapsed  time.Duration
+}
+
+// Report is the outcome of a compilation.
+type Report struct {
+	// Program is the compiled program's name.
+	Program string
+	// Feasible reports whether code generation succeeded.
+	Feasible bool
+	// TimedOut reports whether the context expired first (Table 2's
+	// failure mode for flowlet mutations).
+	TimedOut bool
+	// Config is the synthesized hardware configuration when feasible.
+	Config *pisa.Config
+	// Usage is the Figure 5 resource report for Config.
+	Usage pisa.Usage
+	// Depths records every stage count probed, in order.
+	Depths []DepthResult
+	// Elapsed is total compile time (Table 2's time column).
+	Elapsed time.Duration
+}
+
+// Compile runs Chipmunk on a program. Cancel or time out the context to
+// bound code-generation time; an expired context yields a Report with
+// TimedOut set rather than an error.
+func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Program: prog.Name}
+
+	grid := pisa.GridSpec{
+		Width:        opts.Width,
+		WordWidth:    10, // placeholder; CEGIS manages widths
+		StatelessALU: opts.StatelessALU,
+		StatefulALU:  opts.StatefulALU,
+	}
+
+	copts := cegis.Options{
+		SynthWidth:     opts.SynthWidth,
+		VerifyWidth:    opts.VerifyWidth,
+		IndicatorAlloc: opts.IndicatorAlloc,
+		Seed:           opts.Seed,
+		Trace:          opts.Trace,
+	}
+
+	lo := 1
+	if opts.FixedStages {
+		lo = opts.maxStages()
+	}
+	for stages := lo; stages <= opts.maxStages(); stages++ {
+		grid.Stages = stages
+		res, err := cegis.Synthesize(ctx, prog, grid, copts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s at %d stages: %w", prog.Name, stages, err)
+		}
+		rep.Depths = append(rep.Depths, DepthResult{
+			Stages:   stages,
+			Feasible: res.Feasible,
+			TimedOut: res.TimedOut,
+			Iters:    res.Iters,
+			HoleBits: res.HoleBits,
+			Elapsed:  res.Elapsed,
+		})
+		if res.TimedOut {
+			rep.TimedOut = true
+			break
+		}
+		if !res.Feasible {
+			continue
+		}
+		if err := res.Config.Validate(); err != nil {
+			return nil, fmt.Errorf("core: synthesized configuration invalid: %w", err)
+		}
+		if err := crossCheck(prog, res.Config, opts.Seed); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", prog.Name, err)
+		}
+		rep.Feasible = true
+		rep.Config = res.Config
+		rep.Usage = res.Config.Usage()
+		break
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// crossCheck differentially tests the synthesized configuration against the
+// reference interpreter on random inputs at the configuration's run width.
+// CEGIS already proved equivalence at that width through the SAT backend;
+// this guards the toolchain itself (sketch extraction, simulator) against
+// bugs, in the spirit of translation validation.
+func crossCheck(prog *ast.Program, cfg *pisa.Config, seed int64) error {
+	w := cfg.Grid.WordWidth
+	in := interp.MustNew(w)
+	rng := rand.New(rand.NewSource(seed + 1))
+	for trial := 0; trial < 64; trial++ {
+		snap := interp.NewSnapshot()
+		for _, f := range cfg.Fields {
+			snap.Pkt[f] = w.Trunc(rng.Uint64())
+		}
+		for _, s := range cfg.States {
+			snap.State[s] = w.Trunc(rng.Uint64())
+		}
+		want, err := in.Run(prog, snap)
+		if err != nil {
+			return err
+		}
+		gotPkt, gotState := cfg.Exec(snap.Pkt, snap.State)
+		for _, f := range cfg.Fields {
+			if gotPkt[f] != want.Pkt[f] {
+				return fmt.Errorf("cross-check failed on %s: pkt.%s = %d, spec says %d",
+					snap, f, gotPkt[f], want.Pkt[f])
+			}
+		}
+		for _, s := range cfg.States {
+			if gotState[s] != want.State[s] {
+				return fmt.Errorf("cross-check failed on %s: state %s = %d, spec says %d",
+					snap, s, gotState[s], want.State[s])
+			}
+		}
+	}
+	return nil
+}

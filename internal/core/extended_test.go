@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/interp"
+	"repro/internal/programs"
+	"repro/internal/word"
+)
+
+// TestExtendedCorpusCompiles synthesizes the extension programs, covering
+// the two stateful ALU templates the Table 2 corpus does not use (sub and
+// nested_ifs).
+func TestExtendedCorpusCompiles(t *testing.T) {
+	for _, b := range programs.ExtendedCorpus() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			rep, err := Compile(ctx, b.Parse(), benchOptions(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Feasible {
+				t.Fatalf("%s did not compile on %s (depths=%+v)", b.Name, b.StatefulALU, rep.Depths)
+			}
+
+			// Differential check against the interpreter at width 6.
+			prog := b.Parse()
+			const w = word.Width(6)
+			cfg := *rep.Config
+			cfg.Grid.WordWidth = w
+			in := interp.MustNew(w)
+			vars := prog.Variables()
+			// Exhaust the 2-variable slices of the input space.
+			for x := uint64(0); x < w.Size(); x++ {
+				for y := uint64(0); y < w.Size(); y++ {
+					snap := interp.NewSnapshot()
+					for i, f := range vars.Fields {
+						snap.Pkt[f] = []uint64{x, y}[i%2]
+					}
+					for i, s := range vars.States {
+						snap.State[s] = []uint64{y, x}[i%2]
+					}
+					want, err := in.Run(prog, snap)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotPkt, gotState := cfg.Exec(snap.Pkt, snap.State)
+					for _, f := range vars.Fields {
+						if gotPkt[f] != want.Pkt[f] {
+							t.Fatalf("input (%d,%d): pkt.%s = %d, want %d", x, y, f, gotPkt[f], want.Pkt[f])
+						}
+					}
+					for _, s := range vars.States {
+						if gotState[s] != want.State[s] {
+							t.Fatalf("input (%d,%d): %s = %d, want %d", x, y, s, gotState[s], want.State[s])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSubBeatsIfElseRaw shows the atom expressiveness ladder: the
+// heavy-marker program needs the sub template's difference comparator; on
+// if_else_raw the same grid is infeasible at every depth.
+func TestSubBeatsIfElseRaw(t *testing.T) {
+	b := programs.ExtendedCorpus()[0] // heavy_marker
+	prog := b.Parse()
+
+	withSub, err := Compile(context.Background(), prog, benchOptions(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !withSub.Feasible || withSub.Usage.Stages != 1 {
+		t.Fatalf("sub ALU should fit heavy_marker in 1 stage: %+v", withSub.Depths)
+	}
+
+	opts := benchOptions(b)
+	opts.StatefulALU = alu.Stateful{Kind: alu.IfElseRaw, ConstBits: b.ConstBits}
+	opts.MaxStages = 1
+	withIfElse, err := Compile(context.Background(), prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withIfElse.Feasible {
+		t.Fatal("if_else_raw lacks the difference comparator; 1 stage should be infeasible")
+	}
+}
+
+// TestSynFloodBehaviour drives the synthesized nested_ifs config through a
+// SYN-flood scenario.
+func TestSynFloodBehaviour(t *testing.T) {
+	b := programs.ExtendedCorpus()[1] // syn_flood
+	rep, err := Compile(context.Background(), b.Parse(), benchOptions(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatalf("syn_flood must compile: %+v", rep.Depths)
+	}
+	state := map[string]uint64{"half_open": 0}
+	send := func(syn uint64) {
+		_, state = rep.Config.Exec(map[string]uint64{"syn": syn}, state)
+	}
+	for i := 0; i < 5; i++ {
+		send(1) // five SYNs
+	}
+	if state["half_open"] != 5 {
+		t.Fatalf("after 5 SYNs: half_open = %d", state["half_open"])
+	}
+	for i := 0; i < 7; i++ {
+		send(0) // seven completions; must floor at zero
+	}
+	if state["half_open"] != 0 {
+		t.Fatalf("counter must floor at 0, got %d", state["half_open"])
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/word"
+)
+
+// randomStatelessProgram generates a small random packet transaction over
+// two fields, restricted to operators the stateless ALU plausibly covers
+// so a reasonable fraction of programs is feasible.
+func randomStatelessProgram(rng *rand.Rand) *ast.Program {
+	fields := []string{"a", "b"}
+	atoms := func() ast.Expr {
+		switch rng.Intn(3) {
+		case 0:
+			return &ast.Num{Value: int64(rng.Intn(8))}
+		default:
+			return &ast.Field{Name: fields[rng.Intn(len(fields))]}
+		}
+	}
+	ops := []ast.Op{
+		ast.OpAdd, ast.OpSub, ast.OpBitAnd, ast.OpBitOr, ast.OpBitXor,
+		ast.OpEq, ast.OpNe, ast.OpLt, ast.OpGe,
+	}
+	var expr func(d int) ast.Expr
+	expr = func(d int) ast.Expr {
+		if d == 0 || rng.Intn(2) == 0 {
+			return atoms()
+		}
+		return &ast.Binary{Op: ops[rng.Intn(len(ops))], X: expr(d - 1), Y: expr(d - 1)}
+	}
+	n := 1 + rng.Intn(2)
+	stmts := make([]ast.Stmt, n)
+	for i := range stmts {
+		stmts[i] = &ast.Assign{
+			LHS: ast.LValue{Name: fields[rng.Intn(len(fields))], IsField: true},
+			RHS: expr(1 + rng.Intn(2)),
+		}
+	}
+	return &ast.Program{Name: "random", Stmts: stmts, Init: map[string]int64{}}
+}
+
+// TestRandomStatelessProgramsEndToEnd is the whole-system randomized test:
+// random programs go through the complete pipeline (parse-level AST →
+// sketch → CEGIS → config), and every feasible result is checked against
+// the interpreter exhaustively at width 5. Infeasible results are fine
+// (small grids reject legitimately); errors and wrong configs are not.
+func TestRandomStatelessProgramsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized end-to-end test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(20))
+	feasible := 0
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		prog := randomStatelessProgram(rng)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		rep, err := Compile(ctx, prog, Options{
+			Width:        2,
+			MaxStages:    2,
+			StatelessALU: alu.Stateless{},
+			StatefulALU:  alu.Stateful{Kind: alu.Counter},
+			Seed:         int64(trial),
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("trial %d: %v\nprogram:\n%s", trial, err, prog.Print())
+		}
+		if !rep.Feasible {
+			continue
+		}
+		feasible++
+
+		// Exhaustive differential check at width 5 (1024 inputs).
+		const w = word.Width(5)
+		cfg := *rep.Config
+		cfg.Grid.WordWidth = w
+		in := interp.MustNew(w)
+		for a := uint64(0); a < w.Size(); a++ {
+			for b := uint64(0); b < w.Size(); b++ {
+				snap := interp.NewSnapshot()
+				snap.Pkt["a"], snap.Pkt["b"] = a, b
+				want, err := in.Run(prog, snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _ := cfg.Exec(snap.Pkt, nil)
+				if got["a"] != want.Pkt["a"] || got["b"] != want.Pkt["b"] {
+					t.Fatalf("trial %d input (%d,%d): got (%d,%d) want (%d,%d)\nprogram:\n%s\nconfig:\n%s",
+						trial, a, b, got["a"], got["b"], want.Pkt["a"], want.Pkt["b"],
+						prog.Print(), rep.Config)
+				}
+			}
+		}
+	}
+	t.Logf("feasible: %d/%d random programs", feasible, trials)
+	if feasible == 0 {
+		t.Fatal("expected at least one feasible random program; generator or synthesis regressed")
+	}
+}
+
+// TestRandomStatefulProgramsEndToEnd does the same for guarded single-state
+// updates against the pred_raw ALU.
+func TestRandomStatefulProgramsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized end-to-end test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(21))
+	rels := []ast.Op{ast.OpEq, ast.OpNe, ast.OpLt, ast.OpGe}
+	feasible := 0
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		// if (x REL k) s = s OP u;  with x in {s, pkt.p}, u in {pkt.p, k2}
+		cmpL := ast.Expr(&ast.State{Name: "s"})
+		if rng.Intn(2) == 0 {
+			cmpL = &ast.Field{Name: "p"}
+		}
+		upd := ast.Expr(&ast.Field{Name: "p"})
+		if rng.Intn(2) == 0 {
+			upd = &ast.Num{Value: int64(rng.Intn(8))}
+		}
+		op := ast.OpAdd
+		if rng.Intn(2) == 0 {
+			op = ast.OpSub
+		}
+		prog := &ast.Program{
+			Name: "randstate",
+			Init: map[string]int64{"s": 0},
+			Stmts: []ast.Stmt{
+				&ast.If{
+					Cond: &ast.Binary{Op: rels[rng.Intn(len(rels))], X: cmpL, Y: &ast.Num{Value: int64(rng.Intn(8))}},
+					Then: []ast.Stmt{&ast.Assign{
+						LHS: ast.LValue{Name: "s"},
+						RHS: &ast.Binary{Op: op, X: &ast.State{Name: "s"}, Y: upd},
+					}},
+				},
+			},
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		rep, err := Compile(ctx, prog, Options{
+			Width:        1,
+			MaxStages:    2,
+			StatelessALU: alu.Stateless{},
+			StatefulALU:  alu.Stateful{Kind: alu.PredRaw},
+			Seed:         int64(trial),
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("trial %d: %v\nprogram:\n%s", trial, err, prog.Print())
+		}
+		if !rep.Feasible {
+			continue
+		}
+		feasible++
+
+		const w = word.Width(5)
+		cfg := *rep.Config
+		cfg.Grid.WordWidth = w
+		in := interp.MustNew(w)
+		for p := uint64(0); p < w.Size(); p++ {
+			for s := uint64(0); s < w.Size(); s++ {
+				snap := interp.NewSnapshot()
+				snap.Pkt["p"] = p
+				snap.State["s"] = s
+				want, err := in.Run(prog, snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotPkt, gotState := cfg.Exec(snap.Pkt, snap.State)
+				if gotPkt["p"] != want.Pkt["p"] || gotState["s"] != want.State["s"] {
+					t.Fatalf("trial %d input (p=%d,s=%d): got (%d,%d) want (%d,%d)\nprogram:\n%s",
+						trial, p, s, gotPkt["p"], gotState["s"], want.Pkt["p"], want.State["s"], prog.Print())
+				}
+			}
+		}
+	}
+	t.Logf("feasible: %d/%d random stateful programs", feasible, trials)
+	if feasible == 0 {
+		t.Fatal("expected at least one feasible random stateful program")
+	}
+}

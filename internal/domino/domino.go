@@ -1,0 +1,1073 @@
+// Package domino reimplements the baseline the paper evaluates against: the
+// Domino compiler (Sivaraman et al., SIGCOMM 2016), which generates PISA
+// code "based largely on classical compiler techniques that use rewrite
+// rules on the abstract syntax tree of the program, e.g., branch
+// elimination and data flow analysis" (paper §4).
+//
+// The pipeline is:
+//
+//  1. stateful codelet extraction — every state variable's read-modify-write
+//     group is collected along with its guarding conditions;
+//  2. atom template matching — each codelet is matched *syntactically*
+//     against the configured stateful ALU template. The matcher implements
+//     the small set of rewrite rules Domino has (constant folding of
+//     negated relational guards, boolean-ternary collapsing) and nothing
+//     more: a semantically equivalent program written in an unexpected
+//     shape is rejected as "too expressive for the pipeline's ALUs", the
+//     exact failure mode Table 2 measures;
+//  3. branch elimination (predication) of the remaining packet-field
+//     computation into straight-line guarded assignments;
+//  4. flattening to three-address code, with each operation checked
+//     against the stateless ALU's instruction set; and
+//  5. ASAP dependency scheduling into pipeline stages: a value produced in
+//     stage i is consumable from stage i+1, so the stage count is the
+//     length of the critical dependency chain — typically deeper than what
+//     Chipmunk's exhaustive search finds (Figure 5).
+//
+// The compiler also emits the predicated, flattened program (Flat), which
+// is semantically equivalent to the input by construction and is used for
+// differential testing and for executing the baseline's output.
+package domino
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/ast"
+	"repro/internal/pisa"
+)
+
+// Result is the outcome of a baseline compilation.
+type Result struct {
+	// OK reports whether code generation succeeded.
+	OK bool
+	// Reason explains a rejection (empty when OK).
+	Reason string
+	// Pipeline is the scheduled placement when OK.
+	Pipeline *Pipeline
+	// Flat is the predicated, flattened equivalent of the source program
+	// (temporaries appear as packet fields named "_tN").
+	Flat *ast.Program
+	// Usage reports Figure 5's resource metrics for the placement.
+	Usage pisa.Usage
+	// Elapsed is compile time (Table 2 notes Domino compiles in seconds).
+	Elapsed time.Duration
+}
+
+// Pipeline is the baseline's placement of work into stages.
+type Pipeline struct {
+	Stages []Stage
+}
+
+// Stage holds the operations placed in one pipeline stage.
+type Stage struct {
+	// Ops are stateless three-address operations (dst = expr).
+	Ops []PlacedOp
+	// Atoms are stateful codelets bound to stateful ALUs.
+	Atoms []PlacedAtom
+}
+
+// PlacedOp is one stateless ALU instruction.
+type PlacedOp struct {
+	Dst  string
+	Expr ast.Expr
+}
+
+// PlacedAtom is one stateful ALU codelet.
+type PlacedAtom struct {
+	// States lists the state variables the atom owns (two for pair).
+	States []string
+	// Kind is the matched template.
+	Kind alu.Kind
+}
+
+// Compile runs the baseline on a program against the given stateful ALU
+// template and stateless immediate width.
+func Compile(prog *ast.Program, kind alu.Kind, constBits int) (*Result, error) {
+	start := time.Now()
+	c := &compiler{
+		prog:      Simplify(prog),
+		kind:      kind,
+		constMax:  int64(1)<<uint(constBitsOrDefault(constBits)) - 1,
+		stateWire: map[string]*atomInfo{},
+	}
+	res := c.run()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func constBitsOrDefault(b int) int {
+	if b == 0 {
+		return alu.DefaultConstBits
+	}
+	return b
+}
+
+// reject produces a failed Result. Reasons use the paper's vocabulary: the
+// baseline concludes the program is too expressive for the hardware.
+func reject(format string, args ...any) *Result {
+	return &Result{OK: false, Reason: fmt.Sprintf(format, args...)}
+}
+
+type atomInfo struct {
+	states []string
+	stage  int // assigned during scheduling
+	// firstIdx and writeIdx give, per state variable, the top-level
+	// statement indices of its first and last writes (writeIdx -1 when
+	// never written). They drive old/new wire classification.
+	firstIdx map[string]int
+	writeIdx map[string]int
+}
+
+func newAtomInfo(states []string) *atomInfo {
+	a := &atomInfo{states: states, firstIdx: map[string]int{}, writeIdx: map[string]int{}}
+	for _, s := range states {
+		a.firstIdx[s] = 1 << 30
+		a.writeIdx[s] = -1
+	}
+	return a
+}
+
+type compiler struct {
+	prog     *ast.Program
+	kind     alu.Kind
+	constMax int64
+
+	atoms     []*atomInfo
+	stateWire map[string]*atomInfo
+
+	tempN int
+	flat  []ast.Stmt // predicated three-address statements
+	ops   []*opNode
+}
+
+type opNode struct {
+	dst   string
+	expr  ast.Expr
+	stage int
+}
+
+func (c *compiler) run() *Result {
+	// Phase 0: dataflow sanity the wire classification depends on.
+	if r := c.checkNoReadAfterWriteInBranch(); r != nil {
+		return r
+	}
+	// Phase 1+2: extract and match stateful codelets.
+	if r := c.matchStateful(); r != nil {
+		return r
+	}
+	// Phase 3+4: predicate and flatten the packet-field side.
+	if r := c.lowerStateless(); r != nil {
+		return r
+	}
+	// Phase 5: schedule.
+	return c.schedule()
+}
+
+// --- Stateful codelet extraction and matching --------------------------------
+
+// stateWrite is one write to a state variable with its guard chain.
+type stateWrite struct {
+	guard   ast.Expr // nil when unconditional
+	rhs     ast.Expr
+	stmtIdx int
+	depth   int // if-nesting depth
+}
+
+// collectStateWrites gathers every state write with its guard. Guards for
+// else branches are the syntactic relational inversion of the if condition
+// — the one branch-elimination rewrite Domino's frontend performs — or a
+// rejection if the condition cannot be inverted syntactically.
+func (c *compiler) collectStateWrites() (map[string][]stateWrite, *Result) {
+	writes := map[string][]stateWrite{}
+	var rej *Result
+	var walk func(stmts []ast.Stmt, guard ast.Expr, idx int, depth int)
+	walk = func(stmts []ast.Stmt, guard ast.Expr, topIdx int, depth int) {
+		for i, s := range stmts {
+			idx := topIdx
+			if depth == 0 {
+				idx = i
+			}
+			switch s := s.(type) {
+			case *ast.Assign:
+				if s.LHS.IsField {
+					continue
+				}
+				writes[s.LHS.Name] = append(writes[s.LHS.Name], stateWrite{
+					guard: guard, rhs: s.RHS, stmtIdx: idx, depth: depth,
+				})
+			case *ast.If:
+				thenGuard := conjoin(guard, s.Cond)
+				walk(s.Then, thenGuard, idx, depth+1)
+				if len(s.Else) > 0 {
+					neg := invertRel(s.Cond)
+					if neg == nil {
+						if stmtsWriteState(s.Else) {
+							rej = reject("cannot eliminate else-branch of condition %s: not a relational test", s.Cond)
+							return
+						}
+						// Else branch only writes fields; predication of
+						// fields can use a generic negation later.
+						neg = &ast.Unary{Op: ast.OpNot, X: ast.CloneExpr(s.Cond)}
+					}
+					walk(s.Else, conjoin(guard, neg), idx, depth+1)
+				}
+			}
+		}
+	}
+	walk(c.prog.Stmts, nil, 0, 0)
+	return writes, rej
+}
+
+func stmtsWriteState(stmts []ast.Stmt) bool {
+	found := false
+	var walk func([]ast.Stmt)
+	walk = func(ss []ast.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *ast.Assign:
+				if !s.LHS.IsField {
+					found = true
+				}
+			case *ast.If:
+				walk(s.Then)
+				walk(s.Else)
+			}
+		}
+	}
+	walk(stmts)
+	return found
+}
+
+func conjoin(a, b ast.Expr) ast.Expr {
+	if a == nil {
+		return b
+	}
+	return &ast.Binary{Op: ast.OpLAnd, X: ast.CloneExpr(a), Y: ast.CloneExpr(b)}
+}
+
+// invertRel syntactically negates a relational comparison; it returns nil
+// for anything else (the baseline's rewrite rules stop there).
+func invertRel(e ast.Expr) ast.Expr {
+	b, ok := e.(*ast.Binary)
+	if !ok {
+		return nil
+	}
+	var inv ast.Op
+	switch b.Op {
+	case ast.OpEq:
+		inv = ast.OpNe
+	case ast.OpNe:
+		inv = ast.OpEq
+	case ast.OpLt:
+		inv = ast.OpGe
+	case ast.OpLe:
+		inv = ast.OpGt
+	case ast.OpGt:
+		inv = ast.OpLe
+	case ast.OpGe:
+		inv = ast.OpLt
+	default:
+		return nil
+	}
+	return &ast.Binary{Op: inv, X: ast.CloneExpr(b.X), Y: ast.CloneExpr(b.Y)}
+}
+
+// isAtomOperand reports whether e is a packet field, a small constant, or
+// one of the atom's own state variables.
+func (c *compiler) isAtomOperand(e ast.Expr, states []string) bool {
+	switch e := e.(type) {
+	case *ast.Num:
+		return e.Value >= 0 && e.Value <= c.constMax
+	case *ast.Field:
+		return true
+	case *ast.State:
+		for _, s := range states {
+			if s == e.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// matchUpdate checks that rhs is one of the update forms every stateful
+// template supports: s, s + x, s - x, or x, where s is a group state and x
+// is an atom operand. The check is deliberately literal: "s + 1" matches,
+// "1 + s" does not.
+func (c *compiler) matchUpdate(rhs ast.Expr, states []string) bool {
+	if c.isAtomOperand(rhs, states) {
+		return true
+	}
+	b, ok := rhs.(*ast.Binary)
+	if !ok || (b.Op != ast.OpAdd && b.Op != ast.OpSub) {
+		return false
+	}
+	lhsState, ok := b.X.(*ast.State)
+	if !ok {
+		return false
+	}
+	owned := false
+	for _, s := range states {
+		if s == lhsState.Name {
+			owned = true
+		}
+	}
+	return owned && c.isAtomOperand(b.Y, states)
+}
+
+// matchGuard checks the guard against the template's predicate forms:
+// relop(a, b) over atom operands, plus — for Sub and Pair — relop(a - b, k).
+func (c *compiler) matchGuard(g ast.Expr, states []string) bool {
+	if g == nil {
+		return true
+	}
+	b, ok := g.(*ast.Binary)
+	if !ok || !isRelOp(b.Op) {
+		return false
+	}
+	if c.isAtomOperand(b.X, states) && c.isAtomOperand(b.Y, states) {
+		return true
+	}
+	if c.kind == alu.Sub || c.kind == alu.Pair {
+		if sub, ok := b.X.(*ast.Binary); ok && sub.Op == ast.OpSub &&
+			c.isAtomOperand(sub.X, states) && c.isAtomOperand(sub.Y, states) &&
+			c.isAtomOperand(b.Y, states) {
+			return true
+		}
+	}
+	return false
+}
+
+func isRelOp(op ast.Op) bool {
+	switch op {
+	case ast.OpEq, ast.OpNe, ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+		return true
+	}
+	return false
+}
+
+// matchStateful groups state variables into atoms and matches each group
+// against the configured template.
+func (c *compiler) matchStateful() *Result {
+	writes, rej := c.collectStateWrites()
+	if rej != nil {
+		return rej
+	}
+	vars := c.prog.Variables()
+	if len(vars.States) == 0 {
+		return nil
+	}
+
+	// Group states: pair groups two states that share a guard; the other
+	// templates hold one state each.
+	var groups [][]string
+	if c.kind == alu.Pair {
+		// Pair the states in canonical order, two per atom — the same
+		// grouping Chipmunk's canonicalization uses.
+		states := append([]string{}, vars.States...)
+		sort.Strings(states)
+		for i := 0; i < len(states); i += 2 {
+			end := i + 2
+			if end > len(states) {
+				end = len(states)
+			}
+			groups = append(groups, states[i:end])
+		}
+	} else {
+		for _, s := range vars.States {
+			groups = append(groups, []string{s})
+		}
+	}
+
+	// Fields the program itself writes: atoms are scheduled in stage 0 and
+	// read raw header fields, so a state update consuming a *computed*
+	// field is beyond this baseline's scheduling and is rejected.
+	writtenFields := map[string]bool{}
+	var collectFieldWrites func([]ast.Stmt)
+	collectFieldWrites = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ast.Assign:
+				if s.LHS.IsField {
+					writtenFields[s.LHS.Name] = true
+				}
+			case *ast.If:
+				collectFieldWrites(s.Then)
+				collectFieldWrites(s.Else)
+			}
+		}
+	}
+	collectFieldWrites(c.prog.Stmts)
+	readsComputedField := func(e ast.Expr) string {
+		if e == nil {
+			return ""
+		}
+		bad := ""
+		ast.WalkExprs([]ast.Stmt{&ast.Assign{LHS: ast.LValue{Name: "x", IsField: true}, RHS: e}},
+			func(e ast.Expr) {
+				if f, ok := e.(*ast.Field); ok && writtenFields[f.Name] {
+					bad = f.Name
+				}
+			})
+		return bad
+	}
+
+	for _, group := range groups {
+		info := newAtomInfo(group)
+		var groupGuard ast.Expr
+		guardSeen := false
+		for _, s := range group {
+			ws := writes[s]
+			if len(ws) == 0 {
+				continue
+			}
+			for _, w := range ws {
+				if f := readsComputedField(w.guard); f != "" {
+					return reject("state %s guard reads computed field pkt.%s", s, f)
+				}
+				if f := readsComputedField(w.rhs); f != "" {
+					return reject("state %s update reads computed field pkt.%s", s, f)
+				}
+				if w.depth > 1 {
+					return reject("state %s updated under nested conditions: needs a deeper predicate tree than ALU %s provides", s, c.kind)
+				}
+				if w.stmtIdx < info.firstIdx[s] {
+					info.firstIdx[s] = w.stmtIdx
+				}
+				if w.stmtIdx > info.writeIdx[s] {
+					info.writeIdx[s] = w.stmtIdx
+				}
+				if !c.matchUpdate(w.rhs, group) {
+					return reject("state update %s = %s does not match ALU template %s", s, w.rhs, c.kind)
+				}
+				if !c.matchGuard(w.guard, group) {
+					return reject("guard %s of state %s does not match ALU template %s predicate", w.guard, s, c.kind)
+				}
+				if w.guard != nil {
+					if guardSeen && !ast.EqualExpr(groupGuard, w.guard) {
+						// Two different predicates cannot share one atom,
+						// except complementary branches of the same if.
+						if inv := invertRel(groupGuard); inv == nil || !ast.EqualExpr(inv, w.guard) {
+							return reject("state group %v has conflicting guards %s and %s", group, groupGuard, w.guard)
+						}
+					} else if !guardSeen {
+						groupGuard = w.guard
+						guardSeen = true
+					}
+				}
+			}
+			// Per-template arity checks.
+			switch c.kind {
+			case alu.Counter:
+				if len(ws) > 1 || ws[0].guard != nil {
+					return reject("state %s has conditional updates but ALU %s is an unconditional counter", s, c.kind)
+				}
+			case alu.PredRaw:
+				if len(ws) > 1 {
+					return reject("state %s written more than once but ALU %s supports a single guarded update", s, c.kind)
+				}
+			case alu.IfElseRaw, alu.Sub:
+				if len(ws) > 2 {
+					return reject("state %s written %d times but ALU %s supports two-way updates", s, len(ws), c.kind)
+				}
+			case alu.NestedIfs:
+				if len(ws) > 4 {
+					return reject("state %s written %d times, exceeding ALU %s", s, len(ws), c.kind)
+				}
+			case alu.Pair:
+				if len(ws) > 2 {
+					return reject("state %s written %d times but ALU %s supports two-way updates", s, len(ws), c.kind)
+				}
+			}
+		}
+		c.atoms = append(c.atoms, info)
+		for _, s := range group {
+			c.stateWire[s] = info
+		}
+	}
+	return nil
+}
+
+// --- Stateless lowering --------------------------------------------------------
+
+// lowerStateless predicates field assignments and flattens them to
+// three-address operations, replacing state reads with atom output wires.
+func (c *compiler) lowerStateless() *Result {
+	var rej *Result
+	var walk func(stmts []ast.Stmt, guard ast.Expr, topIdx int)
+	walk = func(stmts []ast.Stmt, guard ast.Expr, topIdx int) {
+		for i, s := range stmts {
+			if rej != nil {
+				return
+			}
+			idx := topIdx
+			if topIdx == -1 {
+				idx = i
+			}
+			switch s := s.(type) {
+			case *ast.Assign:
+				if !s.LHS.IsField {
+					continue // handled by an atom
+				}
+				rhs := s.RHS
+				if guard != nil {
+					rhs = &ast.Ternary{Cond: ast.CloneExpr(guard), T: ast.CloneExpr(s.RHS), F: s.LHS.Ref()}
+				}
+				if r := c.emitAssign(s.LHS, rhs, idx); r != nil {
+					rej = r
+					return
+				}
+			case *ast.If:
+				// Branch merging: a field assigned exactly once directly
+				// in each branch becomes one conditional assignment
+				// f = cond ? thenRHS : elseRHS — Domino's if-conversion.
+				thenSingles := directFieldAssigns(s.Then)
+				elseSingles := directFieldAssigns(s.Else)
+				merged := map[string]bool{}
+				for name, tRHS := range thenSingles {
+					eRHS, ok := elseSingles[name]
+					if !ok {
+						continue
+					}
+					rhs := ast.Expr(&ast.Ternary{
+						Cond: ast.CloneExpr(s.Cond),
+						T:    ast.CloneExpr(tRHS),
+						F:    ast.CloneExpr(eRHS),
+					})
+					lv := ast.LValue{Name: name, IsField: true}
+					if guard != nil {
+						rhs = &ast.Ternary{Cond: ast.CloneExpr(guard), T: rhs, F: lv.Ref()}
+					}
+					if r := c.emitAssign(lv, rhs, idx); r != nil {
+						rej = r
+						return
+					}
+					merged[name] = true
+				}
+				walk(dropMerged(s.Then, merged), conjoin(guard, s.Cond), idx)
+				if rej != nil {
+					return
+				}
+				rest := dropMerged(s.Else, merged)
+				if len(rest) > 0 {
+					neg := invertRel(s.Cond)
+					if neg == nil {
+						neg = &ast.Unary{Op: ast.OpNot, X: ast.CloneExpr(s.Cond)}
+					}
+					walk(rest, conjoin(guard, neg), idx)
+				}
+			}
+		}
+	}
+	walk(c.prog.Stmts, nil, -1)
+	return rej
+}
+
+// directFieldAssigns maps fields assigned exactly once at the top level of
+// a branch (and nowhere in its nested ifs) to their RHS.
+func directFieldAssigns(stmts []ast.Stmt) map[string]ast.Expr {
+	counts := map[string]int{}
+	rhs := map[string]ast.Expr{}
+	nested := map[string]bool{}
+	var markNested func([]ast.Stmt)
+	markNested = func(ss []ast.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *ast.Assign:
+				if s.LHS.IsField {
+					nested[s.LHS.Name] = true
+				}
+			case *ast.If:
+				markNested(s.Then)
+				markNested(s.Else)
+			}
+		}
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.Assign:
+			if s.LHS.IsField {
+				counts[s.LHS.Name]++
+				rhs[s.LHS.Name] = s.RHS
+			}
+		case *ast.If:
+			markNested(s.Then)
+			markNested(s.Else)
+		}
+	}
+	out := map[string]ast.Expr{}
+	for name, n := range counts {
+		if n == 1 && !nested[name] {
+			out[name] = rhs[name]
+		}
+	}
+	return out
+}
+
+// dropMerged removes top-level assignments to already-merged fields.
+func dropMerged(stmts []ast.Stmt, merged map[string]bool) []ast.Stmt {
+	if len(merged) == 0 {
+		return stmts
+	}
+	var out []ast.Stmt
+	for _, s := range stmts {
+		if a, ok := s.(*ast.Assign); ok && a.LHS.IsField && merged[a.LHS.Name] {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// emitAssign flattens one (possibly predicated) field assignment.
+func (c *compiler) emitAssign(lhs ast.LValue, rhs ast.Expr, stmtIdx int) *Result {
+	operand, r := c.flatten(rhs, stmtIdx)
+	if r != nil {
+		return r
+	}
+	c.flat = append(c.flat, &ast.Assign{LHS: lhs, RHS: operand})
+	c.ops = append(c.ops, &opNode{dst: "pkt." + lhs.Name, expr: operand})
+	return nil
+}
+
+// newTemp allocates a fresh temporary, modeled as a packet field.
+func (c *compiler) newTemp() string {
+	c.tempN++
+	return fmt.Sprintf("_t%d", c.tempN)
+}
+
+// flatten reduces an expression to an atom (field, temp, const) by emitting
+// three-address temporaries, checking every operation against the stateless
+// ALU's instruction set.
+func (c *compiler) flatten(e ast.Expr, stmtIdx int) (ast.Expr, *Result) {
+	switch e := e.(type) {
+	case *ast.Num:
+		if e.Value < 0 || e.Value > c.constMax {
+			return nil, reject("immediate %d exceeds the ALU's %d-bit operand", e.Value, bitsFor(c.constMax))
+		}
+		return ast.CloneExpr(e), nil
+	case *ast.Field:
+		return ast.CloneExpr(e), nil
+	case *ast.State:
+		// A state read becomes the owning atom's exported wire: the old
+		// value for reads before the atom's writes, the new value after.
+		info := c.stateWire[e.Name]
+		if info == nil {
+			// Never-written state: reads as its initial value; Domino
+			// still allocates an atom for it. Treat as old wire of a
+			// fresh passive atom.
+			info = newAtomInfo([]string{e.Name})
+			c.atoms = append(c.atoms, info)
+			c.stateWire[e.Name] = info
+		}
+		wire := c.wireName(e.Name, stmtIdx, info)
+		if wire == "" {
+			return nil, reject("read of state %s interleaves with its updates", e.Name)
+		}
+		return &ast.Field{Name: wire}, nil
+	case *ast.Unary:
+		x, r := c.flatten(e.X, stmtIdx)
+		if r != nil {
+			return nil, r
+		}
+		switch e.Op {
+		case ast.OpBitNot:
+			return c.emitOp(&ast.Unary{Op: ast.OpBitNot, X: x}), nil
+		case ast.OpNot:
+			// !x lowers to the stateless eqi instruction: x == 0.
+			return c.emitOp(&ast.Binary{Op: ast.OpEq, X: x, Y: &ast.Num{Value: 0}}), nil
+		case ast.OpNeg:
+			// -x lowers to 0 - x... but sub takes two containers; Domino
+			// materializes the zero, so: const 0 then sub.
+			zero := c.emitOp(&ast.Num{Value: 0})
+			return c.emitOp(&ast.Binary{Op: ast.OpSub, X: zero, Y: x}), nil
+		}
+		return nil, reject("unary operator %s unsupported by stateless ALU", e.Op)
+	case *ast.Binary:
+		return c.flattenBinary(e, stmtIdx)
+	case *ast.Ternary:
+		return c.flattenTernary(e, stmtIdx)
+	default:
+		return nil, reject("expression %s unsupported", e)
+	}
+}
+
+func bitsFor(max int64) int {
+	b := 0
+	for v := max; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// emitOp appends a three-address operation and returns the temp that holds
+// its result.
+func (c *compiler) emitOp(expr ast.Expr) ast.Expr {
+	t := c.newTemp()
+	c.flat = append(c.flat, &ast.Assign{LHS: ast.LValue{Name: t, IsField: true}, RHS: expr})
+	c.ops = append(c.ops, &opNode{dst: "pkt." + t, expr: expr})
+	return &ast.Field{Name: t}
+}
+
+// statelessBinOps lists the binary operators the Banzai-style stateless ALU
+// implements directly on two container operands.
+var statelessBinOps = map[ast.Op]bool{
+	ast.OpAdd: true, ast.OpSub: true,
+	ast.OpBitAnd: true, ast.OpBitOr: true, ast.OpBitXor: true,
+	ast.OpEq: true, ast.OpNe: true, ast.OpLt: true, ast.OpGe: true,
+}
+
+func (c *compiler) flattenBinary(e *ast.Binary, stmtIdx int) (ast.Expr, *Result) {
+	switch e.Op {
+	case ast.OpLAnd, ast.OpLOr:
+		// Logical operators over 0/1 comparison results lower to bitwise
+		// ones; Domino requires boolean-typed operands here.
+		if !isBooleanExpr(e.X) || !isBooleanExpr(e.Y) {
+			return nil, reject("logical %s over non-boolean operands unsupported", e.Op)
+		}
+		x, r := c.flatten(e.X, stmtIdx)
+		if r != nil {
+			return nil, r
+		}
+		y, r := c.flatten(e.Y, stmtIdx)
+		if r != nil {
+			return nil, r
+		}
+		op := ast.OpBitAnd
+		if e.Op == ast.OpLOr {
+			op = ast.OpBitOr
+		}
+		return c.emitOp(&ast.Binary{Op: op, X: x, Y: y}), nil
+	case ast.OpLe, ast.OpGt:
+		// a <= b rewrites to b >= a; a > b to b < a (operand swap is one
+		// of the baseline's legal rewrites, since the hardware only has
+		// lt and ge).
+		swapped := &ast.Binary{Op: ast.OpGe, X: e.Y, Y: e.X}
+		if e.Op == ast.OpGt {
+			swapped = &ast.Binary{Op: ast.OpLt, X: e.Y, Y: e.X}
+		}
+		return c.flattenBinary(swapped, stmtIdx)
+	}
+	if !statelessBinOps[e.Op] {
+		return nil, reject("operator %s unsupported by stateless ALU", e.Op)
+	}
+	x, r := c.flatten(e.X, stmtIdx)
+	if r != nil {
+		return nil, r
+	}
+	y, r := c.flatten(e.Y, stmtIdx)
+	if r != nil {
+		return nil, r
+	}
+	// Immediate operands: add/sub/eq have immediate forms; the other
+	// operators need the constant materialized by a const instruction.
+	if n, ok := y.(*ast.Num); ok {
+		switch e.Op {
+		case ast.OpAdd, ast.OpSub, ast.OpEq:
+			// direct immediate form
+		default:
+			y = c.emitOp(&ast.Num{Value: n.Value})
+		}
+	}
+	if _, ok := x.(*ast.Num); ok {
+		// Constant on the left has no immediate form (deliberately: the
+		// hardware's operand A is always a container).
+		x = c.emitOp(x)
+	}
+	return c.emitOp(&ast.Binary{Op: e.Op, X: x, Y: y}), nil
+}
+
+func (c *compiler) flattenTernary(e *ast.Ternary, stmtIdx int) (ast.Expr, *Result) {
+	// Boolean collapsing: cond ? 1 : 0 is just cond when cond is boolean.
+	if isBooleanExpr(e.Cond) {
+		if tn, ok := e.T.(*ast.Num); ok {
+			if fn, ok := e.F.(*ast.Num); ok && tn.Value == 1 && fn.Value == 0 {
+				return c.flatten(e.Cond, stmtIdx)
+			}
+		}
+	}
+	cond, r := c.flatten(e.Cond, stmtIdx)
+	if r != nil {
+		return nil, r
+	}
+	t, r := c.flatten(e.T, stmtIdx)
+	if r != nil {
+		return nil, r
+	}
+	f, r := c.flatten(e.F, stmtIdx)
+	if r != nil {
+		return nil, r
+	}
+	// The stateless cond instruction computes A ? B : imm. Direct form
+	// needs a constant else-arm; a constant then-arm uses the inverted
+	// condition (one more rewrite rule). Two non-constant arms exceed the
+	// ALU's two input muxes.
+	if _, ok := f.(*ast.Num); ok {
+		if _, ok := t.(*ast.Num); ok {
+			// Both arms constant: materialize the then-arm, since operand
+			// B of the cond instruction is a container.
+			t = c.emitOp(t)
+		}
+		return c.emitOp(&ast.Ternary{Cond: cond, T: t, F: f}), nil
+	}
+	if _, ok := t.(*ast.Num); ok {
+		notCond := c.emitOp(&ast.Binary{Op: ast.OpEq, X: cond, Y: &ast.Num{Value: 0}})
+		return c.emitOp(&ast.Ternary{Cond: notCond, T: f, F: t}), nil
+	}
+	return nil, reject("conditional with two non-constant arms exceeds the stateless ALU's operand muxes")
+}
+
+// isBooleanExpr reports whether an expression statically yields 0/1.
+func isBooleanExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Binary:
+		return e.Op.IsComparison()
+	case *ast.Unary:
+		return e.Op == ast.OpNot
+	case *ast.Num:
+		return e.Value == 0 || e.Value == 1
+	}
+	return false
+}
+
+// wireName resolves a state read to the atom's old or new output wire. A
+// read in the same top-level statement as the variable's only write sees
+// the old value: it is either the guard (evaluated before the update) or a
+// read in the complementary branch, where old and new coincide. Reads
+// strictly after the last write see the new value; anything interleaved is
+// rejected.
+func (c *compiler) wireName(state string, readIdx int, info *atomInfo) string {
+	first, last := info.firstIdx[state], info.writeIdx[state]
+	switch {
+	case last < 0 || readIdx < first:
+		return "_old_" + state
+	case readIdx == first && last == first:
+		return "_old_" + state
+	case readIdx > last:
+		return "_new_" + state
+	default:
+		// Read between two writes at different statements.
+		return ""
+	}
+}
+
+// checkNoReadAfterWriteInBranch rejects the one pattern the old/new wire
+// classification cannot express: reading a state variable later in the same
+// if-branch that already wrote it (e.g. "if (c) { s = 1; pkt.x = s; }").
+// Reads after writes at *top level* are fine — they resolve to the atom's
+// new-value wire.
+func (c *compiler) checkNoReadAfterWriteInBranch() *Result {
+	readsState := func(e ast.Expr, written map[string]bool) string {
+		bad := ""
+		ast.WalkExprs([]ast.Stmt{&ast.Assign{LHS: ast.LValue{Name: "x", IsField: true}, RHS: e}},
+			func(e ast.Expr) {
+				if s, ok := e.(*ast.State); ok && written[s.Name] {
+					bad = s.Name
+				}
+			})
+		return bad
+	}
+	// scan walks one branch scope, accumulating writes and flagging any
+	// later read of an already-written state within the same scope.
+	var scan func(stmts []ast.Stmt, written map[string]bool) *Result
+	scan = func(stmts []ast.Stmt, written map[string]bool) *Result {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ast.Assign:
+				if bad := readsState(s.RHS, written); bad != "" {
+					return reject("state %s read after write within one branch", bad)
+				}
+				if !s.LHS.IsField {
+					written[s.LHS.Name] = true
+				}
+			case *ast.If:
+				if bad := readsState(s.Cond, written); bad != "" {
+					return reject("condition reads state %s written earlier in the same branch", bad)
+				}
+				for _, body := range [][]ast.Stmt{s.Then, s.Else} {
+					inner := map[string]bool{}
+					for k := range written {
+						inner[k] = true
+					}
+					if r := scan(body, inner); r != nil {
+						return r
+					}
+				}
+			}
+		}
+		return nil
+	}
+	// Apply to every top-level if-branch; top-level assignments are exempt.
+	for _, s := range c.prog.Stmts {
+		if ifs, ok := s.(*ast.If); ok {
+			for _, body := range [][]ast.Stmt{ifs.Then, ifs.Else} {
+				if r := scan(body, map[string]bool{}); r != nil {
+					return r
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// --- Scheduling ------------------------------------------------------------------
+
+// schedule assigns stages by ASAP dependency levels and assembles the
+// result.
+func (c *compiler) schedule() *Result {
+	// Producer stages: raw packet fields are available at stage 0; an op
+	// or atom placed in stage i produces values consumable at stage i+1.
+	avail := map[string]int{} // value name -> first stage it can be consumed
+	vars := c.prog.Variables()
+	for _, f := range vars.Fields {
+		avail["pkt."+f] = 0
+	}
+
+	// Atoms depend only on raw fields and constants (the matcher enforced
+	// that), so they are placed at stage 0 and their wires are available
+	// from stage 1.
+	for _, a := range c.atoms {
+		a.stage = 0
+		for _, s := range a.states {
+			avail["pkt._old_"+s] = 1
+			avail["pkt._new_"+s] = 1
+		}
+	}
+
+	// Ops in c.ops are already topologically ordered by construction.
+	maxStage := 0
+	hasAtoms := len(c.atoms) > 0
+	for _, op := range c.ops {
+		stage := 0
+		ast.WalkExprs([]ast.Stmt{&ast.Assign{LHS: ast.LValue{Name: "x", IsField: true}, RHS: op.expr}},
+			func(e ast.Expr) {
+				if f, ok := e.(*ast.Field); ok {
+					if s, ok := avail["pkt."+f.Name]; ok && s > stage {
+						stage = s
+					}
+				}
+			})
+		op.stage = stage
+		if isMove(op.expr) {
+			// Pure moves are realized by output-mux routing, consuming no
+			// ALU and adding no stage; the destination aliases its source
+			// availability.
+			avail[op.dst] = stage
+			continue
+		}
+		avail[op.dst] = stage + 1
+		if stage > maxStage {
+			maxStage = stage
+		}
+	}
+
+	realOps := 0
+	for _, op := range c.ops {
+		if !isMove(op.expr) {
+			realOps++
+		}
+	}
+	nStages := maxStage + 1
+	if !hasAtoms && realOps == 0 {
+		nStages = 0
+	}
+	pipe := &Pipeline{Stages: make([]Stage, nStages)}
+	if hasAtoms && nStages == 0 {
+		pipe.Stages = make([]Stage, 1)
+		nStages = 1
+	}
+	for _, a := range c.atoms {
+		pipe.Stages[a.stage].Atoms = append(pipe.Stages[a.stage].Atoms, PlacedAtom{
+			States: a.states, Kind: c.kind,
+		})
+	}
+	for _, op := range c.ops {
+		if isMove(op.expr) {
+			continue
+		}
+		pipe.Stages[op.stage].Ops = append(pipe.Stages[op.stage].Ops, PlacedOp{Dst: op.dst, Expr: op.expr})
+	}
+
+	usage := pisa.Usage{Stages: nStages}
+	for _, st := range pipe.Stages {
+		n := len(st.Ops) + len(st.Atoms)
+		usage.TotalALUs += n
+		if n > usage.MaxALUsPerStage {
+			usage.MaxALUsPerStage = n
+		}
+	}
+
+	flat := c.buildFlat()
+	return &Result{OK: true, Pipeline: pipe, Flat: flat, Usage: usage}
+}
+
+// buildFlat assembles the executable predicated program: the atoms' old
+// wires, the state-update skeleton (the original control flow with field
+// assignments stripped — exactly what each atom computes), the new wires,
+// and finally the flattened stateless operations that consume the wires.
+// The result is semantically equivalent to the source on the source's own
+// variables; temporaries and wires live in fields prefixed "_".
+func (c *compiler) buildFlat() *ast.Program {
+	var stmts []ast.Stmt
+	states := append([]string{}, c.prog.Variables().States...)
+	sort.Strings(states)
+	for _, s := range states {
+		stmts = append(stmts, &ast.Assign{
+			LHS: ast.LValue{Name: "_old_" + s, IsField: true},
+			RHS: &ast.State{Name: s},
+		})
+	}
+	stmts = append(stmts, stripFieldWrites(ast.CloneStmts(c.prog.Stmts))...)
+	for _, s := range states {
+		stmts = append(stmts, &ast.Assign{
+			LHS: ast.LValue{Name: "_new_" + s, IsField: true},
+			RHS: &ast.State{Name: s},
+		})
+	}
+	stmts = append(stmts, c.flat...)
+	flat := &ast.Program{
+		Name:  c.prog.Name + "_flat",
+		Stmts: stmts,
+		Init:  map[string]int64{},
+	}
+	for k, v := range c.prog.Init {
+		flat.Init[k] = v
+	}
+	return flat
+}
+
+// stripFieldWrites removes packet-field assignments, leaving the state
+// skeleton (conditions are pure, so removing field writes cannot change
+// state evolution: any condition reading a program-written field would
+// have been rejected earlier as a wire violation — fields written by the
+// program are never read by guards in matched programs).
+func stripFieldWrites(stmts []ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.Assign:
+			if !s.LHS.IsField {
+				out = append(out, s)
+			}
+		case *ast.If:
+			out = append(out, &ast.If{
+				Cond: s.Cond,
+				Then: stripFieldWrites(s.Then),
+				Else: stripFieldWrites(s.Else),
+			})
+		}
+	}
+	return out
+}
+
+// isMove reports a pure copy (field/const to field), realizable by routing.
+func isMove(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Field, *ast.Num:
+		return true
+	}
+	return false
+}

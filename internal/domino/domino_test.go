@@ -1,0 +1,445 @@
+package domino
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/alu"
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/programs"
+	"repro/internal/word"
+)
+
+func compile(t *testing.T, src string, kind alu.Kind) *Result {
+	t.Helper()
+	prog := parser.MustParse("test", src)
+	res, err := Compile(prog, kind, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// checkFlatEquivalent differential-tests the flat program against the
+// original on random inputs over the original's variables.
+func checkFlatEquivalent(t *testing.T, prog *ast.Program, res *Result, seed int64) {
+	t.Helper()
+	const w = word.Width(8)
+	in := interp.MustNew(w)
+	rng := rand.New(rand.NewSource(seed))
+	vars := prog.Variables()
+	for trial := 0; trial < 150; trial++ {
+		snap := interp.NewSnapshot()
+		for _, f := range vars.Fields {
+			snap.Pkt[f] = w.Trunc(rng.Uint64())
+		}
+		for _, s := range vars.States {
+			snap.State[s] = w.Trunc(rng.Uint64())
+		}
+		want, err := in.Run(prog, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := in.Run(res.Flat, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range vars.Fields {
+			if got.Pkt[f] != want.Pkt[f] {
+				t.Fatalf("input %s: flat pkt.%s = %d, want %d\nflat:\n%s",
+					snap, f, got.Pkt[f], want.Pkt[f], res.Flat.Print())
+			}
+		}
+		for _, s := range vars.States {
+			if got.State[s] != want.State[s] {
+				t.Fatalf("input %s: flat %s = %d, want %d\nflat:\n%s",
+					snap, s, got.State[s], want.State[s], res.Flat.Print())
+			}
+		}
+	}
+}
+
+// TestCorpusCompilesAndIsEquivalent: per §4, Domino generates code for all
+// eight original benchmark programs; the emitted flat program must be
+// semantically equivalent to the source.
+func TestCorpusCompilesAndIsEquivalent(t *testing.T) {
+	wantStages := map[string]int{
+		"rcp": 1, "stateful_fw": 3, "sampling": 2,
+		"blue_increase": 1, "blue_decrease": 1, "flowlet": 1,
+		"marple_new_flow": 2, "marple_reorder": 2,
+	}
+	for _, b := range programs.Corpus() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog := b.Parse()
+			res, err := Compile(prog, b.StatefulALU, b.ConstBits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK {
+				t.Fatalf("rejected: %s", res.Reason)
+			}
+			if res.Usage.Stages != wantStages[b.Name] {
+				t.Errorf("stages = %d, want %d (scheduling regression)", res.Usage.Stages, wantStages[b.Name])
+			}
+			checkFlatEquivalent(t, prog, res, 31)
+		})
+	}
+}
+
+// --- Template matching -------------------------------------------------------
+
+func TestCounterMatches(t *testing.T) {
+	res := compile(t, "c = c + 1;", alu.Counter)
+	if !res.OK {
+		t.Fatalf("constant counter should match: %s", res.Reason)
+	}
+	res = compile(t, "c = pkt.x;", alu.Counter)
+	if !res.OK {
+		t.Fatalf("set-from-packet should match counter: %s", res.Reason)
+	}
+	// Conditional update exceeds the counter.
+	res = compile(t, "if (pkt.x == 1) { c = c + 1; }", alu.Counter)
+	if res.OK {
+		t.Fatal("guarded update should exceed the counter template")
+	}
+}
+
+func TestPredRawMatches(t *testing.T) {
+	res := compile(t, "if (pkt.rtt < 30) { s = s + pkt.rtt; }", alu.PredRaw)
+	if !res.OK {
+		t.Fatalf("guarded accumulate should match pred_raw: %s", res.Reason)
+	}
+	// Two writes exceed pred_raw.
+	res = compile(t, "if (pkt.a == 0) { s = 1; } else { s = 2; }", alu.PredRaw)
+	if res.OK {
+		t.Fatal("two-way update should exceed pred_raw")
+	}
+}
+
+func TestIfElseRawMatchesTwoWay(t *testing.T) {
+	res := compile(t, "if (s == 10) { s = 0; } else { s = s + 1; }", alu.IfElseRaw)
+	if !res.OK {
+		t.Fatalf("two-way update should match if_else_raw: %s", res.Reason)
+	}
+}
+
+func TestPairMatchesSharedGuard(t *testing.T) {
+	src := `
+int a = 0;
+int b = 0;
+if (pkt.t - a > 5) { b = b + 1; a = pkt.t; }
+`
+	res := compile(t, src, alu.Pair)
+	if !res.OK {
+		t.Fatalf("shared-guard pair should match: %s", res.Reason)
+	}
+	// Conflicting guards cannot share a pair atom.
+	src2 := `
+int a = 0;
+int b = 0;
+if (pkt.t - a > 5) { a = pkt.t; }
+if (pkt.t - b > 9) { b = pkt.t; }
+`
+	res = compile(t, src2, alu.Pair)
+	if res.OK {
+		t.Fatal("two different guards should not share one pair atom")
+	}
+}
+
+// --- Rejection modes (the brittleness Table 2 measures) ----------------------
+
+func TestRejectsCommutedUpdate(t *testing.T) {
+	// "1 + s" is semantically "s + 1" but does not match syntactically.
+	res := compile(t, "if (pkt.a == 0) { s = 1 + s; }", alu.PredRaw)
+	if res.OK {
+		t.Fatal("commuted update should be rejected")
+	}
+	if !strings.Contains(res.Reason, "does not match") {
+		t.Fatalf("unexpected reason: %s", res.Reason)
+	}
+}
+
+func TestRejectsNegatedGuard(t *testing.T) {
+	res := compile(t, "if (!(pkt.a == 0)) { s = s + 1; }", alu.PredRaw)
+	if res.OK {
+		t.Fatal("negated guard should be rejected")
+	}
+}
+
+func TestRejectsNestedStateUpdate(t *testing.T) {
+	res := compile(t, "if (pkt.a) { if (pkt.b) { s = s + 1; } }", alu.NestedIfs)
+	if res.OK {
+		t.Fatal("state update under two nested ifs should be rejected")
+	}
+	if !strings.Contains(res.Reason, "nested") {
+		t.Fatalf("unexpected reason: %s", res.Reason)
+	}
+}
+
+func TestRejectsWideImmediate(t *testing.T) {
+	res := compile(t, "s = s + 100;", alu.Counter) // constBits=5 -> max 31
+	if res.OK {
+		t.Fatal("immediate 100 exceeds 5-bit operands")
+	}
+}
+
+func TestRejectsMultiply(t *testing.T) {
+	res := compile(t, "pkt.a = pkt.a * pkt.b;", alu.Counter)
+	if res.OK {
+		t.Fatal("multiply is not in the stateless instruction set")
+	}
+}
+
+func TestRejectsTwoNonConstantArms(t *testing.T) {
+	res := compile(t, "pkt.a = pkt.c ? pkt.x : pkt.y;", alu.Counter)
+	if res.OK {
+		t.Fatal("ternary with two container arms exceeds the ALU muxes")
+	}
+	if !strings.Contains(res.Reason, "non-constant arms") {
+		t.Fatalf("unexpected reason: %s", res.Reason)
+	}
+}
+
+func TestRejectsInterleavedStateRead(t *testing.T) {
+	src := "s = 1; pkt.a = s; s = 2;"
+	res := compile(t, src, alu.PredRaw)
+	if res.OK {
+		t.Fatal("read between writes should be rejected")
+	}
+}
+
+func TestRejectsReadAfterWriteInBranch(t *testing.T) {
+	res := compile(t, "if (pkt.c == 0) { s = 1; pkt.a = s; }", alu.PredRaw)
+	if res.OK {
+		t.Fatal("same-branch read-after-write should be rejected")
+	}
+}
+
+func TestRejectsComputedFieldInAtom(t *testing.T) {
+	res := compile(t, "pkt.a = pkt.b + 1; if (pkt.a == 0) { s = s + 1; }", alu.PredRaw)
+	if res.OK {
+		t.Fatal("atom guard over a computed field should be rejected")
+	}
+}
+
+func TestRejectsCrossStateDependence(t *testing.T) {
+	res := compile(t, "s = t + 1;", alu.PredRaw)
+	if res.OK {
+		t.Fatal("update reading another atom's state should be rejected")
+	}
+}
+
+// --- Accepted rewrites --------------------------------------------------------
+
+func TestAcceptsFoldedIdentities(t *testing.T) {
+	// The simplifier neutralizes arithmetic-identity mutations.
+	cases := []string{
+		"if (pkt.a == 0) { s = s + 1 + 0; }",
+		"if (pkt.a == 0) { s = s + 1 * 1; }",
+		"if (pkt.a == 0) { s = -(-(s + 1)); }",
+		"if (pkt.a == 0) { s = s + (0 + 1); }",
+	}
+	for _, src := range cases {
+		res := compile(t, src, alu.PredRaw)
+		if !res.OK {
+			t.Errorf("%q should compile after folding: %s", src, res.Reason)
+		}
+	}
+}
+
+func TestAcceptsElseViaRelInversion(t *testing.T) {
+	// State updated in the else branch: the guard inverts syntactically.
+	res := compile(t, "if (pkt.seq < s) { pkt.r = 1; } else { pkt.r = 0; s = pkt.seq; }", alu.PredRaw)
+	if !res.OK {
+		t.Fatalf("else-branch update should compile via relational inversion: %s", res.Reason)
+	}
+}
+
+func TestAcceptsUnconditionalAfterIf(t *testing.T) {
+	src := `
+int last = 0;
+int hop = 0;
+if (pkt.t - last > 5) { hop = pkt.h; }
+pkt.out = hop;
+last = pkt.t;
+`
+	prog := parser.MustParse("t", src)
+	res, err := Compile(prog, alu.Pair, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("flowlet shape should compile: %s", res.Reason)
+	}
+	checkFlatEquivalent(t, prog, res, 5)
+}
+
+// --- Stateless lowering and scheduling -----------------------------------------
+
+func TestStagesGrowWithDependencyChains(t *testing.T) {
+	// Each assignment depends on the previous one's output.
+	res := compile(t, "pkt.a = pkt.a + 1; pkt.b = pkt.a + 2; pkt.c = pkt.b + 3;", alu.Counter)
+	if !res.OK {
+		t.Fatalf("chain should compile: %s", res.Reason)
+	}
+	if res.Usage.Stages != 3 {
+		t.Fatalf("3-deep chain should need 3 stages, got %d", res.Usage.Stages)
+	}
+	// Independent assignments share a stage.
+	res = compile(t, "pkt.a = pkt.a + 1; pkt.b = pkt.b + 2;", alu.Counter)
+	if res.Usage.Stages != 1 || res.Usage.MaxALUsPerStage != 2 {
+		t.Fatalf("independent ops: %+v", res.Usage)
+	}
+}
+
+func TestMovesAreFree(t *testing.T) {
+	res := compile(t, "pkt.a = pkt.b;", alu.Counter)
+	if !res.OK {
+		t.Fatal(res.Reason)
+	}
+	if res.Usage.TotalALUs != 0 || res.Usage.Stages != 0 {
+		t.Fatalf("pure move should use no ALUs: %+v", res.Usage)
+	}
+}
+
+func TestBooleanTernaryCollapse(t *testing.T) {
+	res := compile(t, "if (pkt.a == 5) { pkt.r = 1; } else { pkt.r = 0; }", alu.Counter)
+	if !res.OK {
+		t.Fatal(res.Reason)
+	}
+	// Collapses to one eq-immediate instruction.
+	if res.Usage.TotalALUs != 1 {
+		t.Fatalf("boolean ternary should collapse to 1 ALU: %+v", res.Usage)
+	}
+	prog := parser.MustParse("t", "if (pkt.a == 5) { pkt.r = 1; } else { pkt.r = 0; }")
+	r2, _ := Compile(prog, alu.Counter, 5)
+	checkFlatEquivalent(t, prog, r2, 11)
+}
+
+func TestLogicalOperatorsLower(t *testing.T) {
+	prog := parser.MustParse("t", "pkt.r = (pkt.a == 1) && (pkt.b == 2) || (pkt.c == 3);")
+	res, err := Compile(prog, alu.Counter, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("boolean combination should lower to bitwise ops: %s", res.Reason)
+	}
+	checkFlatEquivalent(t, prog, res, 13)
+}
+
+func TestLeGtLowerViaSwap(t *testing.T) {
+	prog := parser.MustParse("t", "pkt.r = pkt.a <= pkt.b; pkt.q = pkt.a > pkt.b;")
+	res, err := Compile(prog, alu.Counter, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("<= and > should lower via operand swap: %s", res.Reason)
+	}
+	checkFlatEquivalent(t, prog, res, 17)
+}
+
+func TestGuardedFieldWriteWithConstArm(t *testing.T) {
+	// A guarded field write with a constant arm lowers to the cond
+	// instruction (possibly via condition inversion).
+	prog := parser.MustParse("t", "if (pkt.a < 3) { pkt.r = 7; }")
+	res, err := Compile(prog, alu.Counter, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("guarded constant write should compile: %s", res.Reason)
+	}
+	checkFlatEquivalent(t, prog, res, 19)
+}
+
+func TestGuardedFieldWriteNonConstArmRejected(t *testing.T) {
+	// "pkt.r = cond ? pkt.b+1 : pkt.r" needs three live inputs (condition,
+	// new value, old value) — beyond the two-input stateless ALU, so the
+	// baseline rejects. (Chipmunk can in principle discover the rewrite
+	// r + (cond ? (b+1-r) : 0) across several stages; at that grid size its
+	// search routinely exceeds the compile timeout, the paper's observed
+	// failure mode.)
+	prog := parser.MustParse("t", "if (pkt.a < 3) { pkt.r = pkt.b + 1; }")
+	res, err := Compile(prog, alu.Counter, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("guarded non-constant write should exceed the stateless ALU")
+	}
+}
+
+// --- Simplifier ----------------------------------------------------------------
+
+func TestSimplify(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"pkt.a = pkt.b + 0;", "pkt.a = pkt.b;\n"},
+		{"pkt.a = 0 + pkt.b;", "pkt.a = pkt.b;\n"},
+		{"pkt.a = pkt.b * 1;", "pkt.a = pkt.b;\n"},
+		{"pkt.a = 1 * pkt.b;", "pkt.a = pkt.b;\n"},
+		{"pkt.a = pkt.b * 0;", "pkt.a = 0;\n"},
+		{"pkt.a = pkt.b - 0;", "pkt.a = pkt.b;\n"},
+		{"pkt.a = -(-pkt.b);", "pkt.a = pkt.b;\n"},
+		{"pkt.a = ~~pkt.b;", "pkt.a = pkt.b;\n"},
+		{"pkt.a = 2 + 3;", "pkt.a = 5;\n"},
+		{"pkt.a = 2 * 3 + 1;", "pkt.a = 7;\n"},
+		{"pkt.a = (4 - 1) + pkt.b * 1;", "pkt.a = (3 + pkt.b);\n"},
+		// Comparisons between constants must NOT fold (width-dependent).
+		{"pkt.a = 3 < 5;", "pkt.a = (3 < 5);\n"},
+	}
+	for _, c := range cases {
+		p := parser.MustParse("t", c.in)
+		got := Simplify(p).Print()
+		if got != c.want {
+			t.Errorf("Simplify(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	srcs := []string{
+		"pkt.a = (pkt.b + 0) * 1 - (0 + 0); s = s + (2 - 1);",
+		"if ((pkt.a * 1) == (pkt.b + 0)) { pkt.r = 1 + 2; } else { pkt.r = -(-4); }",
+	}
+	in := interp.MustNew(4)
+	for _, src := range srcs {
+		p := parser.MustParse("t", src)
+		q := Simplify(p)
+		eq, cex, err := in.Equivalent(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("Simplify changed semantics of %q at %v:\n%s", src, cex, q.Print())
+		}
+	}
+}
+
+func TestRejectReasonsAreInformative(t *testing.T) {
+	res := compile(t, "if (pkt.a) { s = s + 1; }", alu.PredRaw)
+	if res.OK {
+		t.Fatal("bare truthiness guard should be rejected (not a relational test)")
+	}
+	if res.Reason == "" {
+		t.Fatal("rejection must carry a reason")
+	}
+}
+
+func TestDominoCompileIsFast(t *testing.T) {
+	// Table 2 notes Domino compiles in seconds; ours should be far under.
+	for _, b := range programs.Corpus() {
+		res, err := Compile(b.Parse(), b.StatefulALU, b.ConstBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Elapsed.Seconds() > 1 {
+			t.Fatalf("%s took %v", b.Name, res.Elapsed)
+		}
+	}
+}

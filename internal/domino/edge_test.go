@@ -1,0 +1,156 @@
+package domino
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alu"
+	"repro/internal/parser"
+)
+
+// TestFieldOnlyElseUnderComplexCondition: a non-relational condition whose
+// else branch writes only fields predicates via generic negation (state
+// writes would be rejected, field writes are fine).
+func TestFieldOnlyElseUnderComplexCondition(t *testing.T) {
+	prog := parser.MustParse("t", `
+if ((pkt.a == 1) && (pkt.b == 2)) { pkt.r = 1; } else { pkt.r = 0; }
+`)
+	res, err := Compile(prog, alu.Counter, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("field-only else under && condition should compile: %s", res.Reason)
+	}
+	checkFlatEquivalent(t, prog, res, 41)
+}
+
+// TestStateWriteUnderComplexConditionRejected: the same condition guarding
+// a state write cannot be inverted syntactically -> rejection.
+func TestStateWriteUnderComplexConditionRejected(t *testing.T) {
+	res := compile(t, "if ((pkt.a == 1) && (pkt.b == 2)) { pkt.r = 1; } else { s = s + 1; }", alu.PredRaw)
+	if res.OK {
+		t.Fatal("state write in non-invertible else should be rejected")
+	}
+	if !strings.Contains(res.Reason, "eliminate else-branch") {
+		t.Fatalf("reason: %s", res.Reason)
+	}
+}
+
+// TestNeverWrittenStateRead: reading state that is never written allocates
+// a passive atom exporting the old value.
+func TestNeverWrittenStateRead(t *testing.T) {
+	prog := parser.MustParse("t", "int thresh = 5;\npkt.r = pkt.a + thresh;")
+	res, err := Compile(prog, alu.Counter, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("read-only state should compile: %s", res.Reason)
+	}
+	// One passive atom plus one add op.
+	atoms := 0
+	for _, st := range res.Pipeline.Stages {
+		atoms += len(st.Atoms)
+	}
+	if atoms != 1 {
+		t.Fatalf("passive atom count = %d, want 1", atoms)
+	}
+	checkFlatEquivalent(t, prog, res, 43)
+}
+
+func TestUnaryLoweringPaths(t *testing.T) {
+	// !x, ~x and -x all lower; -x costs a materialized zero.
+	prog := parser.MustParse("t", "pkt.r = !pkt.a; pkt.q = ~pkt.b; pkt.p = -pkt.c;")
+	res, err := Compile(prog, alu.Counter, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("unary lowering failed: %s", res.Reason)
+	}
+	checkFlatEquivalent(t, prog, res, 47)
+}
+
+func TestShiftRejected(t *testing.T) {
+	res := compile(t, "pkt.r = pkt.a << pkt.b;", alu.Counter)
+	if res.OK {
+		t.Fatal("variable shift is not in the stateless instruction set")
+	}
+}
+
+func TestConstantLeftOperandMaterialized(t *testing.T) {
+	prog := parser.MustParse("t", "pkt.r = 3 - pkt.a;")
+	res, err := Compile(prog, alu.Counter, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("const-left sub should compile via materialization: %s", res.Reason)
+	}
+	// The materialized constant rides action data (a free move, like RMT
+	// immediate action parameters); only the sub consumes an ALU.
+	if res.Usage.TotalALUs != 1 || res.Usage.Stages != 1 {
+		t.Fatalf("usage: %+v, want 1 ALU in 1 stage", res.Usage)
+	}
+	checkFlatEquivalent(t, prog, res, 53)
+}
+
+func TestComparisonWithImmediateMaterializes(t *testing.T) {
+	// lt has no immediate form: the constant is materialized (free action
+	// data) and the comparison costs one ALU, same total as eqi.
+	prog := parser.MustParse("t", "pkt.r = pkt.a < 3;")
+	res, err := Compile(prog, alu.Counter, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal(res.Reason)
+	}
+	if res.Usage.TotalALUs != 1 {
+		t.Fatalf("lt-with-imm should cost 1 ALU, got %+v", res.Usage)
+	}
+	checkFlatEquivalent(t, prog, res, 59)
+}
+
+func TestPairGroupingOddStateCount(t *testing.T) {
+	// Three states with the pair ALU: two groups (2+1).
+	prog := parser.MustParse("t", `
+int a = 0;
+int b = 0;
+int c = 0;
+a = pkt.x;
+b = pkt.x;
+c = pkt.x;
+`)
+	res, err := Compile(prog, alu.Pair, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("odd state count should still group: %s", res.Reason)
+	}
+	atoms := 0
+	for _, st := range res.Pipeline.Stages {
+		atoms += len(st.Atoms)
+	}
+	if atoms != 2 {
+		t.Fatalf("3 states should occupy 2 pair atoms, got %d", atoms)
+	}
+}
+
+func TestLogicalOverNonBooleanRejected(t *testing.T) {
+	res := compile(t, "pkt.r = pkt.a && pkt.b;", alu.Counter)
+	if res.OK {
+		t.Fatal("&& over raw fields should be rejected (non-boolean operands)")
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	prog := parser.MustParse("t", "pkt.a = (pkt.b + 0) * 1; s = -(-s);")
+	once := Simplify(prog)
+	twice := Simplify(once)
+	if once.Print() != twice.Print() {
+		t.Fatalf("Simplify not idempotent:\n%s\nvs\n%s", once.Print(), twice.Print())
+	}
+}

@@ -1,0 +1,113 @@
+package domino
+
+import (
+	"repro/internal/ast"
+)
+
+// Simplify performs the baseline's preprocessing rewrites: constant folding
+// of ring operations and elimination of arithmetic identities. These are
+// the cheap, always-sound AST rewrites a classical compiler applies before
+// pattern matching; they neutralize some semantics-preserving mutations
+// (x+0, x*1, double negation, split constants) while others — commuted
+// operands, flipped branches, re-associated sums over variables — still
+// defeat the syntactic atom matcher, which is the behaviour Table 2 of the
+// paper measures.
+//
+// Every rewrite here must be sound at *all* bit widths, because compiled
+// programs run at widths the compiler does not know. Addition, subtraction
+// and multiplication fold soundly (truncation is a ring homomorphism);
+// comparisons between constants do NOT fold, since a constant's sign
+// depends on the width it is truncated to.
+func Simplify(p *ast.Program) *ast.Program {
+	q := p.Clone()
+	q.Stmts = simplifyStmts(q.Stmts)
+	return q
+}
+
+func simplifyStmts(stmts []ast.Stmt) []ast.Stmt {
+	out := make([]ast.Stmt, len(stmts))
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case *ast.Assign:
+			out[i] = &ast.Assign{LHS: s.LHS, RHS: simplifyExpr(s.RHS)}
+		case *ast.If:
+			out[i] = &ast.If{
+				Cond: simplifyExpr(s.Cond),
+				Then: simplifyStmts(s.Then),
+				Else: simplifyStmts(s.Else),
+			}
+		default:
+			out[i] = s
+		}
+	}
+	return out
+}
+
+func simplifyExpr(e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.Unary:
+		x := simplifyExpr(e.X)
+		switch e.Op {
+		case ast.OpNeg:
+			if n, ok := x.(*ast.Num); ok {
+				return &ast.Num{Value: -n.Value}
+			}
+			// -(-e) == e at every width.
+			if u, ok := x.(*ast.Unary); ok && u.Op == ast.OpNeg {
+				return u.X
+			}
+		case ast.OpBitNot:
+			// ~~e == e at every width.
+			if u, ok := x.(*ast.Unary); ok && u.Op == ast.OpBitNot {
+				return u.X
+			}
+		}
+		return &ast.Unary{Op: e.Op, X: x}
+	case *ast.Binary:
+		x := simplifyExpr(e.X)
+		y := simplifyExpr(e.Y)
+		nx, xConst := x.(*ast.Num)
+		ny, yConst := y.(*ast.Num)
+		switch e.Op {
+		case ast.OpAdd:
+			if xConst && yConst {
+				return &ast.Num{Value: nx.Value + ny.Value}
+			}
+			if yConst && ny.Value == 0 {
+				return x
+			}
+			if xConst && nx.Value == 0 {
+				return y
+			}
+		case ast.OpSub:
+			if xConst && yConst {
+				return &ast.Num{Value: nx.Value - ny.Value}
+			}
+			if yConst && ny.Value == 0 {
+				return x
+			}
+		case ast.OpMul:
+			if xConst && yConst {
+				return &ast.Num{Value: nx.Value * ny.Value}
+			}
+			if yConst && ny.Value == 1 {
+				return x
+			}
+			if xConst && nx.Value == 1 {
+				return y
+			}
+			if (yConst && ny.Value == 0) || (xConst && nx.Value == 0) {
+				return &ast.Num{Value: 0}
+			}
+		}
+		return &ast.Binary{Op: e.Op, X: x, Y: y}
+	case *ast.Ternary:
+		return &ast.Ternary{
+			Cond: simplifyExpr(e.Cond),
+			T:    simplifyExpr(e.T),
+			F:    simplifyExpr(e.F),
+		}
+	default:
+		return e
+	}
+}

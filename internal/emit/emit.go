@@ -1,0 +1,484 @@
+// Package emit translates synthesized hardware configurations into
+// low-level code — the backend translator the paper lists as pending work
+// (§3.1, Limitations: "running Chipmunk on a real switch such as Tofino
+// requires translating Chipmunk's holes to low-level switch
+// configurations... We are currently designing such a translator").
+//
+// Two backends are provided:
+//
+//   - Go translates a pisa.Config into a standalone, dependency-free Go
+//     program that implements the same packet transaction. The translation
+//     reuses the repository's core trick one more time: arith.Arith is
+//     instantiated with V = string, where each operation emits one SSA
+//     assignment into the output buffer and returns the fresh variable's
+//     name. Because the datapath is evaluated with the configuration's
+//     *concrete* hole values, every mux chain and opcode dispatch is
+//     resolved at emission, not run time — this is compilation, not
+//     interpretation — and the emitted program is differential-tested
+//     against the simulator by actually building and running it.
+//
+//   - P4 renders the configuration as a P4-16-flavored program (headers,
+//     registers with @atomic apply blocks, one action per used ALU, a
+//     stage-ordered control). It documents how each Table 1 hole maps onto
+//     switch-facing constructs; without a vendor toolchain in this offline
+//     environment it is checked structurally, not compiled.
+package emit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/alu"
+	"repro/internal/arith"
+	"repro/internal/pisa"
+	"repro/internal/word"
+)
+
+// --- Go backend ----------------------------------------------------------------
+
+// goEmitter implements arith.Arith[string]: every operation appends one SSA
+// assignment and returns the variable holding the result. Constants embed
+// directly as literals.
+type goEmitter struct {
+	n     int
+	lines []ssaLine
+}
+
+type ssaLine struct {
+	name string
+	expr string
+}
+
+var _ arith.Arith[string] = (*goEmitter)(nil)
+
+func (e *goEmitter) emit(expr string) string {
+	e.n++
+	v := fmt.Sprintf("v%d", e.n)
+	e.lines = append(e.lines, ssaLine{name: v, expr: expr})
+	return v
+}
+
+// liveLines performs dead-code elimination: only SSA assignments reachable
+// from the root variables survive. The datapath computes every ALU's
+// output whether or not the output muxes route it; the emitted program
+// keeps just the used cone, like a real backend.
+func (e *goEmitter) liveLines(roots []string) []ssaLine {
+	live := map[string]bool{}
+	for _, r := range roots {
+		for _, v := range ssaVars(r) {
+			live[v] = true
+		}
+	}
+	// Reverse sweep: SSA order guarantees deps precede uses.
+	keep := make([]bool, len(e.lines))
+	for i := len(e.lines) - 1; i >= 0; i-- {
+		if !live[e.lines[i].name] {
+			continue
+		}
+		keep[i] = true
+		for _, v := range ssaVars(e.lines[i].expr) {
+			live[v] = true
+		}
+	}
+	var out []ssaLine
+	for i, l := range e.lines {
+		if keep[i] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// ssaVars extracts the v<N> identifiers referenced by an expression.
+func ssaVars(expr string) []string {
+	var out []string
+	for i := 0; i < len(expr); i++ {
+		if expr[i] != 'v' {
+			continue
+		}
+		// Must not be part of a longer identifier.
+		if i > 0 && (isAlnum(expr[i-1]) || expr[i-1] == '_') {
+			continue
+		}
+		j := i + 1
+		for j < len(expr) && expr[j] >= '0' && expr[j] <= '9' {
+			j++
+		}
+		if j == i+1 {
+			continue // bare 'v'
+		}
+		if j < len(expr) && (isAlnum(expr[j]) || expr[j] == '_') {
+			continue
+		}
+		out = append(out, expr[i:j])
+		i = j - 1
+	}
+	return out
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// ConstInt implements Arith; values are emitted as decimal literals so the
+// generated source stays readable.
+func (e *goEmitter) ConstInt(v int64) string {
+	return fmt.Sprintf("c(%d)", v)
+}
+
+// Binary operations delegate to the tiny runtime emitted in the prelude,
+// which reproduces internal/word's semantics at the config's width.
+func (e *goEmitter) Add(a, b string) string    { return e.emit(fmt.Sprintf("add(%s, %s)", a, b)) }
+func (e *goEmitter) Sub(a, b string) string    { return e.emit(fmt.Sprintf("sub(%s, %s)", a, b)) }
+func (e *goEmitter) Mul(a, b string) string    { return e.emit(fmt.Sprintf("mul(%s, %s)", a, b)) }
+func (e *goEmitter) BitAnd(a, b string) string { return e.emit(fmt.Sprintf("band(%s, %s)", a, b)) }
+func (e *goEmitter) BitOr(a, b string) string  { return e.emit(fmt.Sprintf("bor(%s, %s)", a, b)) }
+func (e *goEmitter) BitXor(a, b string) string { return e.emit(fmt.Sprintf("bxor(%s, %s)", a, b)) }
+func (e *goEmitter) BitNot(a string) string    { return e.emit(fmt.Sprintf("bnot(%s)", a)) }
+func (e *goEmitter) Neg(a string) string       { return e.emit(fmt.Sprintf("neg(%s)", a)) }
+func (e *goEmitter) Shl(a, b string) string    { return e.emit(fmt.Sprintf("shl(%s, %s)", a, b)) }
+func (e *goEmitter) Shr(a, b string) string    { return e.emit(fmt.Sprintf("shr(%s, %s)", a, b)) }
+func (e *goEmitter) Eq(a, b string) string     { return e.emit(fmt.Sprintf("eq(%s, %s)", a, b)) }
+func (e *goEmitter) Ne(a, b string) string     { return e.emit(fmt.Sprintf("ne(%s, %s)", a, b)) }
+func (e *goEmitter) Lt(a, b string) string     { return e.emit(fmt.Sprintf("lt(%s, %s)", a, b)) }
+func (e *goEmitter) Le(a, b string) string     { return e.emit(fmt.Sprintf("le(%s, %s)", a, b)) }
+func (e *goEmitter) Gt(a, b string) string     { return e.emit(fmt.Sprintf("lt(%s, %s)", b, a)) }
+func (e *goEmitter) Ge(a, b string) string     { return e.emit(fmt.Sprintf("le(%s, %s)", b, a)) }
+func (e *goEmitter) LAnd(a, b string) string   { return e.emit(fmt.Sprintf("land(%s, %s)", a, b)) }
+func (e *goEmitter) LOr(a, b string) string    { return e.emit(fmt.Sprintf("lor(%s, %s)", a, b)) }
+func (e *goEmitter) LNot(a string) string      { return e.emit(fmt.Sprintf("lnot(%s)", a)) }
+func (e *goEmitter) Mux(c, t, f string) string {
+	return e.emit(fmt.Sprintf("mux(%s, %s, %s)", c, t, f))
+}
+
+// Go translates the configuration into a self-contained Go source file.
+// The generated program exposes
+//
+//	func process(pkt, state map[string]uint64) (map[string]uint64, map[string]uint64)
+//
+// and a main() that runs `packets` deterministic pseudo-random packets
+// through it, printing one CSV line per packet — the harness the
+// differential test drives.
+func Go(cfg *pisa.Config, packets int, seed uint64) (string, error) {
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	e := &goEmitter{}
+	w := cfg.Grid.WordWidth
+
+	// Field and state loads.
+	fieldVars := make([]string, len(cfg.Fields))
+	for i, f := range cfg.Fields {
+		fieldVars[i] = e.emit(fmt.Sprintf("trunc(pkt[%q])", f))
+	}
+	stateVars := make([]string, len(cfg.States))
+	for i, s := range cfg.States {
+		stateVars[i] = e.emit(fmt.Sprintf("trunc(state[%q])", s))
+	}
+
+	// The datapath, fully resolved: hole values are concrete, so the
+	// emitter sees literals everywhere a configuration bit is consulted.
+	holes := pisa.MapHoles(cfg.Values, func(v uint64) string {
+		return fmt.Sprintf("c(%d)", v)
+	})
+	outF, outS := pisa.Datapath[string](e, cfg.Grid, holes, fieldVars, stateVars)
+
+	roots := append(append([]string{}, outF...), outS...)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, goPrelude, w, w.Mask())
+	sb.WriteString("func process(pkt, state map[string]uint64) (map[string]uint64, map[string]uint64) {\n")
+	if len(cfg.States) == 0 {
+		sb.WriteString("\t_ = state\n")
+	}
+	for _, line := range e.liveLines(roots) {
+		fmt.Fprintf(&sb, "\t%s := %s\n", line.name, line.expr)
+	}
+	sb.WriteString("\toutPkt := map[string]uint64{}\n")
+	for k := range cfg.Fields {
+		fmt.Fprintf(&sb, "\toutPkt[%q] = %s\n", cfg.Fields[k], outF[k])
+	}
+	sb.WriteString("\toutState := map[string]uint64{}\n")
+	for k := range cfg.States {
+		fmt.Fprintf(&sb, "\toutState[%q] = %s\n", cfg.States[k], outS[k])
+	}
+	sb.WriteString("\treturn outPkt, outState\n}\n\n")
+
+	// Test-harness main: deterministic packet stream, CSV output.
+	fields := append([]string{}, cfg.Fields...)
+	states := append([]string{}, cfg.States...)
+	sort.Strings(fields)
+	sort.Strings(states)
+	fmt.Fprintf(&sb, "func main() {\n")
+	fmt.Fprintf(&sb, "\trngState := uint64(%d)\n", seed)
+	fmt.Fprintf(&sb, "\tstate := map[string]uint64{}\n")
+	fmt.Fprintf(&sb, "\tfor i := 0; i < %d; i++ {\n", packets)
+	fmt.Fprintf(&sb, "\t\tpkt := map[string]uint64{}\n")
+	for _, f := range fields {
+		fmt.Fprintf(&sb, "\t\tpkt[%q] = trunc(next(&rngState))\n", f)
+	}
+	fmt.Fprintf(&sb, "\t\toutPkt, outState := process(pkt, state)\n")
+	fmt.Fprintf(&sb, "\t\tstate = outState\n")
+	fmt.Fprintf(&sb, "\t\tfmt.Printf(\"%%d\", i)\n")
+	for _, f := range fields {
+		fmt.Fprintf(&sb, "\t\tfmt.Printf(\",%%d\", outPkt[%q])\n", f)
+	}
+	for _, s := range states {
+		fmt.Fprintf(&sb, "\t\tfmt.Printf(\",%%d\", outState[%q])\n", s)
+	}
+	fmt.Fprintf(&sb, "\t\tfmt.Println()\n")
+	fmt.Fprintf(&sb, "\t}\n}\n")
+	return sb.String(), nil
+}
+
+// goPrelude is the emitted runtime: internal/word's semantics at a fixed
+// width, in ~40 lines of dependency-free Go. %[1]d is the width, %[2]d the
+// mask.
+const goPrelude = `// Code generated by repro/internal/emit. DO NOT EDIT.
+//
+// A packet-processing pipeline synthesized by Chipmunk, translated to
+// plain Go. All arithmetic is %[1]d-bit two's complement.
+package main
+
+import "fmt"
+
+const mask = uint64(%[2]d)
+
+func trunc(v uint64) uint64 { return v & mask }
+func c(v int64) uint64      { return uint64(v) & mask }
+func toInt(v uint64) int64 {
+	v &= mask
+	if v&(mask>>1+1) != 0 {
+		return int64(v | ^mask)
+	}
+	return int64(v)
+}
+func b2w(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+func add(a, b uint64) uint64  { return (a + b) & mask }
+func sub(a, b uint64) uint64  { return (a - b) & mask }
+func mul(a, b uint64) uint64  { return (a * b) & mask }
+func band(a, b uint64) uint64 { return a & b & mask }
+func bor(a, b uint64) uint64  { return (a | b) & mask }
+func bxor(a, b uint64) uint64 { return (a ^ b) & mask }
+func bnot(a uint64) uint64    { return (^a) & mask }
+func neg(a uint64) uint64     { return (-a) & mask }
+func shl(a, b uint64) uint64 {
+	if b >= %[1]d {
+		return 0
+	}
+	return (a << b) & mask
+}
+func shr(a, b uint64) uint64 {
+	if b >= %[1]d {
+		return 0
+	}
+	return (a & mask) >> b
+}
+func eq(a, b uint64) uint64   { return b2w(a&mask == b&mask) }
+func ne(a, b uint64) uint64   { return b2w(a&mask != b&mask) }
+func lt(a, b uint64) uint64   { return b2w(toInt(a) < toInt(b)) }
+func le(a, b uint64) uint64   { return b2w(toInt(a) <= toInt(b)) }
+func land(a, b uint64) uint64 { return b2w(a != 0 && b != 0) }
+func lor(a, b uint64) uint64  { return b2w(a != 0 || b != 0) }
+func lnot(a uint64) uint64    { return b2w(a == 0) }
+func mux(s, t, f uint64) uint64 {
+	if s != 0 {
+		return t
+	}
+	return f
+}
+func next(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+`
+
+// --- P4 backend ----------------------------------------------------------------
+
+// P4 renders the configuration as a P4-16-flavored program. Each PHV
+// container becomes a metadata field; each active stateful ALU becomes a
+// register with an @atomic read-modify-write; each used stateless ALU and
+// output mux becomes an action in the stage's control block. The emitted
+// text documents the hole values it was derived from.
+func P4(cfg *pisa.Config) (string, error) {
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	g := cfg.Grid
+	var sb strings.Builder
+	w := int(g.WordWidth)
+
+	fmt.Fprintf(&sb, "// Auto-generated from a Chipmunk-synthesized configuration.\n")
+	fmt.Fprintf(&sb, "// Grid: %d stages x %d containers, %d-bit datapath, stateful ALU %q.\n\n",
+		g.Stages, g.Width, w, g.StatefulALU.Kind)
+	fmt.Fprintf(&sb, "#include <core.p4>\n#include <v1model.p4>\n\n")
+
+	// Headers: program fields.
+	fmt.Fprintf(&sb, "header chipmunk_h {\n")
+	for _, f := range cfg.Fields {
+		fmt.Fprintf(&sb, "    bit<%d> %s;\n", w, f)
+	}
+	fmt.Fprintf(&sb, "}\n\n")
+
+	// PHV containers as metadata.
+	fmt.Fprintf(&sb, "struct metadata_t {\n")
+	for c := 0; c < g.Width; c++ {
+		fmt.Fprintf(&sb, "    bit<%d> phv_%d;\n", w, c)
+	}
+	fmt.Fprintf(&sb, "}\n\n")
+
+	// Registers: one per active stateful ALU slot and state element.
+	ns := g.StatefulALU.NumStates()
+	for j, s := range cfg.States {
+		fmt.Fprintf(&sb, "register<bit<%d>>(1) reg_%s; // state slot %d element %d\n",
+			w, s, j/ns, j%ns)
+	}
+	sb.WriteString("\n")
+
+	fmt.Fprintf(&sb, "control ChipmunkPipe(inout chipmunk_h hdr, inout metadata_t meta) {\n")
+
+	// Field -> container loads (canonical or indicator allocation).
+	fmt.Fprintf(&sb, "    apply {\n")
+	for i, f := range cfg.Fields {
+		c := i
+		if cfg.Values.FieldAlloc != nil {
+			for cc, bit := range cfg.Values.FieldAlloc[i] {
+				if bit == 1 {
+					c = cc
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "        meta.phv_%d = hdr.%s; // field allocation\n", c, f)
+	}
+
+	for i := 0; i < g.Stages; i++ {
+		fmt.Fprintf(&sb, "\n        // ---- stage %d ----\n", i)
+		// Stateful ALUs first (their outputs feed the output muxes).
+		for j := 0; j < g.Width; j++ {
+			if cfg.Values.SaluActive[i][j] == 0 {
+				continue
+			}
+			h := cfg.Values.Stateful[i][j]
+			states := statesOfSlot(cfg, j)
+			fmt.Fprintf(&sb, "        @atomic { // stateful ALU %d: %s, holes: %s\n",
+				j, g.StatefulALU.Kind, holeComment(h))
+			for _, s := range states {
+				fmt.Fprintf(&sb, "            // reg_%s.read/modify/write per template %q\n", s, g.StatefulALU.Kind)
+			}
+			fmt.Fprintf(&sb, "        }\n")
+		}
+		// Stateless ALUs and output muxes.
+		for j := 0; j < g.Width; j++ {
+			sel := cfg.Values.OMux[i][j]
+			if int(sel) < g.Width {
+				fmt.Fprintf(&sb, "        meta.phv_%d = /* stateful ALU %d output (omux=%d) */ meta.phv_%d;\n",
+					j, sel, sel, j)
+				continue
+			}
+			sl := cfg.Values.Stateless[i][j]
+			fmt.Fprintf(&sb, "        meta.phv_%d = %s; // stateless ALU %d\n",
+				j, statelessP4Expr(sl), j)
+		}
+	}
+
+	// Container -> field stores.
+	sb.WriteString("\n")
+	for i, f := range cfg.Fields {
+		c := i
+		if cfg.Values.FieldAlloc != nil {
+			for cc, bit := range cfg.Values.FieldAlloc[i] {
+				if bit == 1 {
+					c = cc
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "        hdr.%s = meta.phv_%d;\n", f, c)
+	}
+	fmt.Fprintf(&sb, "    }\n}\n")
+	return sb.String(), nil
+}
+
+func statesOfSlot(cfg *pisa.Config, slot int) []string {
+	ns := cfg.Grid.StatefulALU.NumStates()
+	var out []string
+	for k := 0; k < ns; k++ {
+		idx := slot*ns + k
+		if idx < len(cfg.States) {
+			out = append(out, cfg.States[idx])
+		}
+	}
+	return out
+}
+
+// statelessP4Expr renders one configured stateless ALU as a P4 expression.
+func statelessP4Expr(h map[string]uint64) string {
+	a := fmt.Sprintf("meta.phv_%d", h["imux1"])
+	b := fmt.Sprintf("meta.phv_%d", h["imux2"])
+	imm := fmt.Sprintf("%d", h["imm"])
+	switch h["opcode"] {
+	case alu.SlOpConst:
+		return imm
+	case alu.SlOpPassA:
+		return a
+	case alu.SlOpAdd:
+		return a + " + " + b
+	case alu.SlOpSub:
+		return a + " - " + b
+	case alu.SlOpAddImm:
+		return a + " + " + imm
+	case alu.SlOpSubImm:
+		return a + " - " + imm
+	case alu.SlOpAnd:
+		return a + " & " + b
+	case alu.SlOpOr:
+		return a + " | " + b
+	case alu.SlOpXor:
+		return a + " ^ " + b
+	case alu.SlOpNot:
+		return "~" + a
+	case alu.SlOpEq:
+		return boolToBit(a + " == " + b)
+	case alu.SlOpNe:
+		return boolToBit(a + " != " + b)
+	case alu.SlOpLt:
+		return boolToBit(signed(a) + " < " + signed(b))
+	case alu.SlOpGe:
+		return boolToBit(signed(a) + " >= " + signed(b))
+	case alu.SlOpEqImm:
+		return boolToBit(a + " == " + imm)
+	case alu.SlOpCond:
+		return fmt.Sprintf("(%s != 0 ? %s : %s)", a, b, imm)
+	default:
+		return fmt.Sprintf("/* opcode %d */ %s", h["opcode"], a)
+	}
+}
+
+func boolToBit(cond string) string { return fmt.Sprintf("((%s) ? 1 : 0)", cond) }
+
+func signed(v string) string { return "(int)" + v }
+
+// holeComment renders hole values deterministically for emitted comments.
+func holeComment(h map[string]uint64) string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, h[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Width re-exports the config's word width for emit clients (CLI display).
+func Width(cfg *pisa.Config) word.Width { return cfg.Grid.WordWidth }

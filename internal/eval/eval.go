@@ -1,0 +1,375 @@
+// Package eval regenerates the paper's evaluation (§4): Table 2 (code
+// generation rate and time for Chipmunk and Domino over 8 programs × 10
+// semantics-preserving mutations) and Figure 5 (pipeline stages and maximum
+// ALUs per stage when both compilers succeed).
+//
+// The harness is deterministic given a seed: the same mutants are generated
+// and the same CEGIS search runs every time. Compilations run in parallel
+// across worker goroutines (each compilation itself is single-threaded), so
+// wall-clock time per mutant is measured inside the worker.
+package eval
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/core"
+	"repro/internal/domino"
+	"repro/internal/mutate"
+	"repro/internal/pisa"
+	"repro/internal/programs"
+)
+
+// Options configures an evaluation run.
+type Options struct {
+	// Mutants per program (the paper uses 10). 0 means 10.
+	Mutants int
+	// Seed drives mutation generation and CEGIS test inputs.
+	Seed int64
+	// Timeout bounds each Chipmunk compilation (the paper's runs also
+	// timed out on some flowlet mutations). 0 means 120s.
+	Timeout time.Duration
+	// Parallel is the number of concurrent compilations. 0 means
+	// GOMAXPROCS.
+	Parallel int
+	// Programs restricts the corpus (empty = all 8).
+	Programs []string
+}
+
+func (o *Options) mutants() int {
+	if o.Mutants == 0 {
+		return 10
+	}
+	return o.Mutants
+}
+
+func (o *Options) timeout() time.Duration {
+	if o.Timeout == 0 {
+		return 120 * time.Second
+	}
+	return o.Timeout
+}
+
+func (o *Options) parallel() int {
+	if o.Parallel == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
+}
+
+func (o *Options) corpus() ([]programs.Benchmark, error) {
+	all := programs.Corpus()
+	if len(o.Programs) == 0 {
+		return all, nil
+	}
+	var out []programs.Benchmark
+	for _, name := range o.Programs {
+		b, err := programs.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	_ = all
+	return out, nil
+}
+
+// MutantOutcome is one mutant's result under both compilers.
+type MutantOutcome struct {
+	Program string
+	Index   int
+	Ops     []mutate.Op
+
+	ChipmunkOK      bool
+	ChipmunkTimeout bool
+	ChipmunkTime    time.Duration
+	ChipmunkUsage   pisa.Usage
+
+	DominoOK     bool
+	DominoReason string
+	DominoTime   time.Duration
+	DominoUsage  pisa.Usage
+}
+
+// Run compiles every mutant of every selected program with both compilers
+// and returns the raw outcomes, which Table2 and Figure5 aggregate.
+func Run(ctx context.Context, opts Options) ([]MutantOutcome, error) {
+	corpus, err := opts.corpus()
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		bench  programs.Benchmark
+		mutant mutate.Mutant
+		index  int
+	}
+	var jobs []job
+	for _, b := range corpus {
+		prog := b.Parse()
+		muts := mutate.Generate(prog, opts.mutants(), opts.Seed+int64(len(b.Name)*7919))
+		for i, m := range muts {
+			jobs = append(jobs, job{bench: b, mutant: m, index: i})
+		}
+	}
+
+	outcomes := make([]MutantOutcome, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.parallel())
+	for i, j := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outcomes[i] = compileBoth(ctx, j.bench, j.mutant, j.index, opts)
+		}(i, j)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return outcomes, err
+	}
+	return outcomes, nil
+}
+
+func compileBoth(ctx context.Context, b programs.Benchmark, m mutate.Mutant, idx int, opts Options) MutantOutcome {
+	out := MutantOutcome{Program: b.Name, Index: idx, Ops: m.Applied}
+
+	// Domino baseline.
+	dres, err := domino.Compile(m.Program, b.StatefulALU, b.ConstBits)
+	if err == nil {
+		out.DominoOK = dres.OK
+		out.DominoReason = dres.Reason
+		out.DominoTime = dres.Elapsed
+		if dres.OK {
+			out.DominoUsage = dres.Usage
+		}
+	}
+
+	// Chipmunk.
+	cctx, cancel := context.WithTimeout(ctx, opts.timeout())
+	defer cancel()
+	rep, err := core.Compile(cctx, m.Program, core.Options{
+		Width:        b.Width,
+		MaxStages:    b.MaxStages,
+		StatelessALU: alu.Stateless{ConstBits: b.ConstBits},
+		StatefulALU:  alu.Stateful{Kind: b.StatefulALU, ConstBits: b.ConstBits},
+		Seed:         opts.Seed + int64(idx),
+	})
+	if err == nil {
+		out.ChipmunkOK = rep.Feasible
+		out.ChipmunkTimeout = rep.TimedOut
+		out.ChipmunkTime = rep.Elapsed
+		if rep.Feasible {
+			out.ChipmunkUsage = rep.Usage
+		}
+	}
+	return out
+}
+
+// --- Table 2 -------------------------------------------------------------------
+
+// Table2Row aggregates one program's Table 2 entry.
+type Table2Row struct {
+	Program          string
+	Mutants          int
+	ChipmunkRate     float64 // fraction of mutants Chipmunk compiles
+	DominoRate       float64
+	ChipmunkTimeouts int
+	ChipmunkMeanTime time.Duration
+	ChipmunkMaxTime  time.Duration
+	DominoMeanTime   time.Duration
+}
+
+// Table2 aggregates outcomes into the paper's Table 2 rows, in corpus
+// order.
+func Table2(outcomes []MutantOutcome) []Table2Row {
+	byProg := map[string][]MutantOutcome{}
+	for _, o := range outcomes {
+		byProg[o.Program] = append(byProg[o.Program], o)
+	}
+	var rows []Table2Row
+	for _, name := range programs.Names() {
+		os := byProg[name]
+		if len(os) == 0 {
+			continue
+		}
+		row := Table2Row{Program: name, Mutants: len(os)}
+		var cOK, dOK int
+		var cSum, dSum time.Duration
+		for _, o := range os {
+			if o.ChipmunkOK {
+				cOK++
+			}
+			if o.ChipmunkTimeout {
+				row.ChipmunkTimeouts++
+			}
+			if o.DominoOK {
+				dOK++
+			}
+			cSum += o.ChipmunkTime
+			dSum += o.DominoTime
+			if o.ChipmunkTime > row.ChipmunkMaxTime {
+				row.ChipmunkMaxTime = o.ChipmunkTime
+			}
+		}
+		row.ChipmunkRate = float64(cOK) / float64(len(os))
+		row.DominoRate = float64(dOK) / float64(len(os))
+		row.ChipmunkMeanTime = cSum / time.Duration(len(os))
+		row.DominoMeanTime = dSum / time.Duration(len(os))
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable2 formats rows in the layout of the paper's Table 2.
+func RenderTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %10s %10s %14s %14s %9s\n",
+		"Program", "Chipmunk", "Domino", "Chip mean(s)", "Chip max(s)", "timeouts")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %9.0f%% %9.0f%% %14.3f %14.3f %9d\n",
+			r.Program, r.ChipmunkRate*100, r.DominoRate*100,
+			r.ChipmunkMeanTime.Seconds(), r.ChipmunkMaxTime.Seconds(), r.ChipmunkTimeouts)
+	}
+	return sb.String()
+}
+
+// --- Figure 5 ------------------------------------------------------------------
+
+// Series summarizes a metric across mutants: mean with min/max error bars
+// (the paper plots Domino with error bars and notes Chipmunk has none).
+type Series struct {
+	Mean     float64
+	Min, Max int
+}
+
+func newSeries(xs []int) Series {
+	if len(xs) == 0 {
+		return Series{}
+	}
+	s := Series{Min: xs[0], Max: xs[0]}
+	total := 0
+	for _, x := range xs {
+		total += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = float64(total) / float64(len(xs))
+	return s
+}
+
+// Variance reports the error-bar spread.
+func (s Series) Variance() int { return s.Max - s.Min }
+
+// Figure5Row is one program's bar group in Figure 5: resource usage of the
+// two compilers over mutants where both succeeded.
+type Figure5Row struct {
+	Program string
+	// Both counts mutants where both compilers generated code.
+	Both int
+	// Stage usage (left plot of Figure 5).
+	ChipmunkStages Series
+	DominoStages   Series
+	// Max ALUs per stage (right plot).
+	ChipmunkALUs Series
+	DominoALUs   Series
+}
+
+// Figure5 aggregates outcomes into the Figure 5 bar groups.
+func Figure5(outcomes []MutantOutcome) []Figure5Row {
+	byProg := map[string][]MutantOutcome{}
+	for _, o := range outcomes {
+		byProg[o.Program] = append(byProg[o.Program], o)
+	}
+	var rows []Figure5Row
+	for _, name := range programs.Names() {
+		os := byProg[name]
+		if len(os) == 0 {
+			continue
+		}
+		var cs, ds, ca, da []int
+		both := 0
+		for _, o := range os {
+			if !o.ChipmunkOK || !o.DominoOK {
+				continue
+			}
+			both++
+			cs = append(cs, o.ChipmunkUsage.Stages)
+			ds = append(ds, o.DominoUsage.Stages)
+			ca = append(ca, o.ChipmunkUsage.MaxALUsPerStage)
+			da = append(da, o.DominoUsage.MaxALUsPerStage)
+		}
+		rows = append(rows, Figure5Row{
+			Program:        name,
+			Both:           both,
+			ChipmunkStages: newSeries(cs),
+			DominoStages:   newSeries(ds),
+			ChipmunkALUs:   newSeries(ca),
+			DominoALUs:     newSeries(da),
+		})
+	}
+	return rows
+}
+
+// RenderFigure5 formats the Figure 5 data as two text "plots" with
+// mean [min,max] bars.
+func RenderFigure5(rows []Figure5Row) string {
+	var sb strings.Builder
+	sb.WriteString("Pipeline stages used (mean [min,max] over mutants where both succeed)\n")
+	fmt.Fprintf(&sb, "%-18s %6s %20s %20s\n", "Program", "both", "Chipmunk", "Domino")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %6d %20s %20s\n", r.Program, r.Both,
+			renderSeries(r.ChipmunkStages), renderSeries(r.DominoStages))
+	}
+	sb.WriteString("\nMax ALUs per stage (mean [min,max])\n")
+	fmt.Fprintf(&sb, "%-18s %6s %20s %20s\n", "Program", "both", "Chipmunk", "Domino")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %6d %20s %20s\n", r.Program, r.Both,
+			renderSeries(r.ChipmunkALUs), renderSeries(r.DominoALUs))
+	}
+	return sb.String()
+}
+
+func renderSeries(s Series) string {
+	return fmt.Sprintf("%.1f [%d,%d]", s.Mean, s.Min, s.Max)
+}
+
+// CSV renders outcomes as a flat CSV for external plotting.
+func CSV(outcomes []MutantOutcome) string {
+	var sb strings.Builder
+	sb.WriteString("program,mutant,ops,chipmunk_ok,chipmunk_timeout,chipmunk_ms,chipmunk_stages,chipmunk_max_alus,domino_ok,domino_ms,domino_stages,domino_max_alus,domino_reason\n")
+	sorted := append([]MutantOutcome{}, outcomes...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Program != sorted[j].Program {
+			return sorted[i].Program < sorted[j].Program
+		}
+		return sorted[i].Index < sorted[j].Index
+	})
+	for _, o := range sorted {
+		ops := make([]string, len(o.Ops))
+		for i, op := range o.Ops {
+			ops[i] = string(op)
+		}
+		fmt.Fprintf(&sb, "%s,%d,%s,%t,%t,%.1f,%d,%d,%t,%.3f,%d,%d,%q\n",
+			o.Program, o.Index, strings.Join(ops, "+"),
+			o.ChipmunkOK, o.ChipmunkTimeout, float64(o.ChipmunkTime.Microseconds())/1000,
+			o.ChipmunkUsage.Stages, o.ChipmunkUsage.MaxALUsPerStage,
+			o.DominoOK, float64(o.DominoTime.Microseconds())/1000,
+			o.DominoUsage.Stages, o.DominoUsage.MaxALUsPerStage, o.DominoReason)
+	}
+	return sb.String()
+}

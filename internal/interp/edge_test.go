@@ -1,0 +1,97 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestRunUnknownStatement(t *testing.T) {
+	prog := &ast.Program{Name: "bad", Stmts: []ast.Stmt{nil}, Init: map[string]int64{}}
+	if _, err := MustNew(8).Run(prog, NewSnapshot()); err == nil {
+		t.Fatal("nil statement should error")
+	}
+}
+
+func TestEvalErrorPropagation(t *testing.T) {
+	in := MustNew(8)
+	env := NewSnapshot()
+	// Errors inside composite expressions must propagate up.
+	exprs := []ast.Expr{
+		&ast.Unary{Op: ast.OpNeg, X: nil},
+		&ast.Binary{Op: ast.OpAdd, X: nil, Y: &ast.Num{Value: 1}},
+		&ast.Binary{Op: ast.OpAdd, X: &ast.Num{Value: 1}, Y: nil},
+		&ast.Binary{Op: ast.OpLAnd, X: nil, Y: &ast.Num{Value: 1}},
+		&ast.Binary{Op: ast.OpLAnd, X: &ast.Num{Value: 1}, Y: nil},
+		&ast.Ternary{Cond: nil, T: &ast.Num{Value: 1}, F: &ast.Num{Value: 2}},
+		&ast.Ternary{Cond: &ast.Num{Value: 1}, T: nil, F: &ast.Num{Value: 2}},
+		&ast.Ternary{Cond: &ast.Num{Value: 0}, T: &ast.Num{Value: 1}, F: nil},
+	}
+	for i, e := range exprs {
+		if _, err := in.Eval(e, &env); err == nil {
+			t.Errorf("expr %d: expected error", i)
+		}
+	}
+}
+
+func TestEvalUnknownOperator(t *testing.T) {
+	in := MustNew(8)
+	env := NewSnapshot()
+	if _, err := in.Eval(&ast.Unary{Op: ast.Op(999), X: &ast.Num{Value: 1}}, &env); err == nil {
+		t.Fatal("unknown unary op should error")
+	}
+	if _, err := in.Eval(&ast.Binary{Op: ast.Op(999), X: &ast.Num{Value: 1}, Y: &ast.Num{Value: 2}}, &env); err == nil {
+		t.Fatal("unknown binary op should error")
+	}
+}
+
+func TestEquivalentPropagatesRunErrors(t *testing.T) {
+	good := &ast.Program{Name: "g", Stmts: []ast.Stmt{
+		&ast.Assign{LHS: ast.LValue{Name: "a", IsField: true}, RHS: &ast.Num{Value: 1}},
+	}, Init: map[string]int64{}}
+	bad := &ast.Program{Name: "b", Stmts: []ast.Stmt{
+		&ast.Assign{LHS: ast.LValue{Name: "a", IsField: true}, RHS: nil},
+	}, Init: map[string]int64{}}
+	in := MustNew(3)
+	if _, _, err := in.Equivalent(good, bad); err == nil {
+		t.Fatal("evaluation error should propagate from Equivalent")
+	}
+	if _, _, err := in.Equivalent(bad, good); err == nil {
+		t.Fatal("evaluation error should propagate from Equivalent (first arg)")
+	}
+}
+
+func TestIfErrorPaths(t *testing.T) {
+	in := MustNew(8)
+	mkIf := func(cond ast.Expr, then, els []ast.Stmt) *ast.Program {
+		return &ast.Program{Name: "t", Stmts: []ast.Stmt{
+			&ast.If{Cond: cond, Then: then, Else: els},
+		}, Init: map[string]int64{}}
+	}
+	badAssign := []ast.Stmt{&ast.Assign{LHS: ast.LValue{Name: "x", IsField: true}, RHS: nil}}
+	if _, err := in.Run(mkIf(nil, nil, nil), NewSnapshot()); err == nil {
+		t.Fatal("bad condition should error")
+	}
+	if _, err := in.Run(mkIf(&ast.Num{Value: 1}, badAssign, nil), NewSnapshot()); err == nil {
+		t.Fatal("bad then-branch should error")
+	}
+	if _, err := in.Run(mkIf(&ast.Num{Value: 0}, nil, badAssign), NewSnapshot()); err == nil {
+		t.Fatal("bad else-branch should error")
+	}
+}
+
+func TestShortCircuitSemantics(t *testing.T) {
+	// Logical operators short-circuit; in this pure language the value is
+	// identical either way, so pin the truth table.
+	in := MustNew(4)
+	env := NewSnapshot()
+	env.Pkt["a"], env.Pkt["b"] = 0, 5
+	land := &ast.Binary{Op: ast.OpLAnd, X: &ast.Field{Name: "a"}, Y: &ast.Field{Name: "b"}}
+	if v, _ := in.Eval(land, &env); v != 0 {
+		t.Fatalf("0 && 5 = %d", v)
+	}
+	lor := &ast.Binary{Op: ast.OpLOr, X: &ast.Field{Name: "b"}, Y: &ast.Field{Name: "a"}}
+	if v, _ := in.Eval(lor, &env); v != 1 {
+		t.Fatalf("5 || 0 = %d", v)
+	}
+}

@@ -1,0 +1,277 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parser"
+	"repro/internal/word"
+)
+
+func run(t *testing.T, w word.Width, src string, in Snapshot) Snapshot {
+	t.Helper()
+	p, err := parser.Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := MustNew(w).Run(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSamplingTransaction(t *testing.T) {
+	// Figure 2: sample every 11th packet.
+	src := `
+int count = 0;
+if (count == 10) {
+  count = 0;
+  pkt.sample = 1;
+} else {
+  count = count + 1;
+  pkt.sample = 0;
+}
+`
+	p := parser.MustParse("sampling", src)
+	in := MustNew(8)
+	snap := NewSnapshot()
+	samples := 0
+	for i := 0; i < 22; i++ {
+		out, err := in.Run(p, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Pkt["sample"] == 1 {
+			samples++
+			if (i+1)%11 != 0 {
+				t.Fatalf("packet %d sampled, expected only every 11th", i)
+			}
+		}
+		snap.State = out.State
+		snap.Pkt = map[string]uint64{}
+	}
+	if samples != 2 {
+		t.Fatalf("sampled %d of 22 packets, want 2", samples)
+	}
+}
+
+func TestInitialValues(t *testing.T) {
+	out := run(t, 8, "int x = 7; pkt.a = x;", NewSnapshot())
+	if out.Pkt["a"] != 7 {
+		t.Fatalf("pkt.a = %d, want 7", out.Pkt["a"])
+	}
+	// Explicit input state overrides the declared initial value.
+	in := NewSnapshot()
+	in.State["x"] = 3
+	out = run(t, 8, "int x = 7; pkt.a = x;", in)
+	if out.Pkt["a"] != 3 {
+		t.Fatalf("pkt.a = %d, want 3 (input state wins)", out.Pkt["a"])
+	}
+}
+
+func TestNegativeInitWraps(t *testing.T) {
+	out := run(t, 8, "int x = -1; pkt.a = x;", NewSnapshot())
+	if out.Pkt["a"] != 255 {
+		t.Fatalf("pkt.a = %d, want 255", out.Pkt["a"])
+	}
+}
+
+func TestOperatorSemantics(t *testing.T) {
+	cases := []struct {
+		expr string
+		a, b uint64
+		want uint64
+	}{
+		{"pkt.a + pkt.b", 250, 10, 4}, // 8-bit wrap
+		{"pkt.a - pkt.b", 3, 5, 254},
+		{"pkt.a * pkt.b", 16, 16, 0},
+		{"pkt.a & pkt.b", 0xF0, 0x3C, 0x30},
+		{"pkt.a | pkt.b", 0xF0, 0x0C, 0xFC},
+		{"pkt.a ^ pkt.b", 0xFF, 0x0F, 0xF0},
+		{"pkt.a << pkt.b", 1, 3, 8},
+		{"pkt.a << pkt.b", 1, 9, 0}, // overshift
+		{"pkt.a >> pkt.b", 0x80, 4, 8},
+		{"pkt.a == pkt.b", 5, 5, 1},
+		{"pkt.a != pkt.b", 5, 5, 0},
+		{"pkt.a < pkt.b", 255, 1, 1}, // signed: -1 < 1
+		{"pkt.a > pkt.b", 255, 1, 0},
+		{"pkt.a <= pkt.b", 7, 7, 1},
+		{"pkt.a >= pkt.b", 128, 127, 0}, // signed: -128 < 127
+		{"pkt.a && pkt.b", 9, 0, 0},
+		{"pkt.a && pkt.b", 9, 2, 1},
+		{"pkt.a || pkt.b", 0, 0, 0},
+		{"pkt.a || pkt.b", 0, 5, 1},
+		{"!pkt.a", 0, 99, 1},
+		{"!pkt.a", 3, 99, 0},
+		{"~pkt.a", 0x0F, 99, 0xF0},
+		{"-pkt.a", 1, 99, 255},
+		{"pkt.a ? pkt.b : 42", 1, 7, 7},
+		{"pkt.a ? pkt.b : 42", 0, 7, 42},
+	}
+	for _, c := range cases {
+		in := NewSnapshot()
+		in.Pkt["a"], in.Pkt["b"] = c.a, c.b
+		out := run(t, 8, "pkt.r = "+c.expr+";", in)
+		if out.Pkt["r"] != c.want {
+			t.Errorf("%s with a=%d b=%d = %d, want %d", c.expr, c.a, c.b, out.Pkt["r"], c.want)
+		}
+	}
+}
+
+func TestSequencingWithinTransaction(t *testing.T) {
+	// Later statements see earlier writes.
+	src := "pkt.a = 1; pkt.b = pkt.a + 1; pkt.a = pkt.b * 2;"
+	out := run(t, 8, src, NewSnapshot())
+	if out.Pkt["a"] != 4 || out.Pkt["b"] != 2 {
+		t.Fatalf("a=%d b=%d, want 4, 2", out.Pkt["a"], out.Pkt["b"])
+	}
+}
+
+func TestNestedIf(t *testing.T) {
+	src := `
+if (pkt.x > 0) {
+  if (pkt.x > 10) { pkt.r = 2; } else { pkt.r = 1; }
+} else {
+  pkt.r = 0;
+}
+`
+	for _, c := range []struct{ x, want uint64 }{{0, 0}, {5, 1}, {20, 2}, {200, 0}} {
+		in := NewSnapshot()
+		in.Pkt["x"] = c.x
+		out := run(t, 8, src, in)
+		if out.Pkt["r"] != c.want {
+			t.Errorf("x=%d: r=%d, want %d", c.x, out.Pkt["r"], c.want)
+		}
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	p := parser.MustParse("t", "pkt.a = 5; s = 6;")
+	in := NewSnapshot()
+	in.Pkt["a"] = 1
+	in.State["s"] = 2
+	if _, err := MustNew(8).Run(p, in); err != nil {
+		t.Fatal(err)
+	}
+	if in.Pkt["a"] != 1 || in.State["s"] != 2 {
+		t.Fatal("Run must not mutate its input snapshot")
+	}
+}
+
+func TestEquivalentDetectsEquality(t *testing.T) {
+	a := parser.MustParse("a", "pkt.r = pkt.x + pkt.y;")
+	b := parser.MustParse("b", "pkt.r = pkt.y + pkt.x;")
+	in := MustNew(4)
+	eq, _, err := in.Equivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("commuted add should be equivalent")
+	}
+}
+
+func TestEquivalentFindsCounterexample(t *testing.T) {
+	a := parser.MustParse("a", "pkt.r = pkt.x - pkt.y;")
+	b := parser.MustParse("b", "pkt.r = pkt.y - pkt.x;")
+	in := MustNew(4)
+	eq, cex, err := in.Equivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("sub is not commutative; expected counterexample")
+	}
+	// The counterexample must actually distinguish the programs.
+	ra, _ := in.Run(a, cex)
+	rb, _ := in.Run(b, cex)
+	if ra.Pkt["r"] == rb.Pkt["r"] {
+		t.Fatalf("counterexample %v does not distinguish programs", cex)
+	}
+}
+
+func TestEquivalentRefusesHugeSpace(t *testing.T) {
+	a := parser.MustParse("a", "pkt.r = pkt.a + pkt.b + pkt.c + pkt.d;")
+	in := MustNew(10)
+	if _, _, err := in.Equivalent(a, a); err == nil {
+		t.Fatal("expected infeasibility error for 50-bit input space")
+	}
+}
+
+// TestInterpMatchesWordQuick property-tests arbitrary three-op expressions
+// against direct word arithmetic.
+func TestInterpMatchesWordQuick(t *testing.T) {
+	const w = word.Width(8)
+	p := parser.MustParse("q", "pkt.r = (pkt.a + pkt.b) * pkt.c - (pkt.a ^ pkt.c);")
+	in := MustNew(w)
+	f := func(a, b, c uint8) bool {
+		snap := NewSnapshot()
+		snap.Pkt["a"], snap.Pkt["b"], snap.Pkt["c"] = uint64(a), uint64(b), uint64(c)
+		out, err := in.Run(p, snap)
+		if err != nil {
+			return false
+		}
+		want := w.Sub(w.Mul(w.Add(uint64(a), uint64(b)), uint64(c)), w.Xor(uint64(a), uint64(c)))
+		return out.Pkt["r"] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotEqual(t *testing.T) {
+	a, b := NewSnapshot(), NewSnapshot()
+	a.Pkt["x"] = 0 // explicit zero equals missing key
+	if !a.Equal(b, []string{"x"}, nil) {
+		t.Fatal("explicit zero should equal missing key")
+	}
+	b.Pkt["x"] = 1
+	if a.Equal(b, []string{"x"}, nil) {
+		t.Fatal("differing field not detected")
+	}
+	if !a.Equal(b, nil, nil) {
+		t.Fatal("equality over no keys should hold")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := NewSnapshot()
+	s.Pkt["b"], s.Pkt["a"], s.State["z"] = 2, 1, 3
+	if got := s.String(); got != "{ pkt.a=1 pkt.b=2 z=3 }" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("width 0 should be rejected")
+	}
+	if _, err := New(word.MaxWidth + 1); err == nil {
+		t.Fatal("width beyond MaxWidth should be rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on invalid width")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewSnapshot()
+	s.Pkt["a"] = 1
+	c := s.Clone()
+	c.Pkt["a"] = 2
+	if s.Pkt["a"] != 1 {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+func TestEvalUnknownExprType(t *testing.T) {
+	in := MustNew(8)
+	snap := NewSnapshot()
+	if _, err := in.Eval(nil, &snap); err == nil {
+		t.Fatal("expected error for unknown expression type")
+	}
+}

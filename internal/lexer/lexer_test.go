@@ -1,0 +1,120 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+func kinds(src string) []token.Kind {
+	toks := New(src).All()
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestOperators(t *testing.T) {
+	src := "= == != < <= > >= << >> + ++ += - -- -= * ! ~ & && | || ^ ? : . , ; ( ) { }"
+	want := []token.Kind{
+		token.ASSIGN, token.EQ, token.NE, token.LT, token.LE, token.GT, token.GE,
+		token.SHL, token.SHR, token.PLUS, token.INC, token.PLUSEQ,
+		token.MINUS, token.DEC, token.MINUSEQ, token.STAR, token.NOT, token.TILDE,
+		token.AND, token.LAND, token.OR, token.LOR, token.XOR,
+		token.QUESTION, token.COLON, token.DOT, token.COMMA, token.SEMICOLON,
+		token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE, token.EOF,
+	}
+	got := kinds(src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIdentifiersAndKeywords(t *testing.T) {
+	toks := New("if else int count pkt _tmp x9").All()
+	want := []struct {
+		kind token.Kind
+		lit  string
+	}{
+		{token.IF, "if"}, {token.ELSE, "else"}, {token.INT, "int"},
+		{token.IDENT, "count"}, {token.IDENT, "pkt"}, {token.IDENT, "_tmp"},
+		{token.IDENT, "x9"}, {token.EOF, ""},
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Lit != w.lit {
+			t.Fatalf("token %d = %v, want %v(%q)", i, toks[i], w.kind, w.lit)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := New("0 42 0x1F 007").All()
+	lits := []string{"0", "42", "0x1F", "007"}
+	for i, want := range lits {
+		if toks[i].Kind != token.NUM || toks[i].Lit != want {
+			t.Fatalf("token %d = %v, want NUM(%q)", i, toks[i], want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment
+a = 1; /* block
+   spanning lines */ b = 2;
+`
+	got := kinds(src)
+	want := []token.Kind{
+		token.IDENT, token.ASSIGN, token.NUM, token.SEMICOLON,
+		token.IDENT, token.ASSIGN, token.NUM, token.SEMICOLON, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	l := New("a /* never closed")
+	l.All()
+	if len(l.Errors()) == 0 {
+		t.Fatal("expected error for unterminated block comment")
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	l := New("a = $;")
+	toks := l.All()
+	if len(l.Errors()) == 0 {
+		t.Fatal("expected error for illegal character")
+	}
+	foundIllegal := false
+	for _, tok := range toks {
+		if tok.Kind == token.ILLEGAL {
+			foundIllegal = true
+		}
+	}
+	if !foundIllegal {
+		t.Fatal("expected an ILLEGAL token")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := New("a\n  bb").All()
+	if toks[0].Pos != (token.Pos{Line: 1, Col: 1}) {
+		t.Fatalf("first token pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (token.Pos{Line: 2, Col: 3}) {
+		t.Fatalf("second token pos = %v", toks[1].Pos)
+	}
+}

@@ -1,0 +1,226 @@
+package mutate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/programs"
+	"repro/internal/word"
+)
+
+// TestCorpusMutantsEquivalentExhaustive is the mutation generator's core
+// property, checked the strongest available way: every mutant of every
+// corpus program is exhaustively equivalent to its original at width 3.
+func TestCorpusMutantsEquivalentExhaustive(t *testing.T) {
+	in := interp.MustNew(3)
+	for _, b := range programs.Corpus() {
+		prog := b.Parse()
+		muts := Generate(prog, 10, 42)
+		if len(muts) != 10 {
+			t.Fatalf("%s: generated %d mutants, want 10", b.Name, len(muts))
+		}
+		for i, m := range muts {
+			eq, cex, err := in.Equivalent(prog, m.Program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq {
+				t.Fatalf("%s mutant %d (%v) differs at %v:\n%s",
+					b.Name, i, m.Applied, cex, m.Program.Print())
+			}
+		}
+	}
+}
+
+// TestCorpusMutantsEquivalentAtVerifyWidth repeats the check with random
+// sampling at the CEGIS verification width (10 bits), where constants no
+// longer wrap.
+func TestCorpusMutantsEquivalentAtVerifyWidth(t *testing.T) {
+	const w = word.Width(10)
+	in := interp.MustNew(w)
+	rng := rand.New(rand.NewSource(77))
+	for _, b := range programs.Corpus() {
+		prog := b.Parse()
+		vars := prog.Variables()
+		for _, m := range Generate(prog, 10, 42) {
+			for trial := 0; trial < 50; trial++ {
+				snap := interp.NewSnapshot()
+				for _, f := range vars.Fields {
+					snap.Pkt[f] = w.Trunc(rng.Uint64())
+				}
+				for _, s := range vars.States {
+					snap.State[s] = w.Trunc(rng.Uint64())
+				}
+				want, err := in.Run(prog, snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := in.Run(m.Program, snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want, vars.Fields, vars.States) {
+					t.Fatalf("%s %s (%v) differs at %s", b.Name, m.Program.Name, m.Applied, snap)
+				}
+			}
+		}
+	}
+}
+
+func TestMutantsAreDistinct(t *testing.T) {
+	prog := parser.MustParse("t", "if (s == 10) { s = 0; pkt.a = 1; } else { s = s + 1; pkt.a = 0; }")
+	muts := Generate(prog, 10, 3)
+	if len(muts) != 10 {
+		t.Fatalf("generated %d", len(muts))
+	}
+	for i := range muts {
+		if ast.EqualStmts(muts[i].Program.Stmts, prog.Stmts) {
+			t.Fatalf("mutant %d equals the original", i)
+		}
+		for j := i + 1; j < len(muts); j++ {
+			if ast.EqualStmts(muts[i].Program.Stmts, muts[j].Program.Stmts) {
+				t.Fatalf("mutants %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	prog := parser.MustParse("t", "s = s + pkt.v; pkt.r = s < 5;")
+	a := Generate(prog, 10, 99)
+	b := Generate(prog, 10, 99)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if !ast.EqualStmts(a[i].Program.Stmts, b[i].Program.Stmts) {
+			t.Fatalf("mutant %d differs across runs with same seed", i)
+		}
+	}
+	c := Generate(prog, 10, 100)
+	same := 0
+	for i := range a {
+		if i < len(c) && ast.EqualStmts(a[i].Program.Stmts, c[i].Program.Stmts) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical mutant sets")
+	}
+}
+
+func TestAppliedOpsRecorded(t *testing.T) {
+	prog := parser.MustParse("t", "s = s + 1;")
+	for _, m := range Generate(prog, 5, 1) {
+		if len(m.Applied) == 0 {
+			t.Fatal("mutant without recorded operators")
+		}
+		if m.Program.Name == prog.Name {
+			t.Fatal("mutant should be renamed")
+		}
+	}
+}
+
+func TestMutantsReparse(t *testing.T) {
+	// Printed mutants must remain valid Domino source (CLI round-trip).
+	for _, b := range programs.Corpus() {
+		for _, m := range Generate(b.Parse(), 10, 8) {
+			if _, err := parser.Parse(m.Program.Name, m.Program.Print()); err != nil {
+				t.Fatalf("%s does not reparse: %v\n%s", m.Program.Name, err, m.Program.Print())
+			}
+		}
+	}
+}
+
+func TestOperatorsAllReachable(t *testing.T) {
+	// Over many mutants of a rich program, every operator kind should
+	// eventually fire.
+	src := `
+int s = 0;
+int u = 0;
+if (pkt.a - s > 5) { s = s + 1 + 2; u = pkt.a; }
+pkt.r = pkt.b < 3 ? pkt.c + 1 : 0;
+if (pkt.c == 1) { pkt.q = 4; }
+`
+	prog := parser.MustParse("rich", src)
+	seen := map[Op]bool{}
+	for seedI := int64(0); seedI < 40; seedI++ {
+		for _, m := range Generate(prog, 10, seedI) {
+			for _, op := range m.Applied {
+				seen[op] = true
+			}
+		}
+	}
+	all := []Op{
+		OpCommute, OpAddZero, OpMulOne, OpDoubleNeg, OpBitNotNot, OpFlipIf,
+		OpRelFlip, OpTernaryFlip, OpSubToAddNeg, OpNegateRel, OpConstSplit,
+		OpAssocRotate, OpIfToTernary,
+	}
+	for _, op := range all {
+		if !seen[op] {
+			t.Errorf("operator %s never fired", op)
+		}
+	}
+}
+
+func TestNoSitesNoMutants(t *testing.T) {
+	// A program with a single bare read offers only identity sites; those
+	// still mutate it, so we get mutants. But an empty program offers
+	// nothing.
+	prog := &ast.Program{Name: "empty", Init: map[string]int64{}}
+	if muts := Generate(prog, 5, 1); len(muts) != 0 {
+		t.Fatalf("empty program produced %d mutants", len(muts))
+	}
+}
+
+func TestRandomProgramsSurviveMutation(t *testing.T) {
+	// Mutating randomly generated programs preserves equivalence
+	// (exhaustive at width 2 over up to 5 variables).
+	rng := rand.New(rand.NewSource(4))
+	in := interp.MustNew(2)
+	for trial := 0; trial < 30; trial++ {
+		prog := randomProgram(rng)
+		for _, m := range Generate(prog, 3, int64(trial)) {
+			eq, cex, err := in.Equivalent(prog, m.Program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq {
+				t.Fatalf("trial %d (%v): differs at %v\noriginal:\n%s\nmutant:\n%s",
+					trial, m.Applied, cex, prog.Print(), m.Program.Print())
+			}
+		}
+	}
+}
+
+// randomProgram builds a small random program over 2 fields and 1 state.
+func randomProgram(rng *rand.Rand) *ast.Program {
+	atoms := []func() ast.Expr{
+		func() ast.Expr { return &ast.Num{Value: int64(rng.Intn(6))} },
+		func() ast.Expr { return &ast.Field{Name: "a"} },
+		func() ast.Expr { return &ast.Field{Name: "b"} },
+		func() ast.Expr { return &ast.State{Name: "s"} },
+	}
+	ops := []ast.Op{ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpBitXor, ast.OpLt, ast.OpEq, ast.OpShl}
+	var expr func(d int) ast.Expr
+	expr = func(d int) ast.Expr {
+		if d == 0 || rng.Intn(2) == 0 {
+			return atoms[rng.Intn(len(atoms))]()
+		}
+		return &ast.Binary{Op: ops[rng.Intn(len(ops))], X: expr(d - 1), Y: expr(d - 1)}
+	}
+	stmts := []ast.Stmt{
+		&ast.Assign{LHS: ast.LValue{Name: "a", IsField: true}, RHS: expr(2)},
+	}
+	if rng.Intn(2) == 0 {
+		stmts = append(stmts, &ast.If{
+			Cond: expr(1),
+			Then: []ast.Stmt{&ast.Assign{LHS: ast.LValue{Name: "s"}, RHS: expr(1)}},
+			Else: []ast.Stmt{&ast.Assign{LHS: ast.LValue{Name: "b", IsField: true}, RHS: expr(1)}},
+		})
+	}
+	return &ast.Program{Name: "rand", Stmts: stmts, Init: map[string]int64{"s": 0}}
+}

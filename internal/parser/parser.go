@@ -1,0 +1,425 @@
+// Package parser builds Domino abstract syntax trees from source text.
+//
+// The grammar is the loop-free, pointer-free C subset the paper's Domino
+// language uses for packet transactions:
+//
+//	program   = { decl | stmt } .
+//	decl      = "int" IDENT [ "=" NUM ] ";" .
+//	stmt      = assign ";" | ifstmt .
+//	assign    = lvalue ( "=" expr | "+=" expr | "-=" expr | "++" | "--" ) .
+//	lvalue    = "pkt" "." IDENT | IDENT .
+//	ifstmt    = "if" "(" expr ")" block [ "else" ( block | ifstmt ) ] .
+//	block     = "{" { stmt } "}" | stmt .
+//	expr      = ternary .
+//	ternary   = lor [ "?" expr ":" ternary ] .
+//
+// with the usual C precedence chain below || : &&, |, ^, &, equality,
+// relational, shift, additive, multiplicative, unary. Compound assignments
+// and ++/-- are desugared during parsing, so downstream passes see only
+// plain assignments.
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/token"
+)
+
+// Parse parses a complete Domino program. The name is attached to the
+// returned Program for diagnostics and reports.
+func Parse(name, src string) (*ast.Program, error) {
+	lx := lexer.New(src)
+	toks := lx.All()
+	if errs := lx.Errors(); len(errs) > 0 {
+		return nil, fmt.Errorf("parser: %s: %w", name, errors.Join(errs...))
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{Name: name, Init: map[string]int64{}}
+	for !p.at(token.EOF) {
+		if p.at(token.INT) {
+			if err := p.parseDecl(prog); err != nil {
+				return nil, fmt.Errorf("parser: %s: %w", name, err)
+			}
+			continue
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, fmt.Errorf("parser: %s: %w", name, err)
+		}
+		prog.Stmts = append(prog.Stmts, s)
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for known-good embedded sources; it panics on error.
+func MustParse(name, src string) *ast.Program {
+	p, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseExpr parses a standalone expression (used in tests).
+func ParseExpr(src string) (ast.Expr, error) {
+	lx := lexer.New(src)
+	toks := lx.All()
+	if errs := lx.Errors(); len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(token.EOF) {
+		return nil, fmt.Errorf("%s: trailing input after expression", p.cur().Pos)
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.pos] }
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if !p.at(k) {
+		return token.Token{}, fmt.Errorf("%s: expected %s, found %s", p.cur().Pos, k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseDecl(prog *ast.Program) error {
+	p.next() // consume "int"
+	id, err := p.expect(token.IDENT)
+	if err != nil {
+		return err
+	}
+	var val int64
+	if p.at(token.ASSIGN) {
+		p.next()
+		neg := false
+		if p.at(token.MINUS) {
+			p.next()
+			neg = true
+		}
+		num, err := p.expect(token.NUM)
+		if err != nil {
+			return err
+		}
+		val, err = parseNum(num)
+		if err != nil {
+			return err
+		}
+		if neg {
+			val = -val
+		}
+	}
+	if _, ok := prog.Init[id.Lit]; ok {
+		return fmt.Errorf("%s: state variable %q declared twice", id.Pos, id.Lit)
+	}
+	prog.Init[id.Lit] = val
+	_, err = p.expect(token.SEMICOLON)
+	return err
+}
+
+func parseNum(t token.Token) (int64, error) {
+	v, err := strconv.ParseInt(t.Lit, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: bad integer literal %q", t.Pos, t.Lit)
+	}
+	return v, nil
+}
+
+func (p *parser) parseStmt() (ast.Stmt, error) {
+	if p.at(token.IF) {
+		return p.parseIf()
+	}
+	s, err := p.parseAssign()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseLValue() (ast.LValue, error) {
+	id, err := p.expect(token.IDENT)
+	if err != nil {
+		return ast.LValue{}, err
+	}
+	if id.Lit == "pkt" && p.at(token.DOT) {
+		p.next()
+		f, err := p.expect(token.IDENT)
+		if err != nil {
+			return ast.LValue{}, err
+		}
+		return ast.LValue{Name: f.Lit, IsField: true}, nil
+	}
+	return ast.LValue{Name: id.Lit, IsField: false}, nil
+}
+
+func (p *parser) parseAssign() (ast.Stmt, error) {
+	lv, err := p.parseLValue()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case token.ASSIGN:
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Assign{LHS: lv, RHS: rhs}, nil
+	case token.PLUSEQ, token.MINUSEQ:
+		op := ast.OpAdd
+		if p.cur().Kind == token.MINUSEQ {
+			op = ast.OpSub
+		}
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Assign{LHS: lv, RHS: &ast.Binary{Op: op, X: lv.Ref(), Y: rhs}}, nil
+	case token.INC, token.DEC:
+		op := ast.OpAdd
+		if p.cur().Kind == token.DEC {
+			op = ast.OpSub
+		}
+		p.next()
+		return &ast.Assign{LHS: lv, RHS: &ast.Binary{Op: op, X: lv.Ref(), Y: &ast.Num{Value: 1}}}, nil
+	default:
+		return nil, fmt.Errorf("%s: expected assignment operator, found %s", p.cur().Pos, p.cur())
+	}
+}
+
+func (p *parser) parseIf() (ast.Stmt, error) {
+	p.next() // consume "if"
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	var els []ast.Stmt
+	if p.at(token.ELSE) {
+		p.next()
+		if p.at(token.IF) {
+			s, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			els = []ast.Stmt{s}
+		} else {
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &ast.If{Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) parseBlock() ([]ast.Stmt, error) {
+	if !p.at(token.LBRACE) {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return []ast.Stmt{s}, nil
+	}
+	p.next()
+	var out []ast.Stmt
+	for !p.at(token.RBRACE) {
+		if p.at(token.EOF) {
+			return nil, fmt.Errorf("%s: unterminated block", p.cur().Pos)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.next()
+	return out, nil
+}
+
+// Binary precedence levels, loosest first; each level lists its operators.
+var precLevels = [][]struct {
+	tok token.Kind
+	op  ast.Op
+}{
+	{{token.LOR, ast.OpLOr}},
+	{{token.LAND, ast.OpLAnd}},
+	{{token.OR, ast.OpBitOr}},
+	{{token.XOR, ast.OpBitXor}},
+	{{token.AND, ast.OpBitAnd}},
+	{{token.EQ, ast.OpEq}, {token.NE, ast.OpNe}},
+	{{token.LT, ast.OpLt}, {token.LE, ast.OpLe}, {token.GT, ast.OpGt}, {token.GE, ast.OpGe}},
+	{{token.SHL, ast.OpShl}, {token.SHR, ast.OpShr}},
+	{{token.PLUS, ast.OpAdd}, {token.MINUS, ast.OpSub}},
+	{{token.STAR, ast.OpMul}},
+}
+
+func (p *parser) parseExpr() (ast.Expr, error) {
+	return p.parseTernary()
+}
+
+func (p *parser) parseTernary() (ast.Expr, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(token.QUESTION) {
+		return cond, nil
+	}
+	p.next()
+	t, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.COLON); err != nil {
+		return nil, err
+	}
+	f, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Ternary{Cond: cond, T: t, F: f}, nil
+}
+
+func (p *parser) parseBinary(level int) (ast.Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, cand := range precLevels[level] {
+			if p.at(cand.tok) {
+				p.next()
+				rhs, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = &ast.Binary{Op: cand.op, X: lhs, Y: rhs}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	switch p.cur().Kind {
+	case token.MINUS:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := x.(*ast.Num); ok {
+			return &ast.Num{Value: -n.Value}, nil
+		}
+		return &ast.Unary{Op: ast.OpNeg, X: x}, nil
+	case token.NOT:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: ast.OpNot, X: x}, nil
+	case token.TILDE:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: ast.OpBitNot, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	switch p.cur().Kind {
+	case token.NUM:
+		t := p.next()
+		v, err := parseNum(t)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Num{Value: v}, nil
+	case token.IDENT:
+		t := p.next()
+		if t.Lit == "pkt" && p.at(token.DOT) {
+			p.next()
+			f, err := p.expect(token.IDENT)
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Field{Name: f.Lit}, nil
+		}
+		return &ast.State{Name: t.Lit}, nil
+	case token.LPAREN:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("%s: unexpected token %s in expression", p.cur().Pos, p.cur())
+	}
+}
+
+// Roundtrip re-parses a printed program; it is a test helper exported so
+// property tests in other packages can assert print/parse stability.
+func Roundtrip(p *ast.Program) (*ast.Program, error) {
+	src := p.Print()
+	q, err := Parse(p.Name, src)
+	if err != nil {
+		return nil, fmt.Errorf("roundtrip of %q failed: %w\nsource:\n%s", p.Name, err, src)
+	}
+	if !ast.EqualStmts(p.Stmts, q.Stmts) {
+		return nil, fmt.Errorf("roundtrip of %q not structurally equal\nsource:\n%s\nreparsed:\n%s", p.Name, src, q.Print())
+	}
+	return q, nil
+}

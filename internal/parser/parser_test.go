@@ -1,0 +1,296 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestParseSamplingProgram(t *testing.T) {
+	// The paper's Figure 2 example: sample every 11th packet.
+	src := `
+int count = 0;
+if (count == 10) {
+  count = 0;
+  pkt.sample = 1;
+} else {
+  count++;
+  pkt.sample = 0;
+}
+`
+	p, err := Parse("sampling", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stmts) != 1 {
+		t.Fatalf("got %d top-level statements, want 1", len(p.Stmts))
+	}
+	ifs, ok := p.Stmts[0].(*ast.If)
+	if !ok {
+		t.Fatalf("statement is %T, want *ast.If", p.Stmts[0])
+	}
+	if len(ifs.Then) != 2 || len(ifs.Else) != 2 {
+		t.Fatalf("branch sizes %d/%d, want 2/2", len(ifs.Then), len(ifs.Else))
+	}
+	if v, ok := p.Init["count"]; !ok || v != 0 {
+		t.Fatalf("Init[count] = %d,%v", v, ok)
+	}
+	// count++ must desugar to count = count + 1.
+	inc, ok := ifs.Else[0].(*ast.Assign)
+	if !ok || inc.LHS.Name != "count" || inc.LHS.IsField {
+		t.Fatalf("else[0] = %#v", ifs.Else[0])
+	}
+	bin, ok := inc.RHS.(*ast.Binary)
+	if !ok || bin.Op != ast.OpAdd {
+		t.Fatalf("RHS of ++ = %v", inc.RHS)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"1 + 2 * 3", "(1 + (2 * 3))"},
+		{"1 * 2 + 3", "((1 * 2) + 3)"},
+		{"a == b && c == d", "((a == b) && (c == d))"},
+		{"a & b == c", "(a & (b == c))"}, // C precedence quirk preserved
+		{"a << 1 + 2", "(a << (1 + 2))"},
+		{"a < b == c < d", "((a < b) == (c < d))"},
+		{"a || b && c", "(a || (b && c))"},
+		{"a ^ b | c", "((a ^ b) | c)"},
+		{"1 - 2 - 3", "((1 - 2) - 3)"}, // left associativity
+		{"!a + b", "(!(a) + b)"},
+		{"a ? b : c ? d : e", "(a ? b : (c ? d : e))"},
+		{"pkt.x + pkt.y * z", "(pkt.x + (pkt.y * z))"},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("%q parsed as %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestUnaryFolding(t *testing.T) {
+	e, err := ParseExpr("-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := e.(*ast.Num)
+	if !ok || n.Value != -5 {
+		t.Fatalf("-5 parsed as %v", e)
+	}
+}
+
+func TestHexLiterals(t *testing.T) {
+	e, err := ParseExpr("0x1f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := e.(*ast.Num); !ok || n.Value != 31 {
+		t.Fatalf("0x1f = %v", e)
+	}
+}
+
+func TestCompoundAssignDesugar(t *testing.T) {
+	p, err := Parse("t", "x += pkt.a; pkt.b -= 2; y--;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stmts) != 3 {
+		t.Fatalf("got %d statements", len(p.Stmts))
+	}
+	a0 := p.Stmts[0].(*ast.Assign)
+	if a0.RHS.(*ast.Binary).Op != ast.OpAdd {
+		t.Fatal("+= should desugar to add")
+	}
+	a1 := p.Stmts[1].(*ast.Assign)
+	if !a1.LHS.IsField || a1.RHS.(*ast.Binary).Op != ast.OpSub {
+		t.Fatal("pkt.b -= should desugar to field sub")
+	}
+	a2 := p.Stmts[2].(*ast.Assign)
+	if a2.RHS.(*ast.Binary).Op != ast.OpSub {
+		t.Fatal("-- should desugar to sub")
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+if (pkt.a == 1) { pkt.b = 1; }
+else if (pkt.a == 2) { pkt.b = 2; }
+else { pkt.b = 3; }
+`
+	p, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := p.Stmts[0].(*ast.If)
+	if len(outer.Else) != 1 {
+		t.Fatalf("outer else has %d stmts", len(outer.Else))
+	}
+	inner, ok := outer.Else[0].(*ast.If)
+	if !ok {
+		t.Fatalf("else-if not nested: %T", outer.Else[0])
+	}
+	if len(inner.Else) != 1 {
+		t.Fatal("inner else missing")
+	}
+}
+
+func TestBracelessBlocks(t *testing.T) {
+	p, err := Parse("t", "if (x) pkt.a = 1; else pkt.a = 2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := p.Stmts[0].(*ast.If)
+	if len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Fatalf("braceless blocks: %d/%d", len(ifs.Then), len(ifs.Else))
+	}
+}
+
+func TestNegativeDeclInit(t *testing.T) {
+	p, err := Parse("t", "int x = -3; pkt.a = x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Init["x"] != -3 {
+		t.Fatalf("Init[x] = %d, want -3", p.Init["x"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"x = ;",
+		"if (x { y = 1; }",
+		"x = 1",  // missing semicolon
+		"x + 1;", // not an assignment
+		"int x = 1; int x = 2;",
+		"if (a) { x = 1;", // unterminated block
+		"x = (1 + 2;",
+		"x = 1 ? 2;",
+		"x = $;",
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPrintParseRoundtrip(t *testing.T) {
+	srcs := []string{
+		"int c = 0;\nif (c == 10) { c = 0; pkt.s = 1; } else { c = c + 1; pkt.s = 0; }",
+		"pkt.x = pkt.y * 3 + (pkt.z >> 2);",
+		"x = pkt.a ? pkt.b + 1 : ~pkt.c;",
+		"if (a && !b) { if (c) { pkt.o = 1; } } else { pkt.o = a | b ^ c; }",
+		"pkt.v = -pkt.w; z = 0x10 - pkt.v;",
+	}
+	for _, src := range srcs {
+		p, err := Parse("rt", src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if _, err := Roundtrip(p); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+func TestVariableInventory(t *testing.T) {
+	p, err := Parse("t", "int s2 = 5; s1 = pkt.b + s2; pkt.a = s1; if (pkt.c) { s3 = 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.Variables()
+	if strings.Join(v.Fields, ",") != "a,b,c" {
+		t.Fatalf("fields = %v", v.Fields)
+	}
+	if strings.Join(v.States, ",") != "s1,s2,s3" {
+		t.Fatalf("states = %v", v.States)
+	}
+}
+
+func TestCountStmts(t *testing.T) {
+	p, err := Parse("t", "a = 1; if (a) { b = 2; if (b) { c = 3; } } else { d = 4; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ast.CountStmts(p.Stmts); n != 6 {
+		t.Fatalf("CountStmts = %d, want 6", n)
+	}
+}
+
+// TestParserNeverPanics feeds structurally hostile inputs: every outcome
+// must be a value or an error, never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	hostile := []string{
+		"", ";", "{", "}", "((((((((((", "pkt", "pkt.", "pkt.a", "pkt.a =",
+		"if", "if (", "if (x)", "if (x) {", "else { }",
+		"int", "int x", "int x =", "int x = ;",
+		"x = 1 ? ;", "x = ? 1 : 2;", "x = 1 + + 2;", "x = -;",
+		"x = pkt..a;", "pkt.a.b = 1;", "x == 1;", "0 = 1;",
+		"x = 0x;", "x = 99999999999999999999;",
+		"\x00\x01\x02", "x = \"str\";", "/* open", "// only a comment",
+		"x += ;", "x ++ 1;", "if (x) else { }",
+	}
+	for _, src := range hostile {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			p, err := Parse("hostile", src)
+			if err == nil && p == nil {
+				t.Errorf("Parse(%q): nil program without error", src)
+			}
+		}()
+	}
+}
+
+// TestParserMutatedSources re-parses corpus-like sources with random bytes
+// flipped; no panics allowed.
+func TestParserMutatedSources(t *testing.T) {
+	base := `
+int count = 0;
+if (count == 10) { count = 0; pkt.sample = 1; }
+else { count = count + 1; pkt.sample = 0; }
+`
+	// Deterministic xorshift for byte mutations.
+	s := uint64(12345)
+	next := func(n int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(n))
+	}
+	for trial := 0; trial < 500; trial++ {
+		b := []byte(base)
+		for k := 0; k < 1+next(3); k++ {
+			b[next(len(b))] = byte(next(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("mutated source panicked: %v\n%q", r, b)
+				}
+			}()
+			Parse("mut", string(b)) //nolint:errcheck // errors are expected
+		}()
+	}
+}
+
+// TestDeepNestingNoOverflow guards the recursive-descent depth on inputs a
+// hostile user could craft.
+func TestDeepNestingNoOverflow(t *testing.T) {
+	deep := strings.Repeat("(", 2000) + "1" + strings.Repeat(")", 2000)
+	if _, err := ParseExpr(deep); err != nil {
+		t.Fatalf("deep parens should parse: %v", err)
+	}
+	deepIf := strings.Repeat("if (x) { ", 500) + "y = 1;" + strings.Repeat(" }", 500)
+	if _, err := Parse("deep", deepIf); err != nil {
+		t.Fatalf("deep ifs should parse: %v", err)
+	}
+}

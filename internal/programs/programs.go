@@ -1,0 +1,284 @@
+// Package programs holds the benchmark corpus of the paper's evaluation
+// (§4): eight packet-processing programs "drawn from several sources"
+// [Marple, the Domino paper, and the algorithms' original publications],
+// each annotated with the stateful ALU that the Domino compiler used for
+// the original program — per §4, mutations of a program are compiled
+// against that same stateful ALU.
+//
+// The programs are re-derived from the published algorithms and written in
+// the repository's Domino dialect. Each entry also records the grid shape
+// used by the evaluation harness: the pipeline width is the number of PHV
+// containers (at least the program's packet-field count, since Chipmunk
+// currently assigns one field per container for the whole pipeline, §3.1)
+// and MaxStages bounds Chipmunk's iterative-deepening search.
+package programs
+
+import (
+	"fmt"
+
+	"repro/internal/alu"
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// Benchmark is one corpus entry.
+type Benchmark struct {
+	// Name is the program's identifier (Table 2's row label).
+	Name string
+	// Citation points at the algorithm's original publication.
+	Citation string
+	// Source is the Domino program text.
+	Source string
+	// StatefulALU is the stateful ALU template used for this program and
+	// all its mutations (§4).
+	StatefulALU alu.Kind
+	// ConstBits is the immediate-operand hole width needed by the
+	// program's constants (paper §3.1 Limitations: immediates are kept
+	// small deliberately).
+	ConstBits int
+	// Width is the PHV width (containers / ALUs per stage) used in the
+	// evaluation.
+	Width int
+	// MaxStages bounds the iterative-deepening stage search.
+	MaxStages int
+}
+
+// Parse returns the benchmark's AST.
+func (b Benchmark) Parse() *ast.Program {
+	return parser.MustParse(b.Name, b.Source)
+}
+
+// Corpus returns the eight benchmark programs of Table 2, in the paper's
+// row order.
+func Corpus() []Benchmark {
+	return []Benchmark{
+		{
+			Name:     "rcp",
+			Citation: "RCP congestion control [Tai, Zhu, Dukkipati, INFOCOM 2008]",
+			Source: `
+// RCP computes per-interval aggregates used to derive the fair rate:
+// total input traffic, and the RTT sum and packet count over packets
+// whose RTT is below the maximum allowable RTT (30 ticks here).
+int input_traffic = 0;
+int sum_rtt = 0;
+int num_pkts = 0;
+input_traffic = input_traffic + pkt.size;
+if (pkt.rtt < 30) {
+  sum_rtt = sum_rtt + pkt.rtt;
+  num_pkts = num_pkts + 1;
+}
+`,
+			StatefulALU: alu.PredRaw,
+			ConstBits:   5,
+			Width:       3,
+			MaxStages:   3,
+		},
+		{
+			Name:     "stateful_fw",
+			Citation: "stateful firewall [SNAP: Arashloo et al., SIGCOMM 2016]",
+			Source: `
+// A one-flow stateful firewall: outbound traffic (dir == 0) establishes
+// the flow and is always allowed; inbound traffic is allowed only once
+// the flow is established.
+int established = 0;
+if (pkt.dir == 0) {
+  established = 1;
+  pkt.allow = 1;
+} else {
+  pkt.allow = established;
+}
+`,
+			StatefulALU: alu.PredRaw,
+			ConstBits:   4,
+			Width:       2,
+			MaxStages:   3,
+		},
+		{
+			Name:     "sampling",
+			Citation: "packet sampling [Packet Transactions: Sivaraman et al., SIGCOMM 2016; paper Figure 2]",
+			Source: `
+// Sample every 11th packet going through the switch.
+int count = 0;
+if (count == 10) {
+  count = 0;
+  pkt.sample = 1;
+} else {
+  count = count + 1;
+  pkt.sample = 0;
+}
+`,
+			StatefulALU: alu.IfElseRaw,
+			ConstBits:   4,
+			Width:       2,
+			MaxStages:   3,
+		},
+		{
+			Name:     "blue_increase",
+			Citation: "BLUE active queue management, increase path [Feng, Shin, Kandlur, Saha, ToN 2002]",
+			Source: `
+// On congestion events spaced more than freeze_time (5 ticks) apart,
+// raise the marking probability by delta1 (1) and remember the event
+// time. The current probability is exported on the packet.
+int p_mark = 0;
+int last_update = 0;
+if (pkt.now - last_update > 5) {
+  p_mark = p_mark + 1;
+  last_update = pkt.now;
+}
+pkt.mark = p_mark;
+`,
+			StatefulALU: alu.Pair,
+			ConstBits:   4,
+			Width:       2,
+			MaxStages:   3,
+		},
+		{
+			Name:     "blue_decrease",
+			Citation: "BLUE active queue management, decrease path [Feng, Shin, Kandlur, Saha, ToN 2002]",
+			Source: `
+// On link-idle events spaced more than freeze_time (5 ticks) apart,
+// lower the marking probability by delta2 (1).
+int p_mark = 0;
+int last_update = 0;
+if (pkt.now - last_update > 5) {
+  p_mark = p_mark - 1;
+  last_update = pkt.now;
+}
+pkt.mark = p_mark;
+`,
+			StatefulALU: alu.Pair,
+			ConstBits:   4,
+			Width:       2,
+			MaxStages:   3,
+		},
+		{
+			Name:     "flowlet",
+			Citation: "flowlet switching [Sinha, Kandula, Katabi, HotNets 2004]",
+			Source: `
+// Flowlet switching: packets separated by an idle gap longer than delta
+// (5 ticks) may take a new path; packets within a burst stick to the
+// saved next hop.
+int last_time = 0;
+int saved_hop = 0;
+if (pkt.arrival - last_time > 5) {
+  saved_hop = pkt.new_hop;
+}
+pkt.next_hop = saved_hop;
+last_time = pkt.arrival;
+`,
+			StatefulALU: alu.Pair,
+			ConstBits:   4,
+			Width:       3,
+			MaxStages:   3,
+		},
+		{
+			Name:     "marple_new_flow",
+			Citation: "detecting new flows [Marple: Narayana et al., SIGCOMM 2017]",
+			Source: `
+// Mark the first packet of a flow (single-flow abstraction of Marple's
+// new-flow query).
+int seen = 0;
+if (seen == 0) {
+  pkt.new_flow = 1;
+  seen = 1;
+} else {
+  pkt.new_flow = 0;
+}
+`,
+			StatefulALU: alu.PredRaw,
+			ConstBits:   4,
+			Width:       2,
+			MaxStages:   3,
+		},
+		{
+			Name:     "marple_reorder",
+			Citation: "detecting flow reordering [Marple: Narayana et al., SIGCOMM 2017]",
+			Source: `
+// Flag packets whose sequence number is below the running maximum
+// (single-flow abstraction of Marple's out-of-order query).
+int max_seq = 0;
+if (pkt.seq < max_seq) {
+  pkt.reordered = 1;
+} else {
+  pkt.reordered = 0;
+  max_seq = pkt.seq;
+}
+`,
+			StatefulALU: alu.PredRaw,
+			ConstBits:   4,
+			Width:       2,
+			MaxStages:   3,
+		},
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Corpus() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("programs: unknown benchmark %q", name)
+}
+
+// Names lists the corpus names in Table 2 order.
+func Names() []string {
+	cs := Corpus()
+	out := make([]string, len(cs))
+	for i, b := range cs {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// ExtendedCorpus returns programs beyond the paper's Table 2 that exercise
+// the remaining stateful ALU templates (sub and nested_ifs), demonstrating
+// the expressiveness ladder of the Banzai atom menu. They are used by the
+// extension tests and examples, not by the Table 2 / Figure 5 harness.
+func ExtendedCorpus() []Benchmark {
+	return []Benchmark{
+		{
+			Name:     "heavy_marker",
+			Citation: "heavy-flow marking via accumulated-bytes threshold (Banzai 'sub' atom exercise)",
+			Source: `
+// Mark packets of a flow once its accumulated bytes exceed the current
+// packet's size by more than 12 — a predicate over the *difference*
+// between state and a packet field, which only the sub template's
+// comparator can evaluate in one stage.
+int total = 0;
+if (total - pkt.size > 12) {
+  pkt.heavy = 1;
+} else {
+  pkt.heavy = 0;
+}
+total = total + pkt.size;
+`,
+			StatefulALU: alu.Sub,
+			ConstBits:   4,
+			Width:       2,
+			MaxStages:   3,
+		},
+		{
+			Name:     "syn_flood",
+			Citation: "half-open connection tracking (Banzai 'nested_ifs' atom exercise)",
+			Source: `
+// Track half-open TCP connections: SYNs increment, other packets
+// decrement down to zero — a two-level predicate tree over one state
+// variable plus a packet field.
+int half_open = 0;
+if (pkt.syn == 1) {
+  half_open = half_open + 1;
+} else {
+  if (half_open > 0) {
+    half_open = half_open - 1;
+  }
+}
+`,
+			StatefulALU: alu.NestedIfs,
+			ConstBits:   4,
+			Width:       2,
+			MaxStages:   3,
+		},
+	}
+}

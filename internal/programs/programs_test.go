@@ -1,0 +1,179 @@
+package programs
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/parser"
+)
+
+func TestCorpusHasEightPrograms(t *testing.T) {
+	// Table 2 has exactly eight rows.
+	if got := len(Corpus()); got != 8 {
+		t.Fatalf("corpus has %d programs, want 8", got)
+	}
+}
+
+func TestCorpusParsesAndRoundtrips(t *testing.T) {
+	for _, b := range Corpus() {
+		prog := b.Parse()
+		if prog.Name != b.Name {
+			t.Errorf("%s: parsed name %q", b.Name, prog.Name)
+		}
+		if _, err := parser.Roundtrip(prog); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestCorpusMetadataConsistent(t *testing.T) {
+	for _, b := range Corpus() {
+		prog := b.Parse()
+		vars := prog.Variables()
+		if len(vars.Fields) > b.Width {
+			t.Errorf("%s: %d fields exceed declared width %d", b.Name, len(vars.Fields), b.Width)
+		}
+		if len(vars.States) == 0 {
+			t.Errorf("%s: benchmark should carry switch state", b.Name)
+		}
+		if b.ConstBits < 1 || b.ConstBits > 8 {
+			t.Errorf("%s: implausible ConstBits %d", b.Name, b.ConstBits)
+		}
+		if b.MaxStages < 1 {
+			t.Errorf("%s: MaxStages %d", b.Name, b.MaxStages)
+		}
+		if b.Citation == "" {
+			t.Errorf("%s: missing citation", b.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name != name {
+			t.Fatalf("ByName(%q) returned %q", name, b.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+// TestRCPSemantics checks the RCP aggregates over a small packet trace.
+func TestRCPSemantics(t *testing.T) {
+	b, _ := ByName("rcp")
+	prog := b.Parse()
+	in := interp.MustNew(10)
+	snap := interp.NewSnapshot()
+	type pktIn struct{ size, rtt uint64 }
+	trace := []pktIn{{100, 10}, {200, 40}, {50, 29}, {25, 30}}
+	for _, p := range trace {
+		snap.Pkt = map[string]uint64{"size": p.size, "rtt": p.rtt}
+		out, err := in.Run(prog, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.State = out.State
+	}
+	if snap.State["input_traffic"] != 375 {
+		t.Errorf("input_traffic = %d, want 375", snap.State["input_traffic"])
+	}
+	if snap.State["sum_rtt"] != 39 { // 10 + 29; 40 and 30 filtered
+		t.Errorf("sum_rtt = %d, want 39", snap.State["sum_rtt"])
+	}
+	if snap.State["num_pkts"] != 2 {
+		t.Errorf("num_pkts = %d, want 2", snap.State["num_pkts"])
+	}
+}
+
+// TestFirewallSemantics drives the stateful firewall through its state
+// machine.
+func TestFirewallSemantics(t *testing.T) {
+	b, _ := ByName("stateful_fw")
+	prog := b.Parse()
+	in := interp.MustNew(10)
+	snap := interp.NewSnapshot()
+	send := func(dir uint64) uint64 {
+		snap.Pkt = map[string]uint64{"dir": dir, "allow": 0}
+		out, err := in.Run(prog, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.State = out.State
+		return out.Pkt["allow"]
+	}
+	if send(1) != 0 {
+		t.Fatal("inbound before establishment must be blocked")
+	}
+	if send(0) != 1 {
+		t.Fatal("outbound must always be allowed")
+	}
+	if send(1) != 1 {
+		t.Fatal("inbound after establishment must be allowed")
+	}
+}
+
+// TestBlueSemantics checks both BLUE variants against hand-computed
+// traces.
+func TestBlueSemantics(t *testing.T) {
+	in := interp.MustNew(10)
+	for _, tc := range []struct {
+		name  string
+		delta int64
+	}{{"blue_increase", 1}, {"blue_decrease", -1}} {
+		b, _ := ByName(tc.name)
+		prog := b.Parse()
+		snap := interp.NewSnapshot()
+		snap.State = map[string]uint64{"p_mark": 100, "last_update": 0}
+		// Event at t=10: gap 10 > 5 -> update fires.
+		snap.Pkt = map[string]uint64{"now": 10, "mark": 0}
+		out, _ := in.Run(prog, snap)
+		want := uint64(int64(100) + tc.delta)
+		if out.State["p_mark"] != want || out.Pkt["mark"] != want {
+			t.Fatalf("%s: p_mark=%d mark=%d, want %d", tc.name, out.State["p_mark"], out.Pkt["mark"], want)
+		}
+		// Event at t=12: gap 2 <= 5 -> frozen.
+		snap.State = out.State
+		snap.Pkt = map[string]uint64{"now": 12, "mark": 0}
+		out, _ = in.Run(prog, snap)
+		if out.State["p_mark"] != want {
+			t.Fatalf("%s: freeze violated: %d", tc.name, out.State["p_mark"])
+		}
+	}
+}
+
+// TestMarpleSemantics checks the two Marple queries.
+func TestMarpleSemantics(t *testing.T) {
+	in := interp.MustNew(10)
+	nf, _ := ByName("marple_new_flow")
+	prog := nf.Parse()
+	snap := interp.NewSnapshot()
+	snap.Pkt = map[string]uint64{"new_flow": 0}
+	out, _ := in.Run(prog, snap)
+	if out.Pkt["new_flow"] != 1 {
+		t.Fatal("first packet should be flagged new")
+	}
+	snap.State = out.State
+	out, _ = in.Run(prog, snap)
+	if out.Pkt["new_flow"] != 0 {
+		t.Fatal("second packet should not be flagged")
+	}
+
+	ro, _ := ByName("marple_reorder")
+	prog = ro.Parse()
+	snap = interp.NewSnapshot()
+	seqs := []uint64{1, 2, 5, 3, 6, 4}
+	wantFlags := []uint64{0, 0, 0, 1, 0, 1}
+	for i, s := range seqs {
+		snap.Pkt = map[string]uint64{"seq": s, "reordered": 0}
+		out, _ := in.Run(prog, snap)
+		if out.Pkt["reordered"] != wantFlags[i] {
+			t.Fatalf("seq %d: reordered=%d, want %d", s, out.Pkt["reordered"], wantFlags[i])
+		}
+		snap.State = out.State
+	}
+}

@@ -1,0 +1,179 @@
+package repair
+
+import (
+	"testing"
+
+	"repro/internal/alu"
+	"repro/internal/domino"
+	"repro/internal/interp"
+	"repro/internal/mutate"
+	"repro/internal/parser"
+	"repro/internal/programs"
+)
+
+func repair(t *testing.T, src string, kind alu.Kind) *Result {
+	t.Helper()
+	prog := parser.MustParse("t", src)
+	res, err := Repair(prog, kind, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAlreadyAcceptedNeedsNoRepair(t *testing.T) {
+	res := repair(t, "if (pkt.a == 0) { s = s + 1; }", alu.PredRaw)
+	if !res.Repaired || len(res.Steps) != 0 {
+		t.Fatalf("accepted program should repair trivially: %+v", res)
+	}
+}
+
+func TestRepairsCommutedUpdate(t *testing.T) {
+	// "1 + s" is rejected; commuting repairs it.
+	res := repair(t, "if (pkt.a == 0) { s = 1 + s; }", alu.PredRaw)
+	if !res.Repaired {
+		t.Fatalf("commuted update should be repairable; last reason: %s", res.Reason)
+	}
+	if len(res.Steps) != 1 || res.Steps[0] != RwCommute {
+		t.Fatalf("want a single commute hint, got %v", res.Steps)
+	}
+}
+
+func TestRepairsNegatedGuard(t *testing.T) {
+	res := repair(t, "if (!(pkt.a >= 1)) { s = s + 1; }", alu.PredRaw)
+	if !res.Repaired {
+		t.Fatalf("negated guard should be repairable; last reason: %s", res.Reason)
+	}
+}
+
+func TestRepairsFlippedIf(t *testing.T) {
+	src := "if (!(s == 10)) { s = s + 1; pkt.out = 0; } else { s = 0; pkt.out = 1; }"
+	res := repair(t, src, alu.IfElseRaw)
+	if !res.Repaired {
+		t.Fatalf("flipped if should be repairable; last reason: %s", res.Reason)
+	}
+	// Two distinct one-step repairs exist: flip the if back, or rewrite
+	// the guard !(s == 10) as s != 10. Either is a valid hint.
+	if len(res.Steps) != 1 || (res.Steps[0] != RwFlipIf && res.Steps[0] != RwUnNegateRel) {
+		t.Fatalf("expected a single flip_if or unnegate_rel hint, got %v", res.Steps)
+	}
+}
+
+func TestRepairsIdentityNoise(t *testing.T) {
+	res := repair(t, "if (pkt.a == 0) { s = -(-(s + (1 + 0) * 1)); }", alu.PredRaw)
+	if !res.Repaired {
+		t.Fatalf("identity noise should fold away; last reason: %s", res.Reason)
+	}
+}
+
+func TestRepairsMultipleRewrites(t *testing.T) {
+	// Needs both folding and a commute.
+	res := repair(t, "if (pkt.a == 0) { s = (1 + 0) + s; }", alu.PredRaw)
+	if !res.Repaired {
+		t.Fatalf("fold+commute should repair; last reason: %s", res.Reason)
+	}
+	if len(res.Steps) < 1 || len(res.Steps) > 3 {
+		t.Fatalf("unexpected hint length: %v", res.Steps)
+	}
+}
+
+func TestUnrepairableProgram(t *testing.T) {
+	// Genuine expressiveness gap: multiply is absent from the hardware,
+	// and no semantics-preserving local rewrite removes it.
+	res := repair(t, "pkt.a = pkt.a * pkt.b;", alu.Counter)
+	if res.Repaired {
+		t.Fatal("multiply should not be repairable by local rewrites")
+	}
+	if res.Reason == "" || res.Explored == 0 {
+		t.Fatalf("unrepaired result should carry diagnostics: %+v", res)
+	}
+}
+
+// TestRepairedProgramsStayEquivalent re-verifies every repair output
+// against the original exhaustively (belt and braces over the internal
+// gate).
+func TestRepairedProgramsStayEquivalent(t *testing.T) {
+	srcs := []string{
+		"if (pkt.a == 0) { s = 1 + s; }",
+		"if (!(pkt.a >= 1)) { s = s + 1; }",
+		"if (pkt.a == 0) { s = (1 + 0) + s; }",
+	}
+	in := interp.MustNew(3)
+	for _, src := range srcs {
+		prog := parser.MustParse("t", src)
+		res, err := Repair(prog, alu.PredRaw, 5, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Repaired {
+			t.Fatalf("%q not repaired", src)
+		}
+		eq, cex, err := in.Equivalent(prog, res.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("repair of %q changed semantics at %v", src, cex)
+		}
+	}
+}
+
+// TestRepairClosesTheMutationLoop: mutants of corpus programs that the
+// baseline rejects are mostly repairable back to acceptance — the Table 2
+// failure mode, undone.
+func TestRepairClosesTheMutationLoop(t *testing.T) {
+	repaired, rejected := 0, 0
+	for _, name := range []string{"sampling", "marple_new_flow", "stateful_fw"} {
+		b, err := programs.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := b.Parse()
+		for _, m := range mutate.Generate(prog, 10, 42) {
+			base, err := domino.Compile(m.Program, b.StatefulALU, b.ConstBits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.OK {
+				continue
+			}
+			rejected++
+			res, err := Repair(m.Program, b.StatefulALU, b.ConstBits, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Repaired {
+				repaired++
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("expected some rejected mutants to exercise repair")
+	}
+	t.Logf("repaired %d of %d rejected mutants", repaired, rejected)
+	if repaired*2 < rejected {
+		t.Fatalf("repair rate too low: %d/%d", repaired, rejected)
+	}
+}
+
+func TestSearchBudgets(t *testing.T) {
+	prog := parser.MustParse("t", "pkt.a = pkt.a * pkt.b;")
+	res, err := Repair(prog, alu.Counter, 5, Options{MaxDepth: 1, MaxExplored: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explored > 5 {
+		t.Fatalf("budget exceeded: %d", res.Explored)
+	}
+}
+
+func TestEquivalenceSpaceTooLarge(t *testing.T) {
+	// Seven variables at check width 8 exceed the exhaustive limit; the
+	// program must first be rejected (multiply) so the search reaches the
+	// equivalence gate, which must refuse rather than skip soundness.
+	src := "pkt.a = pkt.b * pkt.c * pkt.d * pkt.e * pkt.f * s;"
+	prog := parser.MustParse("t", src)
+	if _, err := Repair(prog, alu.Counter, 5, Options{CheckWidth: 8}); err == nil {
+		t.Fatal("oversized equivalence space should error, not silently pass")
+	}
+}

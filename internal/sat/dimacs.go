@@ -1,0 +1,130 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Formula is a CNF formula in clause-list form — the interchange
+// representation for DIMACS import/export. The solver itself simplifies
+// clauses on AddClause, so round-tripping solver state is lossy by design;
+// a Formula preserves the original clause list for debugging and for
+// feeding instances to external solvers.
+type Formula struct {
+	NumVars int
+	Clauses [][]Lit
+}
+
+// AddClause appends a clause, growing NumVars as needed.
+func (f *Formula) AddClause(lits ...Lit) {
+	cl := append([]Lit{}, lits...)
+	for _, l := range cl {
+		if int(l.Var())+1 > f.NumVars {
+			f.NumVars = int(l.Var()) + 1
+		}
+	}
+	f.Clauses = append(f.Clauses, cl)
+}
+
+// Load transfers the formula into a fresh solver, allocating its
+// variables. It returns the solver and whether the formula survived
+// top-level simplification (false means trivially UNSAT).
+func (f *Formula) Load() (*Solver, bool) {
+	s := New()
+	for i := 0; i < f.NumVars; i++ {
+		s.NewVar()
+	}
+	ok := true
+	for _, cl := range f.Clauses {
+		if !s.AddClause(cl...) {
+			ok = false
+		}
+	}
+	return s, ok
+}
+
+// WriteDIMACS renders the formula in the standard DIMACS CNF format.
+func (f *Formula) WriteDIMACS(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, cl := range f.Clauses {
+		parts := make([]string, 0, len(cl)+1)
+		for _, l := range cl {
+			parts = append(parts, l.String())
+		}
+		parts = append(parts, "0")
+		if _, err := fmt.Fprintln(w, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseDIMACS reads a DIMACS CNF file. Comment lines (c ...) are skipped;
+// the problem line is validated against the clause list.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	f := &Formula{}
+	declaredVars, declaredClauses := -1, -1
+	var cur []Lit
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: malformed problem line %q", line)
+			}
+			var err error
+			declaredVars, err = strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad variable count in %q", line)
+			}
+			declaredClauses, err = strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad clause count in %q", line)
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q", tok)
+			}
+			if v == 0 {
+				f.Clauses = append(f.Clauses, cur)
+				cur = nil
+				continue
+			}
+			neg := v < 0
+			if neg {
+				v = -v
+			}
+			if declaredVars >= 0 && v > declaredVars {
+				return nil, fmt.Errorf("sat: literal %d exceeds declared %d variables", v, declaredVars)
+			}
+			cur = append(cur, MkLit(Var(v-1), neg))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		f.Clauses = append(f.Clauses, cur)
+	}
+	if declaredVars < 0 {
+		return nil, fmt.Errorf("sat: missing problem line")
+	}
+	if declaredClauses >= 0 && len(f.Clauses) != declaredClauses {
+		return nil, fmt.Errorf("sat: declared %d clauses, found %d", declaredClauses, len(f.Clauses))
+	}
+	f.NumVars = declaredVars
+	return f, nil
+}

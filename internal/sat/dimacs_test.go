@@ -1,0 +1,144 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const uf8Sat = `c classic satisfiable instance
+p cnf 8 12
+1 2 0
+-1 3 0
+-3 4 0
+2 -4 5 0
+-5 6 0
+-2 -6 7 0
+7 -8 0
+8 1 0
+-7 2 0
+3 5 -1 0
+-4 -6 0
+6 -3 8 0
+`
+
+const tinyUnsat = `p cnf 1 2
+1 0
+-1 0
+`
+
+func TestParseDIMACSAndSolve(t *testing.T) {
+	f, err := ParseDIMACS(strings.NewReader(uf8Sat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 8 || len(f.Clauses) != 12 {
+		t.Fatalf("parsed %d vars %d clauses", f.NumVars, len(f.Clauses))
+	}
+	s, ok := f.Load()
+	if !ok {
+		t.Fatal("instance should not be trivially unsat")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+	// The model must satisfy the original clause list.
+	for i, cl := range f.Clauses {
+		sat := false
+		for _, l := range cl {
+			if s.Value(l.Var()) != l.Neg() {
+				sat = true
+			}
+		}
+		if !sat {
+			t.Fatalf("clause %d unsatisfied by model", i)
+		}
+	}
+}
+
+func TestParseDIMACSUnsat(t *testing.T) {
+	f, err := ParseDIMACS(strings.NewReader(tinyUnsat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := f.Load()
+	if ok && s.Solve() != Unsat {
+		t.Fatal("want Unsat")
+	}
+}
+
+func TestDIMACSRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := &Formula{}
+	for i := 0; i < 30; i++ {
+		var cl []Lit
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			cl = append(cl, MkLit(Var(rng.Intn(12)), rng.Intn(2) == 1))
+		}
+		f.AddClause(cl...)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+		t.Fatalf("roundtrip shape: %d/%d vs %d/%d", g.NumVars, len(g.Clauses), f.NumVars, len(f.Clauses))
+	}
+	for i := range f.Clauses {
+		if len(f.Clauses[i]) != len(g.Clauses[i]) {
+			t.Fatalf("clause %d length changed", i)
+		}
+		for j := range f.Clauses[i] {
+			if f.Clauses[i][j] != g.Clauses[i][j] {
+				t.Fatalf("clause %d literal %d changed", i, j)
+			}
+		}
+	}
+	// Same satisfiability.
+	s1, _ := f.Load()
+	s2, _ := g.Load()
+	if s1.Solve() != s2.Solve() {
+		t.Fatal("roundtrip changed satisfiability")
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"",                       // no problem line
+		"p cnf x 1\n1 0\n",       // bad var count
+		"p cnf 2 nope\n1 0\n",    // bad clause count
+		"p dnf 2 1\n1 0\n",       // wrong format tag
+		"p cnf 2 1\n3 0\n",       // literal out of range
+		"p cnf 2 2\n1 0\n",       // clause count mismatch
+		"p cnf 2 1\n1 bogus 0\n", // bad literal token
+	}
+	for _, src := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseDIMACS(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseDIMACSTrailingClause(t *testing.T) {
+	// A final clause without the 0 terminator is tolerated.
+	f, err := ParseDIMACS(strings.NewReader("p cnf 2 2\n1 2 0\n-1 -2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(f.Clauses))
+	}
+}
+
+func TestFormulaGrowsNumVars(t *testing.T) {
+	f := &Formula{}
+	f.AddClause(PosLit(0), NegLit(6))
+	if f.NumVars != 7 {
+		t.Fatalf("NumVars = %d, want 7", f.NumVars)
+	}
+}

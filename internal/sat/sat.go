@@ -1,0 +1,712 @@
+// Package sat implements a conflict-driven clause-learning (CDCL) boolean
+// satisfiability solver.
+//
+// This is the solver substrate that stands in for the two external engines
+// the Chipmunk paper depends on: the SAT core inside the SKETCH synthesizer
+// (used for the synthesis phase of CEGIS, Equation 2 of the paper) and the
+// Z3 theorem prover (used for the widened verification phase, Equation 3).
+// Both phases of CEGIS reduce to SAT once the bit-vector circuits are
+// bit-blasted (internal/circuit performs the Tseitin transformation), so a
+// single sound and complete SAT solver serves for both.
+//
+// The design follows MiniSat: two-literal watching for unit propagation,
+// VSIDS variable activity with exponential decay, first-UIP conflict
+// analysis with clause learning and non-chronological backjumping, Luby
+// restarts, learnt-clause database reduction, and phase saving. Incremental
+// solving under assumptions is supported so callers can reuse a clause
+// database across related queries.
+package sat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Var is a boolean variable index. Variables are allocated densely from 0.
+type Var int32
+
+// Lit is a literal: a variable or its negation, encoded as var<<1|sign with
+// sign==1 meaning negated. The zero-adjacent encoding keeps watch lists and
+// assignment lookups branch-free.
+type Lit int32
+
+// MkLit builds a literal from a variable and a sign (true = negated).
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v<<1) | 1 }
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal in DIMACS style (1-based, minus for negation).
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// lbool is a three-valued boolean: true, false, or undefined.
+type lbool int8
+
+const (
+	lTrue  lbool = 0
+	lFalse lbool = 1
+	lUndef lbool = 2
+)
+
+// Status is the result of a Solve call.
+type Status int
+
+const (
+	// Unknown means the solver was interrupted (budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found; read it with Value.
+	Sat
+	// Unsat means the formula (under the given assumptions) is
+	// unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ErrBudget is returned by SolveWithBudget when the conflict budget is
+// exhausted before a result is determined.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+// clauseRef indexes into the solver's clause arena. The special value
+// refUndef marks "no reason" (decision variables); refBinary+lit encodes a
+// binary-clause reason inline.
+type clauseRef int32
+
+const refUndef clauseRef = -1
+
+// clause is a disjunction of literals plus learnt-clause metadata.
+type clause struct {
+	lits     []Lit
+	activity float64
+	learnt   bool
+	deleted  bool
+}
+
+// watcher pairs a watched clause with a "blocker" literal whose truth lets
+// propagation skip the clause without touching its literal array.
+type watcher struct {
+	ref     clauseRef
+	blocker Lit
+}
+
+// Stats reports cumulative solver counters, used by the evaluation harness
+// to report synthesis effort alongside wall-clock time.
+type Stats struct {
+	Decisions     int64
+	Propagations  int64
+	Conflicts     int64
+	Restarts      int64
+	Learnt        int64
+	DeletedLearnt int64
+	MaxVar        int
+	Clauses       int
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; create one
+// with New.
+type Solver struct {
+	clauses []clause // arena; learnt and problem clauses interleaved
+	learnts []clauseRef
+
+	watches [][]watcher // indexed by Lit
+
+	assign   []lbool // indexed by Var
+	level    []int32 // decision level per var
+	reason   []clauseRef
+	polarity []bool // phase saving: last assigned sign
+
+	trail    []Lit
+	trailLim []int32 // decision-level boundaries in trail
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+
+	claInc float64
+
+	seen     []bool // scratch for conflict analysis
+	analyzeT []Lit  // scratch
+	conflLit []Lit  // scratch learnt clause
+
+	model []lbool // snapshot of the assignment at the last Sat result
+
+	ok    bool // false once a top-level conflict proves UNSAT
+	stats Stats
+
+	assumptions []Lit
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		varInc: 1.0,
+		claInc: 1.0,
+		ok:     true,
+	}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar allocates and returns a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assign))
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, refUndef)
+	s.polarity = append(s.polarity, true) // default phase: false (negated)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	s.stats.MaxVar = len(s.assign)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NumClauses returns the number of live problem clauses.
+func (s *Solver) NumClauses() int { return s.stats.Clauses }
+
+// Stats returns a snapshot of the solver counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// litValue returns the current value of a literal.
+func (s *Solver) litValue(l Lit) lbool {
+	a := s.assign[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	// a is lTrue(0) or lFalse(1); negation flips it.
+	return a ^ lbool(l&1)
+}
+
+// Value returns the value of v in the most recent satisfying model. It is
+// only meaningful after Solve returned Sat. Unassigned variables (possible
+// when the formula does not constrain them) read as false.
+func (s *Solver) Value(v Var) bool {
+	if int(v) >= len(s.model) {
+		return false
+	}
+	return s.model[v] == lTrue
+}
+
+// AddClause adds a clause to the solver. It returns false if the clause
+// addition makes the formula trivially unsatisfiable at the top level.
+// Literals are deduplicated; tautological clauses are silently accepted.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called below decision level 0")
+	}
+	// Normalize: sort-free dedup and tautology/falsified-literal removal.
+	out := s.conflLit[:0]
+	for _, l := range lits {
+		if int(l.Var()) >= len(s.assign) {
+			panic(fmt.Sprintf("sat: clause references unallocated variable %d", l.Var()))
+		}
+		switch s.litValue(l) {
+		case lTrue:
+			s.conflLit = out
+			return true // clause already satisfied at level 0
+		case lFalse:
+			continue // drop falsified literal
+		}
+		dup := false
+		for _, m := range out {
+			if m == l {
+				dup = true
+				break
+			}
+			if m == l.Not() {
+				s.conflLit = out
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	s.conflLit = out[:0]
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], refUndef)
+		if s.propagate() != refUndef {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	cl := make([]Lit, len(out))
+	copy(cl, out)
+	ref := s.allocClause(cl, false)
+	s.attachClause(ref)
+	s.stats.Clauses++
+	return true
+}
+
+func (s *Solver) allocClause(lits []Lit, learnt bool) clauseRef {
+	ref := clauseRef(len(s.clauses))
+	s.clauses = append(s.clauses, clause{lits: lits, learnt: learnt})
+	return ref
+}
+
+func (s *Solver) attachClause(ref clauseRef) {
+	c := &s.clauses[ref]
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{ref, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{ref, l0})
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) uncheckedEnqueue(l Lit, from clauseRef) {
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation over the two-watched-literal scheme.
+// It returns the conflicting clause reference, or refUndef if no conflict.
+func (s *Solver) propagate() clauseRef {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[p]
+		n := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.litValue(w.blocker) == lTrue {
+				ws[n] = w
+				n++
+				continue
+			}
+			c := &s.clauses[w.ref]
+			lits := c.lits
+			// Ensure the false literal (p.Not()) is at position 1.
+			if lits[0] == p.Not() {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				ws[n] = watcher{w.ref, first}
+				n++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(lits); k++ {
+				if s.litValue(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					nl := lits[1].Not()
+					s.watches[nl] = append(s.watches[nl], watcher{w.ref, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[n] = watcher{w.ref, first}
+			n++
+			if s.litValue(first) == lFalse {
+				// Conflict: copy back remaining watchers and bail.
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				s.watches[p] = ws[:n]
+				s.qhead = len(s.trail)
+				return w.ref
+			}
+			s.stats.Propagations++
+			s.uncheckedEnqueue(first, w.ref)
+		}
+		s.watches[p] = ws[:n]
+	}
+	return refUndef
+}
+
+// analyze performs first-UIP conflict analysis. It fills s.conflLit with the
+// learnt clause (asserting literal first) and returns the backjump level.
+func (s *Solver) analyze(confl clauseRef) int {
+	learnt := s.conflLit[:0]
+	learnt = append(learnt, 0) // placeholder for asserting literal
+	pathC := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		c := &s.clauses[confl]
+		if c.learnt {
+			s.bumpClause(confl)
+		}
+		start := 0
+		if p != -1 {
+			start = 1 // skip the asserting literal of the reason
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				pathC++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal on the trail to resolve on.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Remember every marked literal so the seen flags can be fully cleared
+	// even for literals the minimization below removes.
+	s.analyzeT = append(s.analyzeT[:0], learnt...)
+
+	// Clause minimization: drop literals implied by the rest of the clause
+	// (local form — a literal whose reason's literals are all already seen).
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		r := s.reason[v]
+		redundant := false
+		if r != refUndef {
+			redundant = true
+			for _, q := range s.clauses[r].lits[1:] {
+				if !s.seen[q.Var()] && s.level[q.Var()] != 0 {
+					redundant = false
+					break
+				}
+			}
+		}
+		if !redundant {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	// Backjump level: second-highest decision level in the clause.
+	bt := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = int(s.level[learnt[1].Var()])
+	}
+	for _, l := range s.analyzeT {
+		s.seen[l.Var()] = false
+	}
+	s.conflLit = learnt
+	return bt
+}
+
+// cancelUntil undoes assignments above the given decision level.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := int(s.trailLim[lvl])
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.trail[i].Neg()
+		s.assign[v] = lUndef
+		s.reason[v] = refUndef
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) decayVar() { s.varInc /= 0.95 }
+
+func (s *Solver) bumpClause(ref clauseRef) {
+	c := &s.clauses[ref]
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, r := range s.learnts {
+			s.clauses[r].activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayClause() { s.claInc /= 0.999 }
+
+// pickBranchVar selects the unassigned variable with the highest activity.
+func (s *Solver) pickBranchVar() Var {
+	for !s.order.empty() {
+		v := s.order.removeMax()
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// reduceDB removes roughly half of the learnt clauses, keeping the most
+// active ones and all binary clauses / current reasons.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) == 0 {
+		return
+	}
+	// Partial selection: compute median activity by sampling is overkill at
+	// our scale; sort a copy of activities instead.
+	acts := make([]float64, len(s.learnts))
+	for i, r := range s.learnts {
+		acts[i] = s.clauses[r].activity
+	}
+	med := quickSelectMedian(acts)
+	kept := s.learnts[:0]
+	for _, r := range s.learnts {
+		c := &s.clauses[r]
+		locked := false
+		if s.litValue(c.lits[0]) == lTrue && s.reason[c.lits[0].Var()] == r {
+			locked = true
+		}
+		if locked || len(c.lits) <= 2 || c.activity >= med {
+			kept = append(kept, r)
+			continue
+		}
+		s.detachClause(r)
+		c.deleted = true
+		c.lits = nil
+		s.stats.DeletedLearnt++
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) detachClause(ref clauseRef) {
+	c := &s.clauses[ref]
+	for _, l := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[l]
+		for i, w := range ws {
+			if w.ref == ref {
+				ws[i] = ws[len(ws)-1]
+				s.watches[l] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// quickSelectMedian returns the median of xs, mutating xs.
+func quickSelectMedian(xs []float64) float64 {
+	k := len(xs) / 2
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		pivot := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return xs[k]
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,...
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<uint(k))-1 {
+			return int64(1) << uint(k-1)
+		}
+		if i >= int64(1)<<uint(k-1) && i < (int64(1)<<uint(k))-1 {
+			return luby(i - (int64(1) << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve determines satisfiability under the given assumption literals. The
+// clause database persists across calls, enabling incremental use.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	st, _ := s.SolveWithBudget(-1, assumptions...)
+	return st
+}
+
+// SolveWithBudget is Solve with a conflict budget; budget < 0 means
+// unlimited. If the budget is exhausted it returns (Unknown, ErrBudget).
+func (s *Solver) SolveWithBudget(budget int64, assumptions ...Lit) (Status, error) {
+	if !s.ok {
+		return Unsat, nil
+	}
+	s.assumptions = assumptions
+	defer s.cancelUntil(0)
+
+	restartN := int64(0)
+	for {
+		restartN++
+		maxConfl := luby(restartN) * 100
+		st := s.search(maxConfl, &budget)
+		if st == Sat {
+			s.model = append(s.model[:0], s.assign...)
+		}
+		if st != Unknown {
+			return st, nil
+		}
+		if budget == 0 {
+			return Unknown, ErrBudget
+		}
+		s.stats.Restarts++
+		s.cancelUntil(0)
+	}
+}
+
+// search runs CDCL until a result, a restart (maxConfl conflicts), or budget
+// exhaustion. Returns Unknown to signal restart/budget.
+func (s *Solver) search(maxConfl int64, budget *int64) Status {
+	var conflicts int64
+	for {
+		confl := s.propagate()
+		if confl != refUndef {
+			conflicts++
+			s.stats.Conflicts++
+			if *budget > 0 {
+				*budget--
+			}
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			bt := s.analyze(confl)
+			s.cancelUntil(bt)
+			learnt := s.conflLit
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], refUndef)
+			} else {
+				cl := make([]Lit, len(learnt))
+				copy(cl, learnt)
+				ref := s.allocClause(cl, true)
+				s.learnts = append(s.learnts, ref)
+				s.attachClause(ref)
+				s.bumpClause(ref)
+				s.stats.Learnt++
+				s.uncheckedEnqueue(learnt[0], ref)
+			}
+			s.decayVar()
+			s.decayClause()
+			if int64(len(s.learnts)) > int64(s.stats.Clauses)*2+10000 {
+				s.reduceDB()
+			}
+			continue
+		}
+		if conflicts >= maxConfl || (*budget == 0) {
+			return Unknown
+		}
+		// All propagated; pick assumptions first, then decide.
+		next := Lit(-1)
+		for s.decisionLevel() < len(s.assumptions) {
+			a := s.assumptions[s.decisionLevel()]
+			switch s.litValue(a) {
+			case lTrue:
+				// Already satisfied: introduce an empty decision level so
+				// the assumption indexing stays aligned.
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				continue
+			case lFalse:
+				// Assumptions conflict with the formula.
+				return Unsat
+			}
+			next = a
+			break
+		}
+		if next == -1 {
+			v := s.pickBranchVar()
+			if v == -1 {
+				return Sat // all variables assigned
+			}
+			s.stats.Decisions++
+			next = MkLit(v, s.polarity[v])
+		}
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.uncheckedEnqueue(next, refUndef)
+	}
+}

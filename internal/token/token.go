@@ -1,0 +1,117 @@
+// Package token defines the lexical tokens of the Domino packet-transaction
+// language and their source positions.
+//
+// Domino (Sivaraman et al., SIGCOMM 2016) is the input language of the
+// Chipmunk code generator: a C-like language for packet transactions with
+// assignments, if/else, the ternary operator, and integer arithmetic —
+// deliberately without loops or pointers (paper §1), which is what keeps
+// program synthesis tractable.
+package token
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	IDENT // count, last_time
+	NUM   // 10, 0x1f
+
+	// Operators.
+	ASSIGN   // =
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	NOT      // !
+	TILDE    // ~
+	AND      // &
+	OR       // |
+	XOR      // ^
+	LAND     // &&
+	LOR      // ||
+	EQ       // ==
+	NE       // !=
+	LT       // <
+	LE       // <=
+	GT       // >
+	GE       // >=
+	SHL      // <<
+	SHR      // >>
+	QUESTION // ?
+	COLON    // :
+	INC      // ++
+	DEC      // --
+	PLUSEQ   // +=
+	MINUSEQ  // -=
+
+	// Delimiters.
+	DOT       // .
+	COMMA     // ,
+	SEMICOLON // ;
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+
+	// Keywords.
+	IF
+	ELSE
+	INT // optional state-variable declaration marker
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", NUM: "NUM",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", NOT: "!", TILDE: "~",
+	AND: "&", OR: "|", XOR: "^", LAND: "&&", LOR: "||",
+	EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	SHL: "<<", SHR: ">>", QUESTION: "?", COLON: ":",
+	INC: "++", DEC: "--", PLUSEQ: "+=", MINUSEQ: "-=",
+	DOT: ".", COMMA: ",", SEMICOLON: ";",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	IF: "if", ELSE: "else", INT: "int",
+}
+
+// String returns a printable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"if":   IF,
+	"else": ELSE,
+	"int":  INT,
+}
+
+// Pos is a line/column source position, both 1-based.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexeme with its kind and position.
+type Token struct {
+	Kind Kind
+	Lit  string // raw text for IDENT and NUM
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUM:
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,261 @@
+// Package workload generates synthetic packet traces for driving
+// simulated pipelines — the traffic side of the evaluation substrate.
+//
+// The corpus programs are written, as in the paper, over a single logical
+// flow; deployed switches run them per flow behind a match-action lookup.
+// This package supplies both pieces: a deterministic multi-flow traffic
+// generator with the heavy-tailed flow-size and bursty arrival structure
+// real traces exhibit (Zipf-distributed flow sizes, on/off burst arrivals,
+// occasional packet reordering), and a PerFlow wrapper that gives each
+// flow its own state snapshot in front of a synthesized configuration —
+// the "memory-heavy forwarding" half the paper's §2.1 contrasts with the
+// compute-heavy transactions Chipmunk targets.
+//
+// Everything is deterministic given a seed, so examples, tests, and
+// benchmarks reproduce exactly.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/pisa"
+	"repro/internal/word"
+)
+
+// Packet is one generated packet: a flow identifier plus arbitrary field
+// values (time, size, sequence number...).
+type Packet struct {
+	Flow   int
+	Fields map[string]uint64
+}
+
+// Spec configures the generator.
+type Spec struct {
+	// Flows is the number of concurrent flows. Must be >= 1.
+	Flows int
+	// Packets is the trace length.
+	Packets int
+	// ZipfS is the skew of the flow-popularity distribution; 0 disables
+	// skew (uniform). Typical Internet traffic is s ≈ 1.
+	ZipfS float64
+	// MeanGap is the mean inter-packet gap in ticks (>=1). Within a
+	// burst, packets of a flow arrive back to back; between bursts the
+	// gap stretches by BurstGapFactor.
+	MeanGap int
+	// BurstLen is the mean packets per burst (>= 1).
+	BurstLen int
+	// BurstGapFactor stretches inter-burst gaps. 0 means 8.
+	BurstGapFactor int
+	// ReorderProb is the per-packet probability of swapping with the next
+	// packet of the same flow (sequence-number inversion).
+	ReorderProb float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Flows < 1 {
+		s.Flows = 1
+	}
+	if s.Packets < 0 {
+		s.Packets = 0
+	}
+	if s.MeanGap < 1 {
+		s.MeanGap = 1
+	}
+	if s.BurstLen < 1 {
+		s.BurstLen = 4
+	}
+	if s.BurstGapFactor == 0 {
+		s.BurstGapFactor = 8
+	}
+	return s
+}
+
+// Generate produces the trace. Every packet carries the fields:
+//
+//	now      — arrival time in ticks (monotone per trace)
+//	size     — packet size (64..1500, bimodal like real traffic)
+//	seq      — per-flow sequence number, with ReorderProb inversions
+//	rtt      — a per-flow base RTT plus jitter
+//
+// Field values are raw; truncate to a datapath width before feeding a
+// pipeline (PerFlow does this automatically).
+func Generate(spec Spec) []Packet {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	// Flow popularity: Zipf over flow ids.
+	weights := make([]float64, spec.Flows)
+	total := 0.0
+	for i := range weights {
+		w := 1.0
+		if spec.ZipfS > 0 {
+			w = 1.0 / math.Pow(float64(i+1), spec.ZipfS)
+		}
+		weights[i] = w
+		total += w
+	}
+	pick := func() int {
+		x := rng.Float64() * total
+		for i, w := range weights {
+			x -= w
+			if x <= 0 {
+				return i
+			}
+		}
+		return spec.Flows - 1
+	}
+
+	type flowState struct {
+		seq      uint64
+		baseRTT  uint64
+		inBurst  int
+		lastTime uint64
+	}
+	flows := make([]flowState, spec.Flows)
+	for i := range flows {
+		flows[i].baseRTT = uint64(5 + rng.Intn(25))
+	}
+
+	now := uint64(1)
+	out := make([]Packet, 0, spec.Packets)
+	for len(out) < spec.Packets {
+		f := pick()
+		st := &flows[f]
+		// Burst structure: while in a burst, small gaps; at burst end, a
+		// long gap for this flow (but global time advances per packet).
+		gap := 1 + rng.Intn(spec.MeanGap)
+		if st.inBurst <= 0 {
+			st.inBurst = 1 + rng.Intn(2*spec.BurstLen)
+			gap *= spec.BurstGapFactor
+		}
+		st.inBurst--
+		now += uint64(gap)
+
+		size := uint64(64)
+		if rng.Float64() < 0.4 { // bimodal: ACK-sized vs MTU-sized
+			size = uint64(1400 + rng.Intn(100))
+		} else {
+			size = uint64(64 + rng.Intn(200))
+		}
+		st.seq++
+		pkt := Packet{Flow: f, Fields: map[string]uint64{
+			"now":  now,
+			"size": size,
+			"seq":  st.seq,
+			"rtt":  st.baseRTT + uint64(rng.Intn(10)),
+		}}
+		st.lastTime = now
+		out = append(out, pkt)
+	}
+
+	// Reordering: swap adjacent same-flow packets with probability.
+	if spec.ReorderProb > 0 {
+		lastIdx := map[int]int{}
+		for i := range out {
+			f := out[i].Flow
+			if j, ok := lastIdx[f]; ok && rng.Float64() < spec.ReorderProb {
+				out[i].Fields["seq"], out[j].Fields["seq"] =
+					out[j].Fields["seq"], out[i].Fields["seq"]
+			}
+			lastIdx[f] = i
+		}
+	}
+	return out
+}
+
+// Stats summarizes a trace for reports and tests.
+type Stats struct {
+	Packets      int
+	Flows        int
+	TopFlowShare float64 // fraction of packets in the most popular flow
+	Reordered    int     // packets whose seq is below the running per-flow max
+}
+
+// Summarize computes trace statistics.
+func Summarize(trace []Packet) Stats {
+	st := Stats{Packets: len(trace)}
+	perFlow := map[int]int{}
+	maxSeq := map[int]uint64{}
+	for _, p := range trace {
+		perFlow[p.Flow]++
+		if p.Fields["seq"] < maxSeq[p.Flow] {
+			st.Reordered++
+		}
+		if p.Fields["seq"] > maxSeq[p.Flow] {
+			maxSeq[p.Flow] = p.Fields["seq"]
+		}
+	}
+	st.Flows = len(perFlow)
+	top := 0
+	for _, n := range perFlow {
+		if n > top {
+			top = n
+		}
+	}
+	if st.Packets > 0 {
+		st.TopFlowShare = float64(top) / float64(st.Packets)
+	}
+	return st
+}
+
+// PerFlow runs a synthesized configuration with per-flow state — the
+// match-action front half of a deployed switch program: flow id indexes a
+// state table, the pipeline transforms (packet, state[flow]).
+type PerFlow struct {
+	cfg   *pisa.Config
+	w     word.Width
+	state map[int]map[string]uint64
+}
+
+// NewPerFlow wraps a configuration.
+func NewPerFlow(cfg *pisa.Config) *PerFlow {
+	return &PerFlow{cfg: cfg, w: cfg.Grid.WordWidth, state: map[int]map[string]uint64{}}
+}
+
+// Process pushes one packet through the pipeline against its flow's state,
+// returning the output packet fields. Field values are truncated to the
+// datapath width.
+func (pf *PerFlow) Process(p Packet) map[string]uint64 {
+	st, ok := pf.state[p.Flow]
+	if !ok {
+		st = map[string]uint64{}
+		pf.state[p.Flow] = st
+	}
+	pkt := map[string]uint64{}
+	for k, v := range p.Fields {
+		pkt[k] = pf.w.Trunc(v)
+	}
+	outPkt, outState := pf.cfg.Exec(pkt, st)
+	pf.state[p.Flow] = outState
+	return outPkt
+}
+
+// StateOf returns a copy of one flow's current state.
+func (pf *PerFlow) StateOf(flow int) map[string]uint64 {
+	out := map[string]uint64{}
+	for k, v := range pf.state[flow] {
+		out[k] = v
+	}
+	return out
+}
+
+// FlowIDs returns the flows with state, sorted.
+func (pf *PerFlow) FlowIDs() []int {
+	ids := make([]int, 0, len(pf.state))
+	for id := range pf.state {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// String renders stats for reports.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d packets, %d flows, top flow %.0f%%, %d reordered",
+		s.Packets, s.Flows, s.TopFlowShare*100, s.Reordered)
+}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/programs"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Flows: 8, Packets: 500, ZipfS: 1, Seed: 3}
+	a := Generate(spec)
+	b := Generate(spec)
+	if len(a) != len(b) || len(a) != 500 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Flow != b[i].Flow {
+			t.Fatalf("packet %d: flows differ", i)
+		}
+		for k, v := range a[i].Fields {
+			if b[i].Fields[k] != v {
+				t.Fatalf("packet %d field %s differs", i, k)
+			}
+		}
+	}
+	c := Generate(Spec{Flows: 8, Packets: 500, ZipfS: 1, Seed: 4})
+	diff := 0
+	for i := range a {
+		if a[i].Flow != c[i].Flow {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestTimeIsMonotone(t *testing.T) {
+	trace := Generate(Spec{Flows: 4, Packets: 300, Seed: 1})
+	prev := uint64(0)
+	for i, p := range trace {
+		if p.Fields["now"] <= prev {
+			t.Fatalf("packet %d: time %d not after %d", i, p.Fields["now"], prev)
+		}
+		prev = p.Fields["now"]
+	}
+}
+
+func TestSequenceNumbersPerFlow(t *testing.T) {
+	trace := Generate(Spec{Flows: 3, Packets: 300, Seed: 2})
+	count := map[int]uint64{}
+	maxSeq := map[int]uint64{}
+	for _, p := range trace {
+		count[p.Flow]++
+		if p.Fields["seq"] > maxSeq[p.Flow] {
+			maxSeq[p.Flow] = p.Fields["seq"]
+		}
+	}
+	for f, n := range count {
+		if maxSeq[f] != n {
+			t.Fatalf("flow %d: %d packets but max seq %d (no reordering requested)", f, n, maxSeq[f])
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	uniform := Summarize(Generate(Spec{Flows: 16, Packets: 4000, ZipfS: 0, Seed: 5}))
+	skewed := Summarize(Generate(Spec{Flows: 16, Packets: 4000, ZipfS: 1.2, Seed: 5}))
+	if skewed.TopFlowShare <= uniform.TopFlowShare {
+		t.Fatalf("zipf should concentrate traffic: %.2f vs %.2f",
+			skewed.TopFlowShare, uniform.TopFlowShare)
+	}
+	if skewed.TopFlowShare < 0.2 {
+		t.Fatalf("s=1.2 over 16 flows should give the top flow >20%%: %.2f", skewed.TopFlowShare)
+	}
+}
+
+func TestReordering(t *testing.T) {
+	clean := Summarize(Generate(Spec{Flows: 4, Packets: 1000, Seed: 6}))
+	if clean.Reordered != 0 {
+		t.Fatalf("no reordering requested but %d reordered", clean.Reordered)
+	}
+	dirty := Summarize(Generate(Spec{Flows: 4, Packets: 1000, ReorderProb: 0.2, Seed: 6}))
+	if dirty.Reordered == 0 {
+		t.Fatal("requested reordering produced none")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Summarize(Generate(Spec{Flows: 2, Packets: 10, Seed: 1}))
+	if !strings.Contains(s.String(), "10 packets") {
+		t.Fatalf("stats render: %s", s)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	trace := Generate(Spec{Packets: 5, Seed: 1}) // zero-value everything else
+	if len(trace) != 5 {
+		t.Fatalf("len %d", len(trace))
+	}
+	for _, p := range trace {
+		if p.Flow != 0 {
+			t.Fatal("single default flow expected")
+		}
+	}
+	if got := Generate(Spec{Packets: -3, Seed: 1}); len(got) != 0 {
+		t.Fatal("negative packet count should yield empty trace")
+	}
+}
+
+// TestPerFlowIsolation drives the synthesized new-flow detector with
+// per-flow state: exactly one new-flow flag per flow, regardless of
+// interleaving — the property a shared-state run would violate.
+func TestPerFlowIsolation(t *testing.T) {
+	b, err := programs.ByName("marple_new_flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := core.Compile(ctx, b.Parse(), core.Options{
+		Width:        b.Width,
+		MaxStages:    b.MaxStages,
+		StatelessALU: alu.Stateless{ConstBits: b.ConstBits},
+		StatefulALU:  alu.Stateful{Kind: b.StatefulALU, ConstBits: b.ConstBits},
+		Seed:         7,
+	})
+	if err != nil || !rep.Feasible {
+		t.Fatalf("setup compile failed: %v", err)
+	}
+
+	pf := NewPerFlow(rep.Config)
+	trace := Generate(Spec{Flows: 6, Packets: 400, ZipfS: 1, Seed: 9})
+	newFlags := map[int]int{}
+	for _, p := range trace {
+		p.Fields["new_flow"] = 0
+		out := pf.Process(p)
+		if out["new_flow"] == 1 {
+			newFlags[p.Flow]++
+		}
+	}
+	seen := Summarize(trace).Flows
+	if len(newFlags) != seen {
+		t.Fatalf("flows flagged: %d, flows present: %d", len(newFlags), seen)
+	}
+	for f, n := range newFlags {
+		if n != 1 {
+			t.Fatalf("flow %d flagged %d times, want exactly once", f, n)
+		}
+	}
+	if got := len(pf.FlowIDs()); got != seen {
+		t.Fatalf("state table has %d flows, want %d", got, seen)
+	}
+}
+
+// TestPerFlowMatchesInterpreter differential-tests the per-flow wrapper:
+// each flow's trajectory must equal running the program per flow in the
+// reference interpreter.
+func TestPerFlowMatchesInterpreter(t *testing.T) {
+	b, _ := programs.ByName("marple_reorder")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := core.Compile(ctx, b.Parse(), core.Options{
+		Width:        b.Width,
+		MaxStages:    b.MaxStages,
+		StatelessALU: alu.Stateless{ConstBits: b.ConstBits},
+		StatefulALU:  alu.Stateful{Kind: b.StatefulALU, ConstBits: b.ConstBits},
+		Seed:         7,
+	})
+	if err != nil || !rep.Feasible {
+		t.Fatalf("setup compile failed: %v", err)
+	}
+	prog := b.Parse()
+	w := rep.Config.Grid.WordWidth
+	in := interp.MustNew(w)
+
+	pf := NewPerFlow(rep.Config)
+	refState := map[int]map[string]uint64{}
+	trace := Generate(Spec{Flows: 5, Packets: 300, ReorderProb: 0.15, Seed: 11})
+	for i, p := range trace {
+		p.Fields["reordered"] = 0
+		got := pf.Process(p)
+
+		snap := interp.NewSnapshot()
+		for k, v := range p.Fields {
+			snap.Pkt[k] = w.Trunc(v)
+		}
+		if st := refState[p.Flow]; st != nil {
+			snap.State = st
+		}
+		want, err := in.Run(prog, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refState[p.Flow] = want.State
+		if got["reordered"] != want.Pkt["reordered"] {
+			t.Fatalf("packet %d flow %d: reordered=%d, interp says %d",
+				i, p.Flow, got["reordered"], want.Pkt["reordered"])
+		}
+	}
+}

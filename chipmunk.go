@@ -41,6 +41,7 @@ import (
 	"repro/internal/emit"
 	"repro/internal/eval"
 	"repro/internal/mutate"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/pisa"
 	"repro/internal/programs"
@@ -151,6 +152,38 @@ func Table2(outcomes []MutantOutcome) string {
 // Figure5 renders the paper's Figure 5 data from evaluation outcomes.
 func Figure5(outcomes []MutantOutcome) string {
 	return eval.RenderFigure5(eval.Figure5(outcomes))
+}
+
+// --- Observability ----------------------------------------------------------
+
+// Tracer collects a hierarchical span trace of the synthesis pipeline
+// (compile → attempt → CEGIS iteration → phase → SAT solve). Install one
+// into the context passed to Compile with WithTracer, then export with
+// StreamTo (JSONL) or Summary (indented tree).
+type Tracer = obs.Tracer
+
+// Metrics is a registry of named counters, gauges and histograms the
+// pipeline populates (sat.conflicts, cegis.iterations, cnf.vars, ...).
+// Install with WithMetrics; it is safe to share across concurrent compiles.
+type Metrics = obs.Registry
+
+// Effort summarizes a compilation's solver work (Report.Effort).
+type Effort = core.Effort
+
+// NewTracer returns an empty span tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WithTracer returns a context that records synthesis spans into tr.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return obs.ContextWithTracer(ctx, tr)
+}
+
+// WithMetrics returns a context that accumulates pipeline metrics into m.
+func WithMetrics(ctx context.Context, m *Metrics) context.Context {
+	return obs.ContextWithMetrics(ctx, m)
 }
 
 // --- The paper's §5 future-work directions, implemented --------------------

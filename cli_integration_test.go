@@ -5,9 +5,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/pisa"
 )
 
@@ -228,5 +230,131 @@ func TestCLIPisasimWorkload(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "0 divergences") {
 		t.Fatalf("expected zero divergences:\n%s", out)
+	}
+}
+
+// TestCLIChipmunkTraceAndStats checks that -trace-out writes a well-formed
+// JSONL span trace and -stats prints a metrics block whose SAT conflict
+// total is the sum of the per-solve deltas recorded in the trace's
+// sat.solve spans.
+func TestCLIChipmunkTraceAndStats(t *testing.T) {
+	bin := buildTool(t, "chipmunk")
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	out, err := exec.Command(bin, "-width", "2", "-alu", "if_else_raw",
+		"-trace-out", trace, "-stats", samplingPath(t)).CombinedOutput()
+	if err != nil {
+		t.Fatalf("chipmunk -trace-out -stats failed: %v\n%s", err, out)
+	}
+
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadRecords(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if err := obs.CheckWellFormed(recs); err != nil {
+		t.Fatalf("trace not well-formed: %v", err)
+	}
+	if len(recs) == 0 || recs[0].Name != "compile" {
+		t.Fatalf("trace should open with a compile span, got %+v", recs[:1])
+	}
+
+	// Sum the per-solve conflict deltas carried on sat.solve end records.
+	// (Phase spans carry a conflicts attr too; count only the leaves.)
+	names := map[int64]string{}
+	for _, r := range recs {
+		if r.Type == obs.RecordStart {
+			names[r.ID] = r.Name
+		}
+	}
+	var fromSpans int64
+	for _, r := range recs {
+		if r.Type == obs.RecordEnd && names[r.ID] == "sat.solve" {
+			if v, ok := r.Attrs["conflicts"].(float64); ok {
+				fromSpans += int64(v)
+			}
+		}
+	}
+
+	// The -stats block reports the registry's cumulative counter.
+	var fromStats int64 = -1
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == "sat.conflicts" {
+			n, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad sat.conflicts line %q: %v", line, err)
+			}
+			fromStats = n
+		}
+	}
+	if fromStats < 0 {
+		t.Fatalf("-stats output missing sat.conflicts:\n%s", out)
+	}
+	if fromStats != fromSpans {
+		t.Fatalf("stats sat.conflicts = %d but trace spans sum to %d", fromStats, fromSpans)
+	}
+	if !strings.Contains(string(out), "--- spans ---") || !strings.Contains(string(out), "compile") {
+		t.Fatalf("-stats missing span summary:\n%s", out)
+	}
+}
+
+// TestCLIEvalgenEffortColumns checks the new effort CSV columns, the
+// Table 2 effort footer, -stats and -trace-dir.
+func TestCLIEvalgenEffortColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evalgen run in -short mode")
+	}
+	bin := buildTool(t, "evalgen")
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "out.csv")
+	traces := filepath.Join(dir, "traces")
+	out, err := exec.Command(bin,
+		"-programs", "sampling",
+		"-mutants", "2",
+		"-csv", csv,
+		"-stats",
+		"-trace-dir", traces,
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("evalgen failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "solver effort:") {
+		t.Errorf("Table 2 missing effort footer:\n%s", out)
+	}
+	if !strings.Contains(string(out), "sat.conflicts") {
+		t.Errorf("-stats block missing:\n%s", out)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(string(data), "\n", 2)[0]
+	if !strings.Contains(header, "chipmunk_conflicts") || !strings.Contains(header, "chipmunk_peak_cnf_vars") {
+		t.Fatalf("CSV header missing effort columns: %s", header)
+	}
+	entries, err := os.ReadDir(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("expected 2 trace files, found %d", len(entries))
+	}
+	for _, e := range entries {
+		f, err := os.Open(filepath.Join(traces, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := obs.ReadRecords(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if err := obs.CheckWellFormed(recs); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
 	}
 }

@@ -19,9 +19,12 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -29,7 +32,9 @@ import (
 	"repro/internal/cegis"
 	"repro/internal/core"
 	"repro/internal/emit"
+	"repro/internal/obs"
 	"repro/internal/parser"
+	"repro/internal/sat"
 	"repro/internal/word"
 )
 
@@ -55,6 +60,9 @@ func run() error {
 		asJSON      = flag.Bool("json", false, "emit the configuration as JSON")
 		emitLang    = flag.String("emit", "", "translate the configuration to low-level code: \"go\" or \"p4\"")
 		verbose     = flag.Bool("v", false, "trace CEGIS phases")
+		traceOut    = flag.String("trace-out", "", "write a JSONL span trace of the synthesis run to this file")
+		stats       = flag.Bool("stats", false, "print solver metrics and a span summary tree to stderr")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -84,13 +92,55 @@ func run() error {
 	}
 	if *verbose {
 		opts.Trace = func(e cegis.Event) {
-			fmt.Fprintf(os.Stderr, "  iter %2d %-6s %-7s %v\n", e.Iter, e.Phase, e.Outcome, e.Elapsed.Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "  iter %2d %-6s %-7s %d conflicts %v\n",
+				e.Iter, e.Phase, e.Outcome, e.Conflicts(), e.Elapsed.Round(time.Millisecond))
+		}
+		opts.Progress = func(phase string, st sat.Stats) {
+			fmt.Fprintf(os.Stderr, "  ... %s solving: %d conflicts, %d decisions\n",
+				phase, st.Conflicts, st.Decisions)
 		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	var tracer *obs.Tracer
+	if *traceOut != "" || *stats {
+		tracer = obs.NewTracer()
+		ctx = obs.ContextWithTracer(ctx, tracer)
+	}
+	var reg *obs.Registry
+	if *stats || *pprofAddr != "" {
+		reg = obs.NewRegistry()
+		ctx = obs.ContextWithMetrics(ctx, reg)
+	}
+	if *pprofAddr != "" {
+		expvar.Publish("chipmunk", expvar.Func(func() any { return reg.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "chipmunk: pprof server:", err)
+			}
+		}()
+	}
+
 	rep, err := core.Compile(ctx, prog, opts)
+
+	if tracer != nil && *traceOut != "" {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			return ferr
+		}
+		tracer.StreamTo(f)
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, "--- metrics ---")
+		fmt.Fprint(os.Stderr, reg.String())
+		fmt.Fprintln(os.Stderr, "--- spans ---")
+		fmt.Fprint(os.Stderr, tracer.Summary())
+	}
 	if err != nil {
 		return err
 	}

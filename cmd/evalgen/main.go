@@ -5,7 +5,7 @@
 // Usage:
 //
 //	evalgen [-mutants 10] [-seed 42] [-timeout 2m] [-programs rcp,flowlet]
-//	        [-table2] [-figure5] [-csv out.csv]
+//	        [-table2] [-figure5] [-csv out.csv] [-stats] [-trace-dir traces/]
 //
 // With no selection flags both tables print. The run is deterministic per
 // seed; compilations parallelize across cores.
@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -39,6 +40,8 @@ func run() error {
 		table2   = flag.Bool("table2", false, "print Table 2 only")
 		figure5  = flag.Bool("figure5", false, "print Figure 5 only")
 		csvPath  = flag.String("csv", "", "also write raw per-mutant outcomes as CSV")
+		traceDir = flag.String("trace-dir", "", "write one JSONL span trace per mutant compilation into this directory")
+		stats    = flag.Bool("stats", false, "print aggregate solver metrics after the run")
 	)
 	flag.Parse()
 
@@ -50,6 +53,17 @@ func run() error {
 	}
 	if *progs != "" {
 		opts.Programs = strings.Split(*progs, ",")
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+		opts.TraceDir = *traceDir
+	}
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
 	}
 
 	start := time.Now()
@@ -72,6 +86,13 @@ func run() error {
 			return err
 		}
 		fmt.Printf("raw outcomes written to %s\n", *csvPath)
+	}
+	if *stats {
+		fmt.Println("=== solver metrics (all compilations) ===")
+		fmt.Print(reg.String())
+	}
+	if *traceDir != "" {
+		fmt.Printf("span traces written to %s\n", *traceDir)
 	}
 	fmt.Printf("total wall clock: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

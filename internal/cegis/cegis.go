@@ -28,6 +28,7 @@ package cegis
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sort"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/circuit"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/pisa"
 	"repro/internal/sat"
 	"repro/internal/sketch"
@@ -64,7 +66,15 @@ type Options struct {
 	Seed int64
 	// Trace, when non-nil, receives an event per phase transition; used by
 	// tests and the evaluation harness to report convergence behaviour.
+	// Events are derived from the span instrumentation (internal/obs):
+	// each phase span's outcome and solver-effort attributes are mirrored
+	// into an Event, so the callback keeps working unchanged alongside
+	// the structured trace.
 	Trace func(Event)
+	// Progress, when non-nil, is invoked from inside long SAT solves every
+	// few thousand conflicts with the phase name and a counter snapshot,
+	// so multi-minute solves (Table 2's worst cases) stay observable.
+	Progress func(phase string, st sat.Stats)
 }
 
 func (o *Options) synthWidth() word.Width {
@@ -105,7 +115,20 @@ type Event struct {
 	// Counterexample is set on verify/sat events.
 	Counterexample *interp.Snapshot
 	Elapsed        time.Duration
+	// SynthConflicts and VerifyConflicts carry the SAT conflicts this
+	// event's solve contributed — a per-phase delta (sat.StatsDelta), not
+	// the cumulative totals Result reports. The field matching Phase is
+	// set; the other is zero.
+	SynthConflicts  int64
+	VerifyConflicts int64
+	// Decisions and Propagations are this phase's solver-effort deltas.
+	Decisions    int64
+	Propagations int64
 }
+
+// Conflicts returns the phase's conflict delta regardless of which phase
+// the event reports.
+func (e Event) Conflicts() int64 { return e.SynthConflicts + e.VerifyConflicts }
 
 // Result is the outcome of a synthesis run.
 type Result struct {
@@ -126,12 +149,79 @@ type Result struct {
 	// SynthConflicts and VerifyConflicts aggregate SAT effort per phase.
 	SynthConflicts  int64
 	VerifyConflicts int64
+	// Decisions and Propagations aggregate SAT effort across both phases.
+	Decisions    int64
+	Propagations int64
+	// PeakCNFVars and PeakCNFClauses are the largest encoding any single
+	// phase solver reached; Gates is the largest circuit DAG built.
+	PeakCNFVars    int
+	PeakCNFClauses int
+	Gates          int
 	// Elapsed is total wall-clock time.
 	Elapsed time.Duration
 }
 
 // budgetChunk is how many SAT conflicts run between context checks.
 const budgetChunk = 2000
+
+// progressInterval is how many SAT conflicts run between Options.Progress
+// callbacks.
+const progressInterval = 5000
+
+// solveTraced runs one budgeted solve inside a "sat.solve" span, wiring
+// the optional progress callback, and returns the per-solve effort delta.
+func solveTraced(ctx context.Context, s *sat.Solver, phase string, progress func(string, sat.Stats)) (st sat.Status, delta sat.Stats, timedOut bool) {
+	if progress != nil {
+		s.SetProgress(progressInterval, func(st sat.Stats) { progress(phase, st) })
+		defer s.SetProgress(0, nil)
+	}
+	_, span := obs.StartSpan(ctx, "sat.solve")
+	st, timedOut = solveWithContext(ctx, s)
+	delta = s.StatsDelta()
+	span.End(
+		obs.String("status", st.String()),
+		obs.Int64("conflicts", delta.Conflicts),
+		obs.Int64("decisions", delta.Decisions),
+		obs.Int64("propagations", delta.Propagations),
+		obs.Int("cnf_vars", delta.MaxVar),
+	)
+	return st, delta, timedOut
+}
+
+// publishSolve accumulates one solve's effort delta into the metrics
+// registry (a nil registry no-ops).
+func publishSolve(reg *obs.Registry, d sat.Stats) {
+	reg.Counter("sat.solves").Add(1)
+	reg.Counter("sat.conflicts").Add(d.Conflicts)
+	reg.Counter("sat.decisions").Add(d.Decisions)
+	reg.Counter("sat.propagations").Add(d.Propagations)
+	reg.Counter("sat.restarts").Add(d.Restarts)
+	reg.Counter("sat.learnt").Add(d.Learnt)
+	reg.Gauge("cnf.vars").SetMax(int64(d.MaxVar))
+	reg.Gauge("cnf.clauses").SetMax(int64(d.Clauses))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// cexBits returns the widest significant bit count across a
+// counterexample's field and state values — the "counterexample width"
+// histogram metric (wide counterexamples mean verification is exercising
+// the upper bits the narrow synthesis tier never saw).
+func cexBits(cex interp.Snapshot) int {
+	w := 0
+	for _, v := range cex.Pkt {
+		w = maxInt(w, bits.Len64(v))
+	}
+	for _, v := range cex.State {
+		w = maxInt(w, bits.Len64(v))
+	}
+	return w
+}
 
 // Synthesize runs CEGIS to fit prog onto the grid. The grid's WordWidth is
 // ignored (widths come from Options); the returned configuration records
@@ -163,6 +253,8 @@ func Synthesize(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, opts
 		return nil, err
 	}
 	_, res.HoleBits = sk.HoleCount()
+	reg := obs.MetricsFrom(ctx)
+	sk.PublishMetrics(reg)
 
 	synthSolver := sat.New()
 	synthCNF := circuit.NewCNF(b, synthSolver)
@@ -193,6 +285,7 @@ func Synthesize(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, opts
 			synthCNF.Assert(b.EqW(outS[i], b.ConstWord(specOut.State[s], w)))
 		}
 		res.Tests++
+		reg.Counter("cegis.tests").Add(1)
 		return nil
 	}
 
@@ -225,13 +318,33 @@ func Synthesize(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, opts
 
 	for iter := 1; iter <= opts.maxIters(); iter++ {
 		res.Iters = iter
+		reg.Counter("cegis.iterations").Add(1)
+		iterCtx, iterSpan := obs.StartSpan(ctx, "cegis.iter", obs.Int("iter", iter))
 
 		// --- Synthesis phase (Equation 2) ---
 		phaseStart := time.Now()
-		st, timedOut := solveWithContext(ctx, synthSolver)
+		synthCtx, synthSpan := obs.StartSpan(iterCtx, "synth", obs.Int("tests", res.Tests))
+		st, sd, timedOut := solveTraced(synthCtx, synthSolver, "synth", opts.Progress)
+		publishSolve(reg, sd)
+		reg.Gauge("circuit.gates").SetMax(int64(b.NumGates()))
 		res.SynthConflicts = synthSolver.Stats().Conflicts
+		res.Decisions += sd.Decisions
+		res.Propagations += sd.Propagations
+		res.PeakCNFVars = maxInt(res.PeakCNFVars, sd.MaxVar)
+		res.PeakCNFClauses = maxInt(res.PeakCNFClauses, synthCNF.NumClauses())
+		res.Gates = maxInt(res.Gates, b.NumGates())
+
+		outcome := "sat"
 		if timedOut {
-			trace(Event{Iter: iter, Phase: "synth", Outcome: "timeout", Elapsed: time.Since(phaseStart)})
+			outcome = "timeout"
+		} else if st == sat.Unsat {
+			outcome = "unsat"
+		}
+		synthSpan.End(obs.String("outcome", outcome), obs.Int64("conflicts", sd.Conflicts))
+		trace(Event{Iter: iter, Phase: "synth", Outcome: outcome, Elapsed: time.Since(phaseStart),
+			SynthConflicts: sd.Conflicts, Decisions: sd.Decisions, Propagations: sd.Propagations})
+		if timedOut {
+			iterSpan.End(obs.String("outcome", "timeout"))
 			res.TimedOut = true
 			res.Elapsed = time.Since(start)
 			return res, nil
@@ -239,35 +352,57 @@ func Synthesize(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, opts
 		if st == sat.Unsat {
 			// No hole assignment matches the spec even on the current
 			// finite test set: the sketch is infeasible (Figure 1 right).
-			trace(Event{Iter: iter, Phase: "synth", Outcome: "unsat", Elapsed: time.Since(phaseStart)})
+			iterSpan.End(obs.String("outcome", "infeasible"))
 			res.Elapsed = time.Since(start)
 			return res, nil
 		}
-		trace(Event{Iter: iter, Phase: "synth", Outcome: "sat", Elapsed: time.Since(phaseStart)})
 		cfg := sk.ExtractConfig(synthCNF, fields, states, vw)
 
 		// --- Verification phase (Equation 3) ---
 		phaseStart = time.Now()
-		cex, verified, vconf, timedOut := verify(ctx, prog, cfg, fields, states, vw)
-		res.VerifyConflicts += vconf
-		if timedOut {
-			trace(Event{Iter: iter, Phase: "verify", Outcome: "timeout", Elapsed: time.Since(phaseStart)})
+		verifyCtx, verifySpan := obs.StartSpan(iterCtx, "verify")
+		vo := verify(verifyCtx, prog, cfg, fields, states, vw, opts.Progress)
+		publishSolve(reg, vo.stats)
+		reg.Gauge("circuit.gates").SetMax(int64(vo.gates))
+		res.VerifyConflicts += vo.stats.Conflicts
+		res.Decisions += vo.stats.Decisions
+		res.Propagations += vo.stats.Propagations
+		res.PeakCNFVars = maxInt(res.PeakCNFVars, vo.stats.MaxVar)
+		res.PeakCNFClauses = maxInt(res.PeakCNFClauses, vo.clauses)
+		res.Gates = maxInt(res.Gates, vo.gates)
+
+		outcome = "sat"
+		if vo.timedOut {
+			outcome = "timeout"
+		} else if vo.verified {
+			outcome = "unsat"
+		}
+		verifySpan.End(obs.String("outcome", outcome), obs.Int64("conflicts", vo.stats.Conflicts))
+		ev := Event{Iter: iter, Phase: "verify", Outcome: outcome, Elapsed: time.Since(phaseStart),
+			VerifyConflicts: vo.stats.Conflicts, Decisions: vo.stats.Decisions, Propagations: vo.stats.Propagations}
+		if outcome == "sat" {
+			ev.Counterexample = &vo.cex
+		}
+		trace(ev)
+		if vo.timedOut {
+			iterSpan.End(obs.String("outcome", "timeout"))
 			res.TimedOut = true
 			res.Elapsed = time.Since(start)
 			return res, nil
 		}
-		if verified {
-			trace(Event{Iter: iter, Phase: "verify", Outcome: "unsat", Elapsed: time.Since(phaseStart)})
+		if vo.verified {
+			iterSpan.End(obs.String("outcome", "feasible"))
 			res.Feasible = true
 			res.Config = cfg
 			res.Elapsed = time.Since(start)
 			return res, nil
 		}
-		trace(Event{Iter: iter, Phase: "verify", Outcome: "sat", Counterexample: &cex, Elapsed: time.Since(phaseStart)})
+		reg.Histogram("cegis.cex_bits").Observe(int64(cexBits(vo.cex)))
+		iterSpan.End(obs.String("outcome", "counterexample"))
 		// Feed the counterexample back at the verification width (the
 		// paper's outer loop: "rerun SKETCH using the counterexample as an
 		// additional concrete input").
-		if err := addTest(cex, vw); err != nil {
+		if err := addTest(vo.cex, vw); err != nil {
 			return nil, err
 		}
 	}
@@ -275,10 +410,22 @@ func Synthesize(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, opts
 	return res, fmt.Errorf("cegis: no convergence after %d iterations (%d tests)", res.Iters, res.Tests)
 }
 
+// verifyOutcome carries one verification query's result and effort.
+type verifyOutcome struct {
+	cex      interp.Snapshot
+	verified bool
+	timedOut bool
+	// stats is the verification solver's effort (a fresh solver per
+	// query, so cumulative == delta); gates and clauses size the encoding.
+	stats   sat.Stats
+	gates   int
+	clauses int
+}
+
 // verify searches for an input on which the configured pipeline and the
 // specification disagree at width w. It returns the counterexample if one
 // exists.
-func verify(ctx context.Context, prog *ast.Program, cfg *pisa.Config, fields, states []string, w word.Width) (cex interp.Snapshot, verified bool, conflicts int64, timedOut bool) {
+func verify(ctx context.Context, prog *ast.Program, cfg *pisa.Config, fields, states []string, w word.Width, progress func(string, sat.Stats)) verifyOutcome {
 	b := circuit.New()
 	cc := arith.Circ{B: b, W: w}
 
@@ -323,22 +470,24 @@ func verify(ctx context.Context, prog *ast.Program, cfg *pisa.Config, fields, st
 	solver := sat.New()
 	cnf := circuit.NewCNF(b, solver)
 	cnf.AssertNot(equal)
-	st, timedOut := solveWithContext(ctx, solver)
-	conflicts = solver.Stats().Conflicts
+	st, delta, timedOut := solveTraced(ctx, solver, "verify", progress)
+	out := verifyOutcome{stats: delta, gates: b.NumGates(), clauses: cnf.NumClauses()}
 	if timedOut {
-		return interp.Snapshot{}, false, conflicts, true
+		out.timedOut = true
+		return out
 	}
 	if st == sat.Unsat {
-		return interp.Snapshot{}, true, conflicts, false
+		out.verified = true
+		return out
 	}
-	cex = interp.NewSnapshot()
+	out.cex = interp.NewSnapshot()
 	for i, f := range fields {
-		cex.Pkt[f] = cnf.WordValue(fw[i])
+		out.cex.Pkt[f] = cnf.WordValue(fw[i])
 	}
 	for i, s := range states {
-		cex.State[s] = cnf.WordValue(sw[i])
+		out.cex.State[s] = cnf.WordValue(sw[i])
 	}
-	return cex, false, conflicts, false
+	return out
 }
 
 // solveWithContext runs the solver in budgeted chunks, checking the context

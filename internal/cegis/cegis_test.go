@@ -9,6 +9,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/circuit"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/pisa"
 	"repro/internal/sat"
@@ -499,5 +500,115 @@ func TestUnknownExpressionTypeErrors(t *testing.T) {
 	_, err := Synthesize(context.Background(), prog, grid(1, 1, alu.Counter, 4), Options{Seed: 1})
 	if err == nil {
 		t.Fatal("nil expression should surface an error")
+	}
+}
+
+// TestObservabilityAgreement runs one synthesis with every telemetry sink
+// attached and checks the three views agree: Trace event deltas sum to the
+// Result's cumulative totals, the metrics registry's counters match the
+// same sums, and the span trace is well-formed with the documented
+// hierarchy.
+func TestObservabilityAgreement(t *testing.T) {
+	tr := obs.NewTracer()
+	reg := obs.NewRegistry()
+	ctx := obs.ContextWithMetrics(obs.ContextWithTracer(context.Background(), tr), reg)
+
+	var events []Event
+	prog := parser.MustParse("test", `
+int count = 0;
+if (count == 10) { count = 0; pkt.sample = 1; }
+else { count = count + 1; pkt.sample = 0; }
+`)
+	res, err := Synthesize(ctx, prog, grid(1, 2, alu.IfElseRaw, 4), Options{
+		Seed:  7,
+		Trace: func(e Event) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("program should be feasible")
+	}
+
+	var evSynth, evVerify, evDecisions, evPropagations int64
+	for _, e := range events {
+		evSynth += e.SynthConflicts
+		evVerify += e.VerifyConflicts
+		evDecisions += e.Decisions
+		evPropagations += e.Propagations
+		if e.Conflicts() != e.SynthConflicts+e.VerifyConflicts {
+			t.Fatalf("Conflicts() inconsistent: %+v", e)
+		}
+	}
+	if evSynth != res.SynthConflicts {
+		t.Fatalf("event synth conflict deltas sum to %d, Result says %d", evSynth, res.SynthConflicts)
+	}
+	if evVerify != res.VerifyConflicts {
+		t.Fatalf("event verify conflict deltas sum to %d, Result says %d", evVerify, res.VerifyConflicts)
+	}
+	if evDecisions != res.Decisions || evPropagations != res.Propagations {
+		t.Fatalf("event effort (%d dec, %d prop) != Result (%d, %d)",
+			evDecisions, evPropagations, res.Decisions, res.Propagations)
+	}
+
+	// Registry counters are built from the same per-solve deltas.
+	if got := reg.Counter("sat.conflicts").Value(); got != res.SynthConflicts+res.VerifyConflicts {
+		t.Fatalf("registry sat.conflicts = %d, want %d", got, res.SynthConflicts+res.VerifyConflicts)
+	}
+	if got := reg.Counter("sat.decisions").Value(); got != res.Decisions {
+		t.Fatalf("registry sat.decisions = %d, want %d", got, res.Decisions)
+	}
+	if got := reg.Counter("cegis.iterations").Value(); got != int64(res.Iters) {
+		t.Fatalf("registry cegis.iterations = %d, want %d", got, res.Iters)
+	}
+	if got := reg.Counter("cegis.tests").Value(); got != int64(res.Tests) {
+		t.Fatalf("registry cegis.tests = %d, want %d", got, res.Tests)
+	}
+	if got := reg.Gauge("sketch.hole_bits").Value(); got != int64(res.HoleBits) {
+		t.Fatalf("registry sketch.hole_bits = %d, want %d", got, res.HoleBits)
+	}
+	if reg.Gauge("cnf.vars").Value() != int64(res.PeakCNFVars) {
+		t.Fatalf("registry cnf.vars = %d, want %d", reg.Gauge("cnf.vars").Value(), res.PeakCNFVars)
+	}
+	if res.PeakCNFVars == 0 || res.PeakCNFClauses == 0 || res.Gates == 0 {
+		t.Fatalf("encoding sizes not recorded: %+v", res)
+	}
+
+	// The span trace nests cegis.iter → synth/verify → sat.solve.
+	recs := tr.Records()
+	if err := obs.CheckWellFormed(recs); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	for _, r := range recs {
+		if r.Type == obs.RecordStart {
+			names[r.Name]++
+		}
+	}
+	if names["cegis.iter"] != res.Iters {
+		t.Fatalf("%d cegis.iter spans for %d iterations", names["cegis.iter"], res.Iters)
+	}
+	if names["synth"] == 0 || names["verify"] == 0 {
+		t.Fatalf("missing phase spans: %v", names)
+	}
+	if names["sat.solve"] != names["synth"]+names["verify"] {
+		t.Fatalf("each phase should contain one sat.solve: %v", names)
+	}
+}
+
+func TestProgressCallbackDuringSynthesis(t *testing.T) {
+	// A harder program reliably exceeds one progress interval only with a
+	// tiny interval; the exported knob is fixed, so just check the wiring
+	// does not fire for trivial solves and never reports a phase outside
+	// the two CEGIS phases.
+	phases := map[string]bool{}
+	synth(t, "pkt.a = pkt.a + 1;", grid(1, 1, alu.Counter, 4), Options{
+		Seed:     1,
+		Progress: func(phase string, st sat.Stats) { phases[phase] = true },
+	})
+	for p := range phases {
+		if p != "synth" && p != "verify" {
+			t.Fatalf("unexpected progress phase %q", p)
+		}
 	}
 }

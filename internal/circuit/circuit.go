@@ -509,12 +509,30 @@ type CNF struct {
 	b      *Builder
 	solver *sat.Solver
 	vars   []sat.Var // per-gate SAT variable; -1 if not yet encoded
+
+	nVars    int // SAT variables this encoder allocated
+	nClauses int // clauses this encoder added (Tseitin + assertions)
 }
 
 // NewCNF creates a Tseitin encoder targeting the given solver.
 func NewCNF(b *Builder, s *sat.Solver) *CNF {
 	c := &CNF{b: b, solver: s}
 	return c
+}
+
+// NumVars returns the number of SAT variables this encoder has allocated —
+// the encoding-size metric the observability layer reports as CNF
+// variables (distinct from Builder.NumGates, which counts circuit nodes
+// whether or not they reached the solver's cone of influence).
+func (c *CNF) NumVars() int { return c.nVars }
+
+// NumClauses returns the number of clauses this encoder has added.
+func (c *CNF) NumClauses() int { return c.nClauses }
+
+// addClause forwards to the solver while counting encoding size.
+func (c *CNF) addClause(lits ...sat.Lit) {
+	c.nClauses++
+	c.solver.AddClause(lits...)
 }
 
 // Lit returns a SAT literal equivalent to circuit bit n, encoding the cone
@@ -535,34 +553,35 @@ func (c *CNF) lit(n Bit) sat.Lit {
 		return sat.PosLit(c.vars[n])
 	}
 	v := c.solver.NewVar()
+	c.nVars++
 	c.vars[n] = v
 	out := sat.PosLit(v)
 	switch g.op {
 	case opConst:
 		if n == True {
-			c.solver.AddClause(out)
+			c.addClause(out)
 		} else {
-			c.solver.AddClause(out.Not())
+			c.addClause(out.Not())
 		}
 	case opInput:
 		// Free variable; no clauses.
 	case opAnd:
 		a, b := c.lit(g.a), c.lit(g.b)
-		c.solver.AddClause(out.Not(), a)
-		c.solver.AddClause(out.Not(), b)
-		c.solver.AddClause(out, a.Not(), b.Not())
+		c.addClause(out.Not(), a)
+		c.addClause(out.Not(), b)
+		c.addClause(out, a.Not(), b.Not())
 	case opXor:
 		a, b := c.lit(g.a), c.lit(g.b)
-		c.solver.AddClause(out.Not(), a, b)
-		c.solver.AddClause(out.Not(), a.Not(), b.Not())
-		c.solver.AddClause(out, a.Not(), b)
-		c.solver.AddClause(out, a, b.Not())
+		c.addClause(out.Not(), a, b)
+		c.addClause(out.Not(), a.Not(), b.Not())
+		c.addClause(out, a.Not(), b)
+		c.addClause(out, a, b.Not())
 	case opMux:
 		s, t, f := c.lit(g.a), c.lit(g.b), c.lit(g.c)
-		c.solver.AddClause(s.Not(), t.Not(), out)
-		c.solver.AddClause(s.Not(), t, out.Not())
-		c.solver.AddClause(s, f.Not(), out)
-		c.solver.AddClause(s, f, out.Not())
+		c.addClause(s.Not(), t.Not(), out)
+		c.addClause(s.Not(), t, out.Not())
+		c.addClause(s, f.Not(), out)
+		c.addClause(s, f, out.Not())
 	default:
 		panic("circuit: unreachable gate op in Tseitin")
 	}
@@ -576,10 +595,10 @@ func (c *CNF) Assert(n Bit) {
 	}
 	if n == False {
 		// Force unsatisfiability explicitly.
-		c.solver.AddClause()
+		c.addClause()
 		return
 	}
-	c.solver.AddClause(c.Lit(n))
+	c.addClause(c.Lit(n))
 }
 
 // AssertNot adds the constraint that bit n is false.
@@ -588,10 +607,10 @@ func (c *CNF) AssertNot(n Bit) {
 		return
 	}
 	if n == True {
-		c.solver.AddClause()
+		c.addClause()
 		return
 	}
-	c.solver.AddClause(c.Lit(n).Not())
+	c.addClause(c.Lit(n).Not())
 }
 
 // WordValue reads the value of a word from the solver's current model.

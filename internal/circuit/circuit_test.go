@@ -364,3 +364,33 @@ func BenchmarkTseitinMul10(b *testing.B) {
 		s.Solve()
 	}
 }
+
+func TestCNFEncodingSizeCounters(t *testing.T) {
+	b := New()
+	s := sat.New()
+	cnf := NewCNF(b, s)
+	if cnf.NumVars() != 0 || cnf.NumClauses() != 0 {
+		t.Fatalf("fresh CNF reports vars=%d clauses=%d", cnf.NumVars(), cnf.NumClauses())
+	}
+	x := b.InputWord("x", 4)
+	y := b.InputWord("y", 4)
+	cnf.Assert(b.EqW(b.AddW(x, y), b.ConstWord(5, 4)))
+	if cnf.NumVars() == 0 || cnf.NumClauses() == 0 {
+		t.Fatalf("encoding produced vars=%d clauses=%d", cnf.NumVars(), cnf.NumClauses())
+	}
+	// Every variable the encoder allocated is visible to the solver, and
+	// the encoder saw at least as many clause adds as the solver retained
+	// (the solver drops satisfied/tautological clauses).
+	if cnf.NumVars() != s.NumVars() {
+		t.Fatalf("CNF vars %d != solver vars %d (sole encoder)", cnf.NumVars(), s.NumVars())
+	}
+	if cnf.NumClauses() < s.NumClauses() {
+		t.Fatalf("CNF clauses %d < solver clauses %d", cnf.NumClauses(), s.NumClauses())
+	}
+	// Re-asserting the same cone adds one clause, no new vars.
+	v, cl := cnf.NumVars(), cnf.NumClauses()
+	cnf.Assert(b.EqW(b.AddW(x, y), b.ConstWord(5, 4)))
+	if cnf.NumVars() != v || cnf.NumClauses() != cl+1 {
+		t.Fatalf("re-assert changed vars %d->%d clauses %d->%d", v, cnf.NumVars(), cl, cnf.NumClauses())
+	}
+}

@@ -30,7 +30,9 @@ import (
 	"repro/internal/ast"
 	"repro/internal/cegis"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/pisa"
+	"repro/internal/sat"
 	"repro/internal/word"
 )
 
@@ -61,6 +63,9 @@ type Options struct {
 	Seed int64
 	// Trace receives CEGIS events, if non-nil.
 	Trace func(cegis.Event)
+	// Progress receives solver counter snapshots from inside long SAT
+	// solves (see cegis.Options.Progress), if non-nil.
+	Progress func(phase string, st sat.Stats)
 }
 
 func (o *Options) maxStages() int {
@@ -78,6 +83,25 @@ type DepthResult struct {
 	Iters    int
 	HoleBits int
 	Elapsed  time.Duration
+	// Solver-effort telemetry for this probe (see cegis.Result).
+	SynthConflicts  int64
+	VerifyConflicts int64
+	Decisions       int64
+	Propagations    int64
+	PeakCNFVars     int
+}
+
+// Effort aggregates solver effort across deepening attempts — the numbers
+// the evaluation harness reports alongside Table 2's wall-clock columns.
+type Effort struct {
+	// Iters is the total CEGIS iterations across all stage counts probed.
+	Iters int
+	// Conflicts sums synthesis- and verification-phase SAT conflicts.
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	// PeakCNFVars is the largest single-solver encoding reached.
+	PeakCNFVars int
 }
 
 // Report is the outcome of a compilation.
@@ -99,12 +123,34 @@ type Report struct {
 	Elapsed time.Duration
 }
 
+// Effort sums the solver effort of every deepening attempt in the report.
+func (r *Report) Effort() Effort {
+	var e Effort
+	for _, d := range r.Depths {
+		e.Iters += d.Iters
+		e.Conflicts += d.SynthConflicts + d.VerifyConflicts
+		e.Decisions += d.Decisions
+		e.Propagations += d.Propagations
+		if d.PeakCNFVars > e.PeakCNFVars {
+			e.PeakCNFVars = d.PeakCNFVars
+		}
+	}
+	return e
+}
+
 // Compile runs Chipmunk on a program. Cancel or time out the context to
 // bound code-generation time; an expired context yields a Report with
 // TimedOut set rather than an error.
 func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, error) {
 	start := time.Now()
 	rep := &Report{Program: prog.Name}
+
+	ctx, span := obs.StartSpan(ctx, "compile",
+		obs.String("program", prog.Name), obs.Int("width", opts.Width))
+	defer func() {
+		span.End(obs.Bool("feasible", rep.Feasible), obs.Bool("timedout", rep.TimedOut),
+			obs.Int("attempts", len(rep.Depths)))
+	}()
 
 	grid := pisa.GridSpec{
 		Width:        opts.Width,
@@ -119,6 +165,7 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 		IndicatorAlloc: opts.IndicatorAlloc,
 		Seed:           opts.Seed,
 		Trace:          opts.Trace,
+		Progress:       opts.Progress,
 	}
 
 	lo := 1
@@ -127,17 +174,33 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 	}
 	for stages := lo; stages <= opts.maxStages(); stages++ {
 		grid.Stages = stages
-		res, err := cegis.Synthesize(ctx, prog, grid, copts)
+		obs.MetricsFrom(ctx).Counter("core.attempts").Add(1)
+		actx, aspan := obs.StartSpan(ctx, "attempt", obs.Int("stages", stages))
+		res, err := cegis.Synthesize(actx, prog, grid, copts)
 		if err != nil {
+			aspan.End(obs.String("outcome", "error"))
 			return nil, fmt.Errorf("core: %s at %d stages: %w", prog.Name, stages, err)
 		}
+		outcome := "infeasible"
+		switch {
+		case res.TimedOut:
+			outcome = "timeout"
+		case res.Feasible:
+			outcome = "feasible"
+		}
+		aspan.End(obs.String("outcome", outcome), obs.Int("iters", res.Iters))
 		rep.Depths = append(rep.Depths, DepthResult{
-			Stages:   stages,
-			Feasible: res.Feasible,
-			TimedOut: res.TimedOut,
-			Iters:    res.Iters,
-			HoleBits: res.HoleBits,
-			Elapsed:  res.Elapsed,
+			Stages:          stages,
+			Feasible:        res.Feasible,
+			TimedOut:        res.TimedOut,
+			Iters:           res.Iters,
+			HoleBits:        res.HoleBits,
+			Elapsed:         res.Elapsed,
+			SynthConflicts:  res.SynthConflicts,
+			VerifyConflicts: res.VerifyConflicts,
+			Decisions:       res.Decisions,
+			Propagations:    res.Propagations,
+			PeakCNFVars:     res.PeakCNFVars,
 		})
 		if res.TimedOut {
 			rep.TimedOut = true

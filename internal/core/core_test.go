@@ -8,6 +8,7 @@ import (
 	"repro/internal/alu"
 	"repro/internal/cegis"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/programs"
 	"repro/internal/word"
@@ -270,5 +271,94 @@ func TestStateDependencyOrdering(t *testing.T) {
 			t.Fatalf("packet %d: s1=%d s2=%d", i, state["s1"], state["s2"])
 		}
 		_, state = rep.Config.Exec(map[string]uint64{}, state)
+	}
+}
+
+// TestCompileSpansAndEffort compiles a two-stage program with a tracer and
+// registry installed and checks (a) the span tree is well-formed with the
+// expected compile → attempt → cegis.iter nesting, (b) the attempt count
+// matches the deepening probes, and (c) Report.Effort sums the per-depth
+// solver counters and agrees with the registry's totals.
+func TestCompileSpansAndEffort(t *testing.T) {
+	prog := parser.MustParse("dep", "s2 = s1; s1 = s1 + 1;")
+	tr := obs.NewTracer()
+	reg := obs.NewRegistry()
+	ctx := obs.ContextWithMetrics(obs.ContextWithTracer(context.Background(), tr), reg)
+	rep, err := Compile(ctx, prog, Options{
+		Width:        2,
+		MaxStages:    3,
+		StatelessALU: alu.Stateless{},
+		StatefulALU:  alu.Stateful{Kind: alu.PredRaw},
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatalf("expected feasible: %+v", rep.Depths)
+	}
+
+	recs := tr.Records()
+	if err := obs.CheckWellFormed(recs); err != nil {
+		t.Fatalf("trace not well-formed: %v", err)
+	}
+	count := map[string]int{}
+	parents := map[int64]string{}
+	for _, r := range recs {
+		if r.Type != obs.RecordStart {
+			continue
+		}
+		count[r.Name]++
+		parents[r.ID] = r.Name
+	}
+	if count["compile"] != 1 {
+		t.Fatalf("compile spans = %d, want 1", count["compile"])
+	}
+	if count["attempt"] != len(rep.Depths) {
+		t.Fatalf("attempt spans = %d, want %d", count["attempt"], len(rep.Depths))
+	}
+	if count["cegis.iter"] == 0 || count["sat.solve"] == 0 {
+		t.Fatalf("missing inner spans: %v", count)
+	}
+	// Every attempt span must nest directly under the compile span.
+	for _, r := range recs {
+		if r.Type == obs.RecordStart && r.Name == "attempt" && parents[r.Parent] != "compile" {
+			t.Fatalf("attempt span parented under %q", parents[r.Parent])
+		}
+	}
+
+	eff := rep.Effort()
+	var iters int
+	var conflicts, decisions, propagations int64
+	peak := 0
+	for _, d := range rep.Depths {
+		iters += d.Iters
+		conflicts += d.SynthConflicts + d.VerifyConflicts
+		decisions += d.Decisions
+		propagations += d.Propagations
+		if d.PeakCNFVars > peak {
+			peak = d.PeakCNFVars
+		}
+	}
+	if eff.Iters != iters || eff.Conflicts != conflicts ||
+		eff.Decisions != decisions || eff.Propagations != propagations ||
+		eff.PeakCNFVars != peak {
+		t.Fatalf("Effort %+v disagrees with per-depth sums", eff)
+	}
+	if eff.Conflicts == 0 || eff.Decisions == 0 {
+		t.Fatal("two-stage synthesis should record solver effort")
+	}
+
+	if got := reg.Counter("core.attempts").Value(); got != int64(len(rep.Depths)) {
+		t.Fatalf("core.attempts = %d, want %d", got, len(rep.Depths))
+	}
+	if got := reg.Counter("sat.conflicts").Value(); got != eff.Conflicts {
+		t.Fatalf("registry sat.conflicts = %d, Effort says %d", got, eff.Conflicts)
+	}
+	if got := reg.Counter("sat.decisions").Value(); got != eff.Decisions {
+		t.Fatalf("registry sat.decisions = %d, Effort says %d", got, eff.Decisions)
+	}
+	if got := int(reg.Gauge("cnf.vars").Value()); got != eff.PeakCNFVars {
+		t.Fatalf("registry cnf.vars = %d, Effort says %d", got, eff.PeakCNFVars)
 	}
 }

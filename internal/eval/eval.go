@@ -12,6 +12,8 @@ package eval
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/domino"
 	"repro/internal/mutate"
+	"repro/internal/obs"
 	"repro/internal/pisa"
 	"repro/internal/programs"
 )
@@ -40,6 +43,12 @@ type Options struct {
 	Parallel int
 	// Programs restricts the corpus (empty = all 8).
 	Programs []string
+	// Metrics, when non-nil, accumulates solver-effort counters across
+	// every compilation (workers share the registry; it is race-safe).
+	Metrics *obs.Registry
+	// TraceDir, when non-empty, writes one JSONL span trace per mutant
+	// compilation into the directory as <program>_m<index>.jsonl.
+	TraceDir string
 }
 
 func (o *Options) mutants() int {
@@ -90,6 +99,9 @@ type MutantOutcome struct {
 	ChipmunkTimeout bool
 	ChipmunkTime    time.Duration
 	ChipmunkUsage   pisa.Usage
+	// ChipmunkEffort records the compilation's solver effort (CEGIS
+	// iterations, SAT conflicts, peak CNF size) for the CSV effort columns.
+	ChipmunkEffort core.Effort
 
 	DominoOK     bool
 	DominoReason string
@@ -158,6 +170,20 @@ func compileBoth(ctx context.Context, b programs.Benchmark, m mutate.Mutant, idx
 	// Chipmunk.
 	cctx, cancel := context.WithTimeout(ctx, opts.timeout())
 	defer cancel()
+	if opts.Metrics != nil {
+		cctx = obs.ContextWithMetrics(cctx, opts.Metrics)
+	}
+	if opts.TraceDir != "" {
+		tr := obs.NewTracer()
+		cctx = obs.ContextWithTracer(cctx, tr)
+		defer func() {
+			path := filepath.Join(opts.TraceDir, fmt.Sprintf("%s_m%02d.jsonl", b.Name, idx))
+			if f, ferr := os.Create(path); ferr == nil {
+				tr.StreamTo(f)
+				f.Close()
+			}
+		}()
+	}
 	rep, err := core.Compile(cctx, m.Program, core.Options{
 		Width:        b.Width,
 		MaxStages:    b.MaxStages,
@@ -169,6 +195,7 @@ func compileBoth(ctx context.Context, b programs.Benchmark, m mutate.Mutant, idx
 		out.ChipmunkOK = rep.Feasible
 		out.ChipmunkTimeout = rep.TimedOut
 		out.ChipmunkTime = rep.Elapsed
+		out.ChipmunkEffort = rep.Effort()
 		if rep.Feasible {
 			out.ChipmunkUsage = rep.Usage
 		}
@@ -188,6 +215,10 @@ type Table2Row struct {
 	ChipmunkMeanTime time.Duration
 	ChipmunkMaxTime  time.Duration
 	DominoMeanTime   time.Duration
+	// Solver-effort totals across the program's mutants.
+	ChipmunkIters     int
+	ChipmunkConflicts int64
+	PeakCNFVars       int
 }
 
 // Table2 aggregates outcomes into the paper's Table 2 rows, in corpus
@@ -221,6 +252,11 @@ func Table2(outcomes []MutantOutcome) []Table2Row {
 			if o.ChipmunkTime > row.ChipmunkMaxTime {
 				row.ChipmunkMaxTime = o.ChipmunkTime
 			}
+			row.ChipmunkIters += o.ChipmunkEffort.Iters
+			row.ChipmunkConflicts += o.ChipmunkEffort.Conflicts
+			if o.ChipmunkEffort.PeakCNFVars > row.PeakCNFVars {
+				row.PeakCNFVars = o.ChipmunkEffort.PeakCNFVars
+			}
 		}
 		row.ChipmunkRate = float64(cOK) / float64(len(os))
 		row.DominoRate = float64(dOK) / float64(len(os))
@@ -236,11 +272,21 @@ func RenderTable2(rows []Table2Row) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-18s %10s %10s %14s %14s %9s\n",
 		"Program", "Chipmunk", "Domino", "Chip mean(s)", "Chip max(s)", "timeouts")
+	var iters int
+	var conflicts int64
+	peak := 0
 	for _, r := range rows {
 		fmt.Fprintf(&sb, "%-18s %9.0f%% %9.0f%% %14.3f %14.3f %9d\n",
 			r.Program, r.ChipmunkRate*100, r.DominoRate*100,
 			r.ChipmunkMeanTime.Seconds(), r.ChipmunkMaxTime.Seconds(), r.ChipmunkTimeouts)
+		iters += r.ChipmunkIters
+		conflicts += r.ChipmunkConflicts
+		if r.PeakCNFVars > peak {
+			peak = r.PeakCNFVars
+		}
 	}
+	fmt.Fprintf(&sb, "solver effort: %d CEGIS iterations, %d SAT conflicts, peak CNF %d vars\n",
+		iters, conflicts, peak)
 	return sb.String()
 }
 
@@ -351,7 +397,7 @@ func renderSeries(s Series) string {
 // CSV renders outcomes as a flat CSV for external plotting.
 func CSV(outcomes []MutantOutcome) string {
 	var sb strings.Builder
-	sb.WriteString("program,mutant,ops,chipmunk_ok,chipmunk_timeout,chipmunk_ms,chipmunk_stages,chipmunk_max_alus,domino_ok,domino_ms,domino_stages,domino_max_alus,domino_reason\n")
+	sb.WriteString("program,mutant,ops,chipmunk_ok,chipmunk_timeout,chipmunk_ms,chipmunk_stages,chipmunk_max_alus,chipmunk_iters,chipmunk_conflicts,chipmunk_decisions,chipmunk_propagations,chipmunk_peak_cnf_vars,domino_ok,domino_ms,domino_stages,domino_max_alus,domino_reason\n")
 	sorted := append([]MutantOutcome{}, outcomes...)
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].Program != sorted[j].Program {
@@ -364,10 +410,13 @@ func CSV(outcomes []MutantOutcome) string {
 		for i, op := range o.Ops {
 			ops[i] = string(op)
 		}
-		fmt.Fprintf(&sb, "%s,%d,%s,%t,%t,%.1f,%d,%d,%t,%.3f,%d,%d,%q\n",
+		fmt.Fprintf(&sb, "%s,%d,%s,%t,%t,%.1f,%d,%d,%d,%d,%d,%d,%d,%t,%.3f,%d,%d,%q\n",
 			o.Program, o.Index, strings.Join(ops, "+"),
 			o.ChipmunkOK, o.ChipmunkTimeout, float64(o.ChipmunkTime.Microseconds())/1000,
 			o.ChipmunkUsage.Stages, o.ChipmunkUsage.MaxALUsPerStage,
+			o.ChipmunkEffort.Iters, o.ChipmunkEffort.Conflicts,
+			o.ChipmunkEffort.Decisions, o.ChipmunkEffort.Propagations,
+			o.ChipmunkEffort.PeakCNFVars,
 			o.DominoOK, float64(o.DominoTime.Microseconds())/1000,
 			o.DominoUsage.Stages, o.DominoUsage.MaxALUsPerStage, o.DominoReason)
 	}

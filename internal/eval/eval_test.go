@@ -2,10 +2,14 @@ package eval
 
 import (
 	"context"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pisa"
 )
 
@@ -161,4 +165,83 @@ func TestUsageTypeIsShared(t *testing.T) {
 	var u pisa.Usage
 	o := MutantOutcome{ChipmunkUsage: u, DominoUsage: u}
 	_ = o
+}
+
+// TestEffortMetricsAndTraces runs a small parallel evaluation with a shared
+// registry and a trace directory, checking (a) per-mutant effort lands in
+// the outcomes and CSV, (b) the shared registry's conflict total equals the
+// sum over outcomes (race-safe accumulation), and (c) each mutant writes a
+// well-formed JSONL trace.
+func TestEffortMetricsAndTraces(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	outcomes, err := Run(context.Background(), Options{
+		Mutants:  3,
+		Seed:     42,
+		Timeout:  2 * time.Minute,
+		Parallel: 4,
+		Programs: []string{"sampling", "stateful_fw"},
+		Metrics:  reg,
+		TraceDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var conflicts, decisions int64
+	for _, o := range outcomes {
+		if o.ChipmunkOK && o.ChipmunkEffort.Iters == 0 {
+			t.Errorf("%s mutant %d: compiled with zero CEGIS iterations", o.Program, o.Index)
+		}
+		conflicts += o.ChipmunkEffort.Conflicts
+		decisions += o.ChipmunkEffort.Decisions
+	}
+	if got := reg.Counter("sat.conflicts").Value(); got != conflicts {
+		t.Errorf("registry sat.conflicts = %d, outcomes sum to %d", got, conflicts)
+	}
+	if got := reg.Counter("sat.decisions").Value(); got != decisions {
+		t.Errorf("registry sat.decisions = %d, outcomes sum to %d", got, decisions)
+	}
+	if got := reg.Counter("core.attempts").Value(); got < int64(len(outcomes)) {
+		t.Errorf("core.attempts = %d, want >= %d", got, len(outcomes))
+	}
+
+	for _, o := range outcomes {
+		path := filepath.Join(dir, fmt.Sprintf("%s_m%02d.jsonl", o.Program, o.Index))
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("missing trace: %v", err)
+		}
+		recs, err := obs.ReadRecords(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if err := obs.CheckWellFormed(recs); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+		if len(recs) == 0 || recs[0].Name != "compile" {
+			t.Errorf("%s: trace should open with a compile span", path)
+		}
+	}
+
+	csv := CSV(outcomes)
+	header := strings.Split(strings.SplitN(csv, "\n", 2)[0], ",")
+	for _, col := range []string{"chipmunk_iters", "chipmunk_conflicts",
+		"chipmunk_decisions", "chipmunk_propagations", "chipmunk_peak_cnf_vars"} {
+		found := false
+		for _, h := range header {
+			if h == col {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("CSV header missing %q", col)
+		}
+	}
+
+	footer := RenderTable2(Table2(outcomes))
+	if !strings.Contains(footer, "solver effort:") || !strings.Contains(footer, "SAT conflicts") {
+		t.Errorf("Table 2 render missing effort footer:\n%s", footer)
+	}
 }

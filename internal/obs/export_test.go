@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestJSONLRoundTrip streams a nested trace to a buffer, decodes it, and
+// checks the decoded records are structurally identical and well-formed.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer()
+	tr.StreamTo(&buf)
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	ctx1, root := StartSpan(ctx, "compile", String("program", "sampling"), Int("width", 2))
+	for iter := 1; iter <= 3; iter++ {
+		c2, it := StartSpan(ctx1, "cegis.iter", Int("iter", iter))
+		_, synth := StartSpan(c2, "synth")
+		synth.End(String("outcome", "sat"), Int64("conflicts", int64(10*iter)))
+		_, verify := StartSpan(c2, "verify")
+		verify.End(String("outcome", "unsat"))
+		it.End()
+	}
+	root.End(Bool("feasible", true))
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	decoded, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Records()
+	if len(decoded) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(decoded), len(want))
+	}
+	if err := CheckWellFormed(decoded); err != nil {
+		t.Fatal(err)
+	}
+	for i := range decoded {
+		d, w := decoded[i], want[i]
+		if d.Type != w.Type || d.ID != w.ID || d.Parent != w.Parent || d.Name != w.Name || d.TimeNS != w.TimeNS {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, d, w)
+		}
+	}
+	// Integer attrs decode as float64; values must survive.
+	if got := decoded[3].Attrs["conflicts"]; got != float64(10) {
+		t.Fatalf("conflicts attr = %v (%T)", got, got)
+	}
+	// A decoded trace still renders as a tree.
+	sum := SummarizeRecords(decoded)
+	if !strings.Contains(sum, "compile") || strings.Count(sum, "cegis.iter") != 3 {
+		t.Fatalf("summary of decoded trace:\n%s", sum)
+	}
+}
+
+func TestStreamToReplaysEarlierRecords(t *testing.T) {
+	tr := NewTracer()
+	s := tr.StartRoot("early")
+	s.End()
+	var buf bytes.Buffer
+	tr.StreamTo(&buf)
+	recs, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Name != "early" {
+		t.Fatalf("replayed records = %+v", recs)
+	}
+}
+
+func TestCheckWellFormedRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		recs []Record
+		want string
+	}{
+		{"end without start",
+			[]Record{{Type: RecordEnd, ID: 1, TimeNS: 5}},
+			"without a start"},
+		{"double start",
+			[]Record{{Type: RecordStart, ID: 1}, {Type: RecordStart, ID: 1}},
+			"started twice"},
+		{"double end",
+			[]Record{{Type: RecordStart, ID: 1}, {Type: RecordEnd, ID: 1}, {Type: RecordEnd, ID: 1}},
+			"ended twice"},
+		{"unknown parent",
+			[]Record{{Type: RecordStart, ID: 2, Parent: 9}},
+			"unknown parent"},
+		{"child outlives parent",
+			[]Record{
+				{Type: RecordStart, ID: 1},
+				{Type: RecordStart, ID: 2, Parent: 1},
+				{Type: RecordEnd, ID: 1},
+			},
+			"still open"},
+		{"start under ended parent",
+			[]Record{
+				{Type: RecordStart, ID: 1},
+				{Type: RecordEnd, ID: 1},
+				{Type: RecordStart, ID: 2, Parent: 1},
+			},
+			"already-ended parent"},
+		{"time reversal",
+			[]Record{{Type: RecordStart, ID: 1, TimeNS: 10}, {Type: RecordEnd, ID: 1, TimeNS: 3}},
+			"before it starts"},
+		{"never ended",
+			[]Record{{Type: RecordStart, ID: 1}},
+			"never ended"},
+		{"unknown type",
+			[]Record{{Type: "bogus", ID: 1}},
+			"unknown type"},
+	}
+	for _, tc := range cases {
+		err := CheckWellFormed(tc.recs)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReadRecordsSkipsBlanksRejectsGarbage(t *testing.T) {
+	recs, err := ReadRecords(strings.NewReader("\n{\"type\":\"start\",\"id\":1,\"t\":0}\n\n{\"type\":\"end\",\"id\":1,\"t\":1}\n"))
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+	if _, err := ReadRecords(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line should error")
+	}
+}
+
+func TestSummaryMarksUnendedSpans(t *testing.T) {
+	sum := SummarizeRecords([]Record{{Type: RecordStart, ID: 1, Name: "hung"}})
+	if !strings.Contains(sum, "hung") || !strings.Contains(sum, "[unended]") {
+		t.Fatalf("summary = %q", sum)
+	}
+}

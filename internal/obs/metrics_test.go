@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sat.conflicts").Add(3)
+	r.Counter("sat.conflicts").Add(4)
+	if got := r.Counter("sat.conflicts").Value(); got != 7 {
+		t.Fatalf("counter = %d", got)
+	}
+	g := r.Gauge("cnf.vars")
+	g.Set(10)
+	g.SetMax(5) // lower: no change
+	g.SetMax(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("gauge = %d", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("cegis.cex_bits")
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, -5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 || s.Min != 0 || s.Max != 8 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Sum != 25 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	want := map[string]int64{"0": 2, "1": 1, "2-3": 2, "4-7": 2, "8-15": 1}
+	for k, n := range want {
+		if s.Buckets[k] != n {
+			t.Fatalf("bucket %q = %d, want %d (all: %v)", k, s.Buckets[k], n, s.Buckets)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 32, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("sat.conflicts").Add(1)
+				r.Gauge("cnf.vars").SetMax(int64(w*each + i))
+				r.Histogram("cex").Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("sat.conflicts").Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	if got := r.Gauge("cnf.vars").Value(); got != (workers-1)*each+each-1 {
+		t.Fatalf("gauge max = %d", got)
+	}
+	if got := r.Histogram("cex").Snapshot().Count; got != workers*each {
+		t.Fatalf("histogram count = %d", got)
+	}
+}
+
+func TestSnapshotIsJSONMarshalable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	r.Gauge("b").Set(2)
+	r.Histogram("c").Observe(3)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"a":1`, `"b":2`, `"Count":1`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("snapshot JSON missing %q: %s", want, data)
+		}
+	}
+}
+
+func TestRegistryString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(1)
+	r.Counter("a.first").Add(2)
+	r.Histogram("m.hist").Observe(4)
+	s := r.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "a.first") || !strings.HasPrefix(lines[2], "z.last") {
+		t.Fatalf("String() not sorted:\n%s", s)
+	}
+	if !strings.Contains(s, "count=1") {
+		t.Fatalf("histogram line missing: %s", s)
+	}
+}

@@ -1,0 +1,216 @@
+// Package obs is the observability layer of the synthesis stack: a
+// zero-dependency (standard library only) tracing and metrics subsystem
+// that makes the cost structure of a Chipmunk compilation visible.
+//
+// The paper's dominant cost is CEGIS solve time — Table 2 spans seven
+// seconds to an hour per mutant — and understanding *where* that time goes
+// (which deepening attempt, which CEGIS iteration, which SAT solve) is the
+// prerequisite for every optimisation toward the "fast as the hardware
+// allows" north star. The package provides:
+//
+//   - hierarchical spans (compile → deepening attempt → CEGIS iteration →
+//     synth/verify phase → SAT solve) with start/stop timestamps and
+//     key/value attributes, propagated through context.Context;
+//   - a metrics Registry of named counters, gauges and histograms (SAT
+//     conflicts, decisions, propagations, CNF clause/variable counts,
+//     circuit gate counts, CEGIS iterations, counterexample widths, sketch
+//     hole inventories);
+//   - exporters: a JSON-lines trace stream, a human-readable summary tree,
+//     and an expvar-style snapshot map (see export.go).
+//
+// Everything is nil-safe: a nil *Tracer, *Registry, *Span, *Counter,
+// *Gauge or *Histogram is a valid no-op sink, so instrumented code pays
+// (almost) nothing when observability is not requested — call sites never
+// need nil checks.
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value pair attached to a span. Values should be strings,
+// bools, integers or floats so they survive a JSON round trip (integers
+// decode back as float64 — see ReadRecords).
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{k, v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{k, int64(v)} }
+
+// Int64 builds a 64-bit integer attribute.
+func Int64(k string, v int64) Attr { return Attr{k, v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{k, v} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{k, v} }
+
+// Tracer records hierarchical spans. It retains every record in memory
+// (compilations emit at most a few thousand spans) for Summary and
+// Records, and optionally streams each record as a JSON line via StreamTo.
+// Safe for concurrent use; a nil *Tracer discards everything.
+type Tracer struct {
+	mu      sync.Mutex
+	sink    *jsonlSink
+	records []Record
+	nextID  int64
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Span is one timed region of work. A nil *Span is a valid no-op, which is
+// what StartSpan returns when no tracer is installed in the context.
+type Span struct {
+	t      *Tracer
+	id     int64
+	parent int64
+
+	mu       sync.Mutex
+	ended    bool
+	endAttrs []Attr
+}
+
+func (t *Tracer) emit(rec Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.records = append(t.records, rec)
+	if t.sink != nil {
+		t.sink.write(rec)
+	}
+}
+
+// start begins a span under the given parent id (0 = root).
+func (t *Tracer) start(parent int64, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	s := &Span{t: t, id: id, parent: parent}
+	t.emit(Record{
+		Type:   RecordStart,
+		ID:     id,
+		Parent: parent,
+		Name:   name,
+		TimeNS: time.Now().UnixNano(),
+		Attrs:  attrMap(attrs),
+	})
+	return s
+}
+
+// StartRoot begins a span with no parent, for callers without a context
+// chain (tests, tools).
+func (t *Tracer) StartRoot(name string, attrs ...Attr) *Span {
+	return t.start(0, name, attrs...)
+}
+
+// SetAttr attaches attributes to the span; they are emitted with the end
+// record. Later values for the same key win.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.endAttrs = append(s.endAttrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End stops the span, emitting its end record with any attributes set via
+// SetAttr plus the ones given here. Ending twice is a no-op.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	all := append(s.endAttrs, attrs...)
+	s.mu.Unlock()
+	s.t.emit(Record{
+		Type:   RecordEnd,
+		ID:     s.id,
+		TimeNS: time.Now().UnixNano(),
+		Attrs:  attrMap(all),
+	})
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// --- Context propagation ---------------------------------------------------
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+	metricsKey
+)
+
+// ContextWithTracer installs a tracer; spans started via StartSpan on the
+// returned context (and its descendants) are recorded there.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the tracer installed in ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// ContextWithMetrics installs a metrics registry.
+func ContextWithMetrics(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, metricsKey, r)
+}
+
+// MetricsFrom returns the registry installed in ctx, or nil. The nil
+// result is a valid no-op sink.
+func MetricsFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(metricsKey).(*Registry)
+	return r
+}
+
+// SpanFrom returns the innermost span started on ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpan begins a span named name as a child of the context's current
+// span, on the context's tracer. When no tracer is installed it returns
+// (ctx, nil) — the nil span no-ops, costing nothing.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent := int64(0)
+	if p := SpanFrom(ctx); p != nil {
+		parent = p.id
+	}
+	s := t.start(parent, name, attrs...)
+	return context.WithValue(ctx, spanKey, s), s
+}

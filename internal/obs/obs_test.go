@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanNestingRecords(t *testing.T) {
+	tr := NewTracer()
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	ctx1, root := StartSpan(ctx, "compile", String("program", "sampling"))
+	ctx2, child := StartSpan(ctx1, "attempt", Int("stages", 1))
+	_, grand := StartSpan(ctx2, "synth")
+	grand.End(Int64("conflicts", 7))
+	child.End(String("outcome", "feasible"))
+	root.End()
+
+	recs := tr.Records()
+	if len(recs) != 6 {
+		t.Fatalf("got %d records, want 6", len(recs))
+	}
+	if err := CheckWellFormed(recs); err != nil {
+		t.Fatal(err)
+	}
+	// Parent linkage follows the context chain.
+	if recs[0].Parent != 0 || recs[1].Parent != recs[0].ID || recs[2].Parent != recs[1].ID {
+		t.Fatalf("bad parent chain: %+v", recs[:3])
+	}
+	if recs[0].Attrs["program"] != "sampling" {
+		t.Fatalf("start attrs lost: %+v", recs[0].Attrs)
+	}
+	if recs[3].Attrs["conflicts"] != int64(7) {
+		t.Fatalf("end attrs lost: %+v", recs[3].Attrs)
+	}
+}
+
+func TestStartSpanWithoutTracerIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, span := StartSpan(ctx, "compile")
+	if span != nil {
+		t.Fatal("expected nil span without tracer")
+	}
+	if ctx2 != ctx {
+		t.Fatal("context should pass through unchanged")
+	}
+	// All nil receivers must be safe.
+	span.SetAttr(Int("x", 1))
+	span.End()
+	var tr *Tracer
+	tr.StreamTo(&bytes.Buffer{})
+	if tr.Records() != nil || tr.Summary() != "" || tr.Err() != nil {
+		t.Fatal("nil tracer should be inert")
+	}
+}
+
+func TestSpanEndTwice(t *testing.T) {
+	tr := NewTracer()
+	s := tr.StartRoot("x")
+	s.End()
+	s.End()
+	if n := len(tr.Records()); n != 2 {
+		t.Fatalf("double End emitted %d records, want 2", n)
+	}
+}
+
+func TestSetAttrAccumulates(t *testing.T) {
+	tr := NewTracer()
+	s := tr.StartRoot("x")
+	s.SetAttr(Int("iters", 3))
+	s.End(Bool("feasible", true))
+	recs := tr.Records()
+	end := recs[1]
+	if end.Attrs["iters"] != int64(3) || end.Attrs["feasible"] != true {
+		t.Fatalf("end attrs = %+v", end.Attrs)
+	}
+}
+
+func TestSummaryTree(t *testing.T) {
+	tr := NewTracer()
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx1, root := StartSpan(ctx, "compile", String("program", "rcp"))
+	_, child := StartSpan(ctx1, "attempt", Int("stages", 2))
+	child.End()
+	root.End()
+
+	sum := tr.Summary()
+	lines := strings.Split(strings.TrimRight(sum, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("summary has %d lines:\n%s", len(lines), sum)
+	}
+	if !strings.HasPrefix(lines[0], "compile program=rcp") {
+		t.Fatalf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  attempt stages=2") {
+		t.Fatalf("child line = %q", lines[1])
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	ctx := ContextWithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, s := StartSpan(ctx, "worker", Int("i", i))
+			_, inner := StartSpan(c, "inner")
+			inner.End()
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	recs := tr.Records()
+	if len(recs) != 64 {
+		t.Fatalf("got %d records, want 64", len(recs))
+	}
+	if err := CheckWellFormed(recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsFromAbsent(t *testing.T) {
+	r := MetricsFrom(context.Background())
+	if r != nil {
+		t.Fatal("expected nil registry")
+	}
+	// The whole nil chain must be inert.
+	r.Counter("x").Add(1)
+	r.Gauge("y").SetMax(2)
+	r.Histogram("z").Observe(3)
+	if r.Counter("x").Value() != 0 || r.Snapshot() != nil || r.String() != "" {
+		t.Fatal("nil registry should be inert")
+	}
+}

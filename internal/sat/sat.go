@@ -134,6 +134,21 @@ type Stats struct {
 	Clauses       int
 }
 
+// Sub returns the counter-wise difference s - o. MaxVar and Clauses are
+// levels rather than counters, so they carry s's current values.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Decisions:     s.Decisions - o.Decisions,
+		Propagations:  s.Propagations - o.Propagations,
+		Conflicts:     s.Conflicts - o.Conflicts,
+		Restarts:      s.Restarts - o.Restarts,
+		Learnt:        s.Learnt - o.Learnt,
+		DeletedLearnt: s.DeletedLearnt - o.DeletedLearnt,
+		MaxVar:        s.MaxVar,
+		Clauses:       s.Clauses,
+	}
+}
+
 // Solver is a CDCL SAT solver. The zero value is not usable; create one
 // with New.
 type Solver struct {
@@ -165,6 +180,10 @@ type Solver struct {
 
 	ok    bool // false once a top-level conflict proves UNSAT
 	stats Stats
+	mark  Stats // StatsDelta baseline: counters as of the previous call
+
+	progressEvery int64
+	progressFn    func(Stats)
 
 	assumptions []Lit
 }
@@ -203,6 +222,31 @@ func (s *Solver) NumClauses() int { return s.stats.Clauses }
 
 // Stats returns a snapshot of the solver counters.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// StatsDelta returns the counters accumulated since the previous
+// StatsDelta call (or since creation, on the first call) and advances the
+// baseline. Because Stats is cumulative across incremental Solve calls,
+// this is how callers attribute effort to an individual solve: CEGIS reads
+// one delta per synthesis-phase query against its persistent solver. The
+// deltas of successive calls sum to the cumulative snapshot (MaxVar and
+// Clauses, being levels, carry the current values instead).
+func (s *Solver) StatsDelta() Stats {
+	d := s.stats.Sub(s.mark)
+	s.mark = s.stats
+	return d
+}
+
+// SetProgress registers fn to be invoked with a counter snapshot every
+// `every` conflicts during search, so long solves (the paper's hour-long
+// flowlet mutants) remain observable from outside. every <= 0 or a nil fn
+// disables progress reporting.
+func (s *Solver) SetProgress(every int64, fn func(Stats)) {
+	if every <= 0 || fn == nil {
+		s.progressEvery, s.progressFn = 0, nil
+		return
+	}
+	s.progressEvery, s.progressFn = every, fn
+}
 
 // litValue returns the current value of a literal.
 func (s *Solver) litValue(l Lit) lbool {
@@ -649,6 +693,9 @@ func (s *Solver) search(maxConfl int64, budget *int64) Status {
 		if confl != refUndef {
 			conflicts++
 			s.stats.Conflicts++
+			if s.progressEvery > 0 && s.stats.Conflicts%s.progressEvery == 0 {
+				s.progressFn(s.stats)
+			}
 			if *budget > 0 {
 				*budget--
 			}

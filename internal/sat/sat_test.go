@@ -418,3 +418,83 @@ func BenchmarkSolverRandom3SAT(b *testing.B) {
 		s.Solve()
 	}
 }
+
+// TestStatsDeltaSumsToCumulative runs several incremental solves against
+// one solver, taking a delta after each; the deltas must sum exactly to
+// the cumulative snapshot.
+func TestStatsDeltaSumsToCumulative(t *testing.T) {
+	s := New()
+	pigeonhole(s, 6, 5)
+
+	var sum Stats
+	add := func(d Stats) {
+		sum.Conflicts += d.Conflicts
+		sum.Decisions += d.Decisions
+		sum.Propagations += d.Propagations
+		sum.Restarts += d.Restarts
+		sum.Learnt += d.Learnt
+		sum.DeletedLearnt += d.DeletedLearnt
+	}
+
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(6,5) = %v, want Unsat", got)
+	}
+	first := s.StatsDelta()
+	if first.Conflicts == 0 || first.Decisions == 0 {
+		t.Fatalf("first delta should cover the whole solve: %+v", first)
+	}
+	add(first)
+
+	// More incremental work on the same solver: a fresh satisfiable
+	// sub-problem sharing the database.
+	vs := mkVars(s, 8)
+	for i := 0; i+1 < len(vs); i++ {
+		s.AddClause(PosLit(vs[i]), PosLit(vs[i+1]))
+	}
+	s.Solve()
+	add(s.StatsDelta())
+	s.Solve(NegLit(vs[0]))
+	add(s.StatsDelta())
+
+	cum := s.Stats()
+	if sum.Conflicts != cum.Conflicts || sum.Decisions != cum.Decisions ||
+		sum.Propagations != cum.Propagations || sum.Restarts != cum.Restarts ||
+		sum.Learnt != cum.Learnt || sum.DeletedLearnt != cum.DeletedLearnt {
+		t.Fatalf("delta sum %+v != cumulative %+v", sum, cum)
+	}
+
+	// An immediate second call sees no new work.
+	if d := s.StatsDelta(); d.Conflicts != 0 || d.Decisions != 0 || d.Propagations != 0 {
+		t.Fatalf("idle delta should be zero: %+v", d)
+	}
+	// Levels pass through as current values.
+	if d := s.StatsDelta(); d.MaxVar != cum.MaxVar || d.Clauses != cum.Clauses {
+		t.Fatalf("levels should carry current values: %+v vs %+v", d, cum)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	s := New()
+	pigeonhole(s, 8, 7)
+	var calls []int64
+	s.SetProgress(10, func(st Stats) { calls = append(calls, st.Conflicts) })
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(8,7) = %v, want Unsat", got)
+	}
+	total := s.Stats().Conflicts
+	if want := total / 10; int64(len(calls)) != want {
+		t.Fatalf("progress called %d times for %d conflicts, want %d", len(calls), total, want)
+	}
+	for i, c := range calls {
+		if c != int64(i+1)*10 {
+			t.Fatalf("call %d at %d conflicts, want %d", i, c, (i+1)*10)
+		}
+	}
+	// Disabling stops further calls.
+	s.SetProgress(0, nil)
+	n := len(calls)
+	s.Solve()
+	if len(calls) != n {
+		t.Fatal("progress fired after being disabled")
+	}
+}

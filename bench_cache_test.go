@@ -1,0 +1,104 @@
+// BenchmarkCache measures the solution cache's cold-vs-warm compile
+// latency per example program and emits a machine-readable BENCH_cache.json
+// so future changes have a perf trajectory to compare against.
+//
+// Smoke-run it the way CI does:
+//
+//	go test -run '^$' -bench BenchmarkCache -benchtime 1x .
+//
+// The output path defaults to BENCH_cache.json in the package directory and
+// can be overridden with CHIPMUNK_BENCH_OUT.
+package chipmunk_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	chipmunk "repro"
+)
+
+// cacheBenchPrograms are corpus members fast enough for a CI smoke run;
+// the full corpus trajectory comes from running with a larger -benchtime.
+var cacheBenchPrograms = []string{"sampling", "stateful_fw", "marple_new_flow"}
+
+type cacheBenchRow struct {
+	Program string  `json:"program"`
+	ColdMS  float64 `json:"cold_ms"`
+	WarmMS  float64 `json:"warm_ms"`
+	// Speedup is cold/warm — how much of the compile the cache amortizes.
+	Speedup  float64 `json:"speedup"`
+	Feasible bool    `json:"feasible"`
+	Stages   int     `json:"stages"`
+}
+
+func BenchmarkCache(b *testing.B) {
+	var rows []cacheBenchRow
+	for _, name := range cacheBenchPrograms {
+		bench, err := chipmunk.BenchmarkByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := bench.Parse()
+		b.Run(name, func(b *testing.B) {
+			var row cacheBenchRow
+			for i := 0; i < b.N; i++ {
+				cache := chipmunk.NewSolutionCache(16)
+				opts := benchOptions(bench)
+				opts.Cache = cache
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+
+				t0 := time.Now()
+				cold, err := chipmunk.Compile(ctx, prog, opts)
+				coldDur := time.Since(t0)
+				if err != nil {
+					cancel()
+					b.Fatal(err)
+				}
+				t1 := time.Now()
+				warm, err := chipmunk.Compile(ctx, prog, opts)
+				warmDur := time.Since(t1)
+				cancel()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !warm.Cached {
+					b.Fatalf("%s: second compile missed the cache", name)
+				}
+				row = cacheBenchRow{
+					Program:  name,
+					ColdMS:   float64(coldDur.Microseconds()) / 1000,
+					WarmMS:   float64(warmDur.Microseconds()) / 1000,
+					Feasible: cold.Feasible,
+					Stages:   cold.Usage.Stages,
+				}
+				if row.WarmMS > 0 {
+					row.Speedup = row.ColdMS / row.WarmMS
+				}
+			}
+			b.ReportMetric(row.ColdMS, "cold-ms")
+			b.ReportMetric(row.WarmMS, "warm-ms")
+			rows = append(rows, row)
+		})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	out := os.Getenv("CHIPMUNK_BENCH_OUT")
+	if out == "" {
+		out = "BENCH_cache.json"
+	}
+	data, err := json.MarshalIndent(struct {
+		Bench string          `json:"bench"`
+		Rows  []cacheBenchRow `json:"rows"`
+	}{Bench: "BenchmarkCache", Rows: rows}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s", out)
+}

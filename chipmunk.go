@@ -46,6 +46,8 @@ import (
 	"repro/internal/pisa"
 	"repro/internal/programs"
 	"repro/internal/repair"
+	"repro/internal/server"
+	"repro/internal/solcache"
 	"repro/internal/superopt"
 )
 
@@ -185,6 +187,56 @@ func WithTracer(ctx context.Context, tr *Tracer) context.Context {
 func WithMetrics(ctx context.Context, m *Metrics) context.Context {
 	return obs.ContextWithMetrics(ctx, m)
 }
+
+// --- Compilation as a service ----------------------------------------------
+
+// SolutionCache memoizes compilation results by canonical problem
+// fingerprint (internal/solcache): warm hits skip CEGIS entirely, and
+// concurrent compilations of the same canonical program share one
+// synthesis run. Attach one via Options.Cache; it is safe to share across
+// goroutines.
+type SolutionCache = solcache.Cache
+
+// CacheOption configures a SolutionCache.
+type CacheOption = solcache.Option
+
+// NewSolutionCache returns a cache holding at most capacity solutions
+// (<= 0 means solcache.DefaultCapacity).
+func NewSolutionCache(capacity int, opts ...CacheOption) *SolutionCache {
+	return solcache.New(capacity, opts...)
+}
+
+// CacheWithPersistPath persists the cache to a JSON file across runs, with
+// versioned invalidation.
+func CacheWithPersistPath(path string) CacheOption {
+	return solcache.WithPersistPath(path)
+}
+
+// ServerConfig configures an embedded compile service (see cmd/chipmunkd
+// for the standalone daemon).
+type ServerConfig = server.Config
+
+// CompileServer is the compilation-as-a-service subsystem: an HTTP job API
+// over a bounded queue and worker pool. Serve its Handler(); stop with
+// Shutdown (graceful drain).
+type CompileServer = server.Server
+
+// NewCompileServer builds a compile service and starts its worker pool.
+func NewCompileServer(cfg ServerConfig) *CompileServer { return server.New(cfg) }
+
+// RemoteClient is a thin client for a chipmunkd daemon (the transport
+// behind `chipmunk -remote`).
+type RemoteClient = server.Client
+
+// CompileRequest is the wire form of a remote compilation job.
+type CompileRequest = server.CompileRequest
+
+// JobStatus is the wire form of a remote job's state and result.
+type JobStatus = server.JobStatus
+
+// NewRemoteClient targets a chipmunkd daemon at base, e.g.
+// "http://localhost:8926".
+func NewRemoteClient(base string) *RemoteClient { return server.NewClient(base) }
 
 // --- The paper's §5 future-work directions, implemented --------------------
 

@@ -35,6 +35,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/sat"
+	"repro/internal/server"
+	"repro/internal/solcache"
 	"repro/internal/word"
 )
 
@@ -63,6 +65,8 @@ func run() error {
 		traceOut    = flag.String("trace-out", "", "write a JSONL span trace of the synthesis run to this file")
 		stats       = flag.Bool("stats", false, "print solver metrics and a span summary tree to stderr")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+		remote      = flag.String("remote", "", "compile via a chipmunkd daemon at this base URL (e.g. http://localhost:8926) instead of locally")
+		cachePath   = flag.String("cache-path", "", "persist a local solution cache to this JSON file so repeat invocations skip synthesis")
 	)
 	flag.Parse()
 
@@ -73,6 +77,11 @@ func run() error {
 	prog, err := parser.Parse(name, src)
 	if err != nil {
 		return err
+	}
+
+	if *remote != "" {
+		return runRemote(*remote, prog.Name, src, *width, *maxStages, *aluKind, *constBits,
+			*synthWidth, *verifyWidth, *seed, *timeout, *asJSON)
 	}
 
 	kind, err := alu.KindByName(*aluKind)
@@ -89,6 +98,11 @@ func run() error {
 		IndicatorAlloc: *indicator,
 		FixedStages:    *fixed,
 		Seed:           *seed,
+	}
+	var cache *solcache.Cache
+	if *cachePath != "" {
+		cache = solcache.New(0, solcache.WithPersistPath(*cachePath))
+		opts.Cache = cache
 	}
 	if *verbose {
 		opts.Trace = func(e cegis.Event) {
@@ -125,6 +139,11 @@ func run() error {
 
 	rep, err := core.Compile(ctx, prog, opts)
 
+	if cache != nil && err == nil {
+		if serr := cache.Save(); serr != nil {
+			fmt.Fprintln(os.Stderr, "chipmunk: saving cache:", serr)
+		}
+	}
 	if tracer != nil && *traceOut != "" {
 		f, ferr := os.Create(*traceOut)
 		if ferr != nil {
@@ -178,10 +197,62 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -emit language %q (want go or p4)", *emitLang)
 	}
-	fmt.Printf("compiled %q in %v (%s)\n", prog.Name, rep.Elapsed.Round(time.Millisecond), depthSummary(rep))
+	how := depthSummary(rep)
+	if rep.Cached {
+		how = "solution cache hit"
+	}
+	fmt.Printf("compiled %q in %v (%s)\n", prog.Name, rep.Elapsed.Round(time.Millisecond), how)
 	fmt.Printf("resources: %d stage(s), max %d ALU(s)/stage, %d total\n\n",
 		rep.Usage.Stages, rep.Usage.MaxALUsPerStage, rep.Usage.TotalALUs)
 	fmt.Print(rep.Config.String())
+	return nil
+}
+
+// runRemote ships the compilation to a chipmunkd daemon and renders the
+// returned job status in the local CLI's formats.
+func runRemote(base, name, src string, width, maxStages int, aluKind string, constBits,
+	synthWidth, verifyWidth int, seed int64, timeout time.Duration, asJSON bool) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	client := server.NewClient(base)
+	st, err := client.Compile(ctx, server.CompileRequest{
+		Name:        name,
+		Source:      src,
+		Width:       width,
+		MaxStages:   maxStages,
+		ALU:         aluKind,
+		ConstBits:   constBits,
+		SynthWidth:  synthWidth,
+		VerifyWidth: verifyWidth,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	if st.State != "done" {
+		return fmt.Errorf("remote job %s ended in state %q: %s", st.ID, st.State, st.Error)
+	}
+	res := st.Result
+	switch {
+	case res.TimedOut:
+		fmt.Printf("TIMEOUT after %.0fms (remote job %s)\n", res.ElapsedMS, st.ID)
+		os.Exit(2)
+	case !res.Feasible:
+		fmt.Printf("INFEASIBLE on a %d-wide grid up to %d stages (remote job %s)\n", width, maxStages, st.ID)
+		os.Exit(3)
+	}
+	if asJSON {
+		os.Stdout.Write(res.Config)
+		fmt.Println()
+		return nil
+	}
+	how := "remote job " + st.ID
+	if res.Cached {
+		how += ", solution cache hit"
+	}
+	fmt.Printf("compiled %q in %.1fms (%s)\n", name, res.ElapsedMS, how)
+	fmt.Printf("resources: %d stage(s), max %d ALU(s)/stage, %d total\n",
+		res.Stages, res.MaxALUsPerStage, res.TotalALUs)
 	return nil
 }
 

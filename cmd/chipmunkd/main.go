@@ -1,0 +1,121 @@
+// Command chipmunkd serves Chipmunk compilation as a service: an HTTP job
+// API over a bounded work queue and worker pool, backed by the
+// content-addressed solution cache so canonically identical programs
+// compile once and every repeat request returns instantly.
+//
+// Usage:
+//
+//	chipmunkd [-listen :8926] [-workers N] [-queue 64] [-job-timeout 2m]
+//	          [-cache-size 1024] [-cache-path chipmunk.cache.json]
+//
+// Endpoints:
+//
+//	POST /compile     submit a job: {"name":..., "source":..., "width":...,
+//	                  "alu":..., "wait":true}. With "wait" the response is
+//	                  the finished job; without, poll GET /jobs/{id}.
+//	GET  /jobs/{id}   job status and result.
+//	GET  /healthz     liveness (503 while draining).
+//	GET  /metrics     JSON metrics: queue depth, in-flight jobs, cache
+//	                  hits/misses, solver counters.
+//
+// SIGINT/SIGTERM triggers a graceful drain: in-flight jobs complete,
+// queued jobs are rejected, the listener closes, and (with -cache-path)
+// the solution cache is persisted for the next start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/solcache"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chipmunkd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen     = flag.String("listen", ":8926", "HTTP listen address")
+		workers    = flag.Int("workers", 0, "concurrent compile workers (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue", 64, "bounded job queue depth; a full queue returns 429")
+		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job compile timeout")
+		cacheSize  = flag.Int("cache-size", solcache.DefaultCapacity, "solution-cache capacity (entries)")
+		cachePath  = flag.String("cache-path", "", "persist the solution cache to this JSON file across restarts")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
+	)
+	flag.Parse()
+
+	var copts []solcache.Option
+	if *cachePath != "" {
+		copts = append(copts, solcache.WithPersistPath(*cachePath))
+	}
+	cache := solcache.New(*cacheSize, copts...)
+
+	reg := obs.NewRegistry()
+	svc := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		JobTimeout: *jobTimeout,
+		Cache:      cache,
+		Metrics:    reg,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "chipmunkd: listening on %s (workers=%d queue=%d cache=%d)\n",
+		ln.Addr(), *workers, *queueDepth, *cacheSize)
+	if cache.Len() > 0 {
+		fmt.Fprintf(os.Stderr, "chipmunkd: loaded %d cached solutions from %s\n", cache.Len(), *cachePath)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "chipmunkd: draining (in-flight jobs complete, queued jobs rejected)")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	// Drain the scheduler first so wait-mode requests unblock, then close
+	// the listener and remaining HTTP handlers.
+	if err := svc.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "chipmunkd: drain grace expired; in-flight jobs cancelled")
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if *cachePath != "" {
+		if err := cache.Save(); err != nil {
+			return fmt.Errorf("saving cache: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "chipmunkd: persisted %d solutions to %s\n", cache.Len(), *cachePath)
+	}
+	fmt.Fprintln(os.Stderr, "chipmunkd: bye")
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/obs"
+	"repro/internal/solcache"
 )
 
 func main() {
@@ -40,8 +41,9 @@ func run() error {
 		table2   = flag.Bool("table2", false, "print Table 2 only")
 		figure5  = flag.Bool("figure5", false, "print Figure 5 only")
 		csvPath  = flag.String("csv", "", "also write raw per-mutant outcomes as CSV")
-		traceDir = flag.String("trace-dir", "", "write one JSONL span trace per mutant compilation into this directory")
-		stats    = flag.Bool("stats", false, "print aggregate solver metrics after the run")
+		traceDir  = flag.String("trace-dir", "", "write one JSONL span trace per mutant compilation into this directory")
+		stats     = flag.Bool("stats", false, "print aggregate solver metrics after the run")
+		cachePath = flag.String("cache-path", "", "persist the solution cache to this JSON file; repeat sweeps skip already-solved mutants")
 	)
 	flag.Parse()
 
@@ -65,11 +67,24 @@ func run() error {
 		reg = obs.NewRegistry()
 		opts.Metrics = reg
 	}
+	var cache *solcache.Cache
+	if *cachePath != "" {
+		cache = solcache.New(0, solcache.WithPersistPath(*cachePath))
+		opts.Cache = cache
+	}
 
 	start := time.Now()
 	outcomes, err := eval.Run(context.Background(), opts)
 	if err != nil {
 		return err
+	}
+	if cache != nil {
+		if serr := cache.Save(); serr != nil {
+			return fmt.Errorf("saving cache: %w", serr)
+		}
+		st := cache.Stats()
+		fmt.Printf("solution cache: %d entries, %d hits, %d misses, %d shared\n",
+			st.Size, st.Hits, st.Misses, st.Shared)
 	}
 
 	both := !*table2 && !*figure5

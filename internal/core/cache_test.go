@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/programs"
+	"repro/internal/solcache"
+)
+
+// TestWarmCacheSkipsSynthesis is the acceptance-criteria test: a
+// recompilation of a canonically identical program must return the cached
+// pisa.Config without invoking cegis.Synthesize, asserted through the obs
+// core.attempts counter (incremented once per Synthesize call).
+func TestWarmCacheSkipsSynthesis(t *testing.T) {
+	b, err := programs.ByName("sampling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := solcache.New(8)
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	ctx = obs.ContextWithMetrics(ctx, reg)
+
+	opts := benchOptions(b)
+	opts.Cache = cache
+
+	cold, err := Compile(ctx, b.Parse(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Feasible || cold.Cached {
+		t.Fatalf("cold compile: feasible=%v cached=%v", cold.Feasible, cold.Cached)
+	}
+	attempts := reg.Counter("core.attempts").Value()
+	if attempts == 0 {
+		t.Fatal("cold compile recorded no synthesis attempts")
+	}
+	if hits := reg.Counter("solcache.hits").Value(); hits != 0 {
+		t.Fatalf("cold compile recorded %d cache hits", hits)
+	}
+
+	// A different seed must still hit: the fingerprint excludes it.
+	opts.Seed = opts.Seed + 1000
+	warm, err := Compile(ctx, b.Parse(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached || !warm.Feasible {
+		t.Fatalf("warm compile: cached=%v feasible=%v", warm.Cached, warm.Feasible)
+	}
+	if got := reg.Counter("core.attempts").Value(); got != attempts {
+		t.Errorf("warm compile invoked cegis.Synthesize: core.attempts %d -> %d", attempts, got)
+	}
+	if got := reg.Counter("solcache.hits").Value(); got != 1 {
+		t.Errorf("solcache.hits = %d, want 1", got)
+	}
+	if !reflect.DeepEqual(warm.Config, cold.Config) {
+		t.Error("warm compile returned a different configuration")
+	}
+	if warm.Usage != cold.Usage {
+		t.Errorf("warm usage %+v != cold usage %+v", warm.Usage, cold.Usage)
+	}
+	if len(warm.Depths) != 0 {
+		t.Errorf("cached report carries %d depth probes, want none", len(warm.Depths))
+	}
+}
+
+// TestConcurrentCompilesShareOneRun drives the singleflight path through
+// core.Compile itself: concurrent compilations of the same program must
+// share a single CEGIS run.
+func TestConcurrentCompilesShareOneRun(t *testing.T) {
+	b, err := programs.ByName("sampling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := solcache.New(8)
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	ctx = obs.ContextWithMetrics(ctx, reg)
+
+	const n = 4
+	var wg sync.WaitGroup
+	reps := make([]*Report, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := benchOptions(b)
+			opts.Cache = cache
+			opts.Seed = int64(i) // seeds differ; canonical problem does not
+			reps[i], errs[i] = Compile(ctx, b.Parse(), opts)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("compile %d: %v", i, errs[i])
+		}
+		if !reps[i].Feasible {
+			t.Fatalf("compile %d infeasible", i)
+		}
+	}
+	if misses := reg.Counter("solcache.misses").Value(); misses != 1 {
+		t.Errorf("solcache.misses = %d, want 1 (one shared CEGIS run)", misses)
+	}
+	if got := reg.Counter("solcache.hits").Value() + reg.Counter("solcache.shared").Value(); got != n-1 {
+		t.Errorf("hits+shared = %d, want %d", got, n-1)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/programs"
+	"repro/internal/solcache"
+)
+
+// TestCompileAlreadyCancelledContext: a context that is dead on arrival
+// must yield a TimedOut report (core's documented contract: deadline
+// expiry is an outcome, not an error) without panicking, and the solution
+// cache must not store the non-answer.
+func TestCompileAlreadyCancelledContext(t *testing.T) {
+	b, err := programs.ByName("sampling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := solcache.New(8)
+	opts := benchOptions(b)
+	opts.Cache = cache
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Compile(ctx, b.Parse(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TimedOut {
+		t.Errorf("report: TimedOut=%v, want true", rep.TimedOut)
+	}
+	if rep.Feasible {
+		t.Error("cancelled compile claims feasibility")
+	}
+	if cache.Len() != 0 {
+		t.Errorf("cache stored %d entries from a cancelled compile, want 0", cache.Len())
+	}
+}
+
+// TestCompileMidSynthesisExpiry: a deadline that expires while CEGIS is
+// solving must interrupt the solver, return TimedOut, and leave the cache
+// empty. flowlet is the corpus's hardest program (Table 2's timeout case),
+// so a few milliseconds cannot be enough to finish it.
+func TestCompileMidSynthesisExpiry(t *testing.T) {
+	b, err := programs.ByName("flowlet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := solcache.New(8)
+	opts := benchOptions(b)
+	opts.Cache = cache
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := Compile(ctx, b.Parse(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TimedOut {
+		t.Errorf("report: TimedOut=%v, want true (elapsed %v)", rep.TimedOut, time.Since(start))
+	}
+	if rep.Feasible {
+		t.Error("timed-out compile claims feasibility")
+	}
+	if cache.Len() != 0 {
+		t.Errorf("cache stored %d entries from a timed-out compile, want 0", cache.Len())
+	}
+
+	// The timeout must not have poisoned the cache: the same problem with
+	// an adequate budget still gets a real (uncached) answer.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel2()
+	rep2, err := Compile(ctx2, b.Parse(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Cached {
+		t.Error("retry after timeout served a cached non-answer")
+	}
+	if !rep2.Feasible {
+		t.Errorf("flowlet retry infeasible (timedout=%v)", rep2.TimedOut)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pisa"
 	"repro/internal/sat"
+	"repro/internal/solcache"
 	"repro/internal/word"
 )
 
@@ -66,6 +67,12 @@ type Options struct {
 	// Progress receives solver counter snapshots from inside long SAT
 	// solves (see cegis.Options.Progress), if non-nil.
 	Progress func(phase string, st sat.Stats)
+	// Cache, when non-nil, memoizes compilation outcomes by canonical
+	// problem fingerprint (internal/solcache). Warm hits return the stored
+	// configuration without invoking CEGIS; concurrent compilations of the
+	// same canonical problem share one synthesis run. Timed-out runs are
+	// never stored.
+	Cache *solcache.Cache
 }
 
 func (o *Options) maxStages() int {
@@ -113,6 +120,10 @@ type Report struct {
 	// TimedOut reports whether the context expired first (Table 2's
 	// failure mode for flowlet mutations).
 	TimedOut bool
+	// Cached reports that the outcome came from the solution cache (or a
+	// shared in-flight run) without a fresh CEGIS search; Depths is empty
+	// in that case.
+	Cached bool
 	// Config is the synthesized hardware configuration when feasible.
 	Config *pisa.Config
 	// Usage is the Figure 5 resource report for Config.
@@ -141,6 +152,11 @@ func (r *Report) Effort() Effort {
 // Compile runs Chipmunk on a program. Cancel or time out the context to
 // bound code-generation time; an expired context yields a Report with
 // TimedOut set rather than an error.
+//
+// With Options.Cache set, the problem's canonical fingerprint is consulted
+// first: a warm hit skips synthesis entirely and returns the stored
+// configuration with Report.Cached set, and concurrent compilations of the
+// same canonical problem share a single underlying CEGIS run.
 func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, error) {
 	start := time.Now()
 	rep := &Report{Program: prog.Name}
@@ -149,9 +165,71 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 		obs.String("program", prog.Name), obs.Int("width", opts.Width))
 	defer func() {
 		span.End(obs.Bool("feasible", rep.Feasible), obs.Bool("timedout", rep.TimedOut),
-			obs.Int("attempts", len(rep.Depths)))
+			obs.Bool("cached", rep.Cached), obs.Int("attempts", len(rep.Depths)))
 	}()
 
+	if opts.Cache != nil {
+		key := cacheKey(prog, opts)
+		ran := false
+		sol, err := opts.Cache.Do(ctx, key, func(ctx context.Context) (solcache.Solution, bool, error) {
+			ran = true
+			if err := search(ctx, prog, opts, rep); err != nil {
+				return solcache.Solution{}, false, err
+			}
+			sol := solcache.Solution{
+				Feasible: rep.Feasible,
+				TimedOut: rep.TimedOut,
+				Config:   rep.Config,
+				Stages:   rep.Usage.Stages,
+				Iters:    rep.Effort().Iters,
+			}
+			return sol, !rep.TimedOut, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !ran {
+			rep.Cached = true
+			rep.Feasible = sol.Feasible
+			rep.TimedOut = sol.TimedOut
+			rep.Config = sol.Config
+			if sol.Config != nil {
+				rep.Usage = sol.Config.Usage()
+			}
+		}
+		rep.Elapsed = time.Since(start)
+		return rep, nil
+	}
+
+	if err := search(ctx, prog, opts, rep); err != nil {
+		return nil, err
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// cacheKey derives the solution-cache fingerprint for a compilation. The
+// seed and callbacks are excluded: they steer the search, not the validity
+// of its result.
+func cacheKey(prog *ast.Program, opts Options) solcache.Key {
+	return solcache.Problem{
+		Program: prog,
+		Grid: pisa.GridSpec{
+			Width:        opts.Width,
+			WordWidth:    10,
+			StatelessALU: opts.StatelessALU,
+			StatefulALU:  opts.StatefulALU,
+		},
+		MaxStages:      opts.maxStages(),
+		FixedStages:    opts.FixedStages,
+		SynthWidth:     opts.SynthWidth,
+		VerifyWidth:    opts.VerifyWidth,
+		IndicatorAlloc: opts.IndicatorAlloc,
+	}.Fingerprint()
+}
+
+// search runs the iterative-deepening synthesis loop, filling rep in place.
+func search(ctx context.Context, prog *ast.Program, opts Options, rep *Report) error {
 	grid := pisa.GridSpec{
 		Width:        opts.Width,
 		WordWidth:    10, // placeholder; CEGIS manages widths
@@ -179,7 +257,7 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 		res, err := cegis.Synthesize(actx, prog, grid, copts)
 		if err != nil {
 			aspan.End(obs.String("outcome", "error"))
-			return nil, fmt.Errorf("core: %s at %d stages: %w", prog.Name, stages, err)
+			return fmt.Errorf("core: %s at %d stages: %w", prog.Name, stages, err)
 		}
 		outcome := "infeasible"
 		switch {
@@ -210,18 +288,17 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 			continue
 		}
 		if err := res.Config.Validate(); err != nil {
-			return nil, fmt.Errorf("core: synthesized configuration invalid: %w", err)
+			return fmt.Errorf("core: synthesized configuration invalid: %w", err)
 		}
 		if err := crossCheck(prog, res.Config, opts.Seed); err != nil {
-			return nil, fmt.Errorf("core: %s: %w", prog.Name, err)
+			return fmt.Errorf("core: %s: %w", prog.Name, err)
 		}
 		rep.Feasible = true
 		rep.Config = res.Config
 		rep.Usage = res.Config.Usage()
 		break
 	}
-	rep.Elapsed = time.Since(start)
-	return rep, nil
+	return nil
 }
 
 // crossCheck differentially tests the synthesized configuration against the

@@ -12,6 +12,8 @@ package eval
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pisa"
 	"repro/internal/programs"
+	"repro/internal/solcache"
 )
 
 // Options configures an evaluation run.
@@ -49,6 +52,11 @@ type Options struct {
 	// TraceDir, when non-empty, writes one JSONL span trace per mutant
 	// compilation into the directory as <program>_m<index>.jsonl.
 	TraceDir string
+	// Cache, when non-nil, memoizes compilation results by canonical
+	// problem fingerprint: mutants that canonicalize identically (and
+	// repeat sweeps over the same corpus) share one CEGIS run. Workers
+	// share the cache; it is race-safe.
+	Cache *solcache.Cache
 }
 
 func (o *Options) mutants() int {
@@ -125,7 +133,7 @@ func Run(ctx context.Context, opts Options) ([]MutantOutcome, error) {
 	var jobs []job
 	for _, b := range corpus {
 		prog := b.Parse()
-		muts := mutate.Generate(prog, opts.mutants(), opts.Seed+int64(len(b.Name)*7919))
+		muts := mutate.Generate(prog, opts.mutants(), opts.Seed+programSeed(b.Name))
 		for i, m := range muts {
 			jobs = append(jobs, job{bench: b, mutant: m, index: i})
 		}
@@ -151,6 +159,18 @@ func Run(ctx context.Context, opts Options) ([]MutantOutcome, error) {
 		return outcomes, err
 	}
 	return outcomes, nil
+}
+
+// programSeed derives a per-program offset for the mutation stream from an
+// FNV-1a hash of the program name. The previous derivation
+// (len(name)*7919) collided for same-length names — blue_increase and
+// blue_decrease received identical seeds and therefore structurally
+// parallel mutant sets. The offset is masked positive so adding it to a
+// user seed cannot overflow surprisingly.
+func programSeed(name string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, name)
+	return int64(h.Sum64() & (1<<62 - 1))
 }
 
 func compileBoth(ctx context.Context, b programs.Benchmark, m mutate.Mutant, idx int, opts Options) MutantOutcome {
@@ -190,6 +210,7 @@ func compileBoth(ctx context.Context, b programs.Benchmark, m mutate.Mutant, idx
 		StatelessALU: alu.Stateless{ConstBits: b.ConstBits},
 		StatefulALU:  alu.Stateful{Kind: b.StatefulALU, ConstBits: b.ConstBits},
 		Seed:         opts.Seed + int64(idx),
+		Cache:        opts.Cache,
 	})
 	if err == nil {
 		out.ChipmunkOK = rep.Feasible

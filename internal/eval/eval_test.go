@@ -11,6 +11,8 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/pisa"
+	"repro/internal/programs"
+	"repro/internal/solcache"
 )
 
 // runSubset performs a small but real evaluation (2 programs x 3 mutants).
@@ -243,5 +245,64 @@ func TestEffortMetricsAndTraces(t *testing.T) {
 	footer := RenderTable2(Table2(outcomes))
 	if !strings.Contains(footer, "solver effort:") || !strings.Contains(footer, "SAT conflicts") {
 		t.Errorf("Table 2 render missing effort footer:\n%s", footer)
+	}
+}
+
+// TestPerProgramMutationSeedsDistinct guards the seed-derivation fix: the
+// old len(name)*7919 offset collided for same-length program names
+// (blue_increase / blue_decrease), giving them structurally parallel
+// mutant sets. The FNV-based derivation must separate every corpus pair.
+func TestPerProgramMutationSeedsDistinct(t *testing.T) {
+	names := programs.Names()
+	seen := map[int64]string{}
+	for _, n := range names {
+		s := programSeed(n)
+		if s < 0 {
+			t.Errorf("programSeed(%q) = %d, want non-negative", n, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("programSeed collision: %q and %q both map to %d", prev, n, s)
+		}
+		seen[s] = n
+	}
+	if programSeed("blue_increase") == programSeed("blue_decrease") {
+		t.Error("the regression pair still collides")
+	}
+}
+
+// TestRunWithCacheWarmSweep: a second evaluation sweep over the same
+// corpus slice with a shared solution cache must serve every compilation
+// from the cache.
+func TestRunWithCacheWarmSweep(t *testing.T) {
+	cache := solcache.New(64)
+	opts := Options{
+		Mutants:  3,
+		Seed:     42,
+		Timeout:  2 * time.Minute,
+		Programs: []string{"sampling"},
+		Cache:    cache,
+	}
+	cold, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits != 0 && st.Size == 0 {
+		t.Fatalf("cold sweep stats: %+v", st)
+	}
+	warm, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("sweep sizes differ: %d vs %d", len(warm), len(cold))
+	}
+	st := cache.Stats()
+	if st.Hits < int64(len(warm)) {
+		t.Errorf("warm sweep: %d cache hits, want >= %d (every Chipmunk compile)", st.Hits, len(warm))
+	}
+	for i := range warm {
+		if !warm[i].ChipmunkOK {
+			t.Errorf("warm mutant %d failed", i)
+		}
 	}
 }

@@ -105,6 +105,15 @@ func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
 }
 
+// Add moves the gauge by delta — the idiom for level gauges tracking
+// concurrent activity (in-flight compile jobs).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
 // SetMax raises the gauge to v if v is larger — the idiom for peaks (peak
 // CNF variables, peak circuit gates).
 func (g *Gauge) SetMax(v int64) {

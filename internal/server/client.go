@@ -1,0 +1,118 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a thin HTTP client for a chipmunkd daemon — the `chipmunk
+// -remote` transport. The zero value is not usable; construct with
+// NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a daemon at base (e.g. "http://localhost:8926"). The
+// default http.Client is used; compile requests rely on the server-side
+// job timeout, so no client timeout is imposed beyond the context's.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: http.DefaultClient}
+}
+
+// Compile submits a job and blocks until it finishes (Wait is forced on),
+// returning the final status. A job that the daemon rejects or fails is
+// still a successful round trip: inspect JobStatus.State.
+func (c *Client) Compile(ctx context.Context, req CompileRequest) (*JobStatus, error) {
+	req.Wait = true
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/compile", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return c.roundTrip(hreq)
+}
+
+// Job polls a job's status by ID.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.roundTrip(hreq)
+}
+
+// Health checks the daemon's /healthz endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("daemon unhealthy: %s", resp.Status)
+	}
+	return nil
+}
+
+// Metrics fetches the daemon's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (map[string]any, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: %s", resp.Status)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *Client) roundTrip(hreq *http.Request) (*JobStatus, error) {
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBody))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+	default:
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("daemon: %s (%s)", e.Error, resp.Status)
+		}
+		return nil, fmt.Errorf("daemon: %s", resp.Status)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("decoding job status: %w", err)
+	}
+	return &st, nil
+}

@@ -1,0 +1,488 @@
+// Package server implements compilation-as-a-service: an HTTP job API over
+// a bounded work queue and worker pool, fronting core.Compile with the
+// content-addressed solution cache (internal/solcache).
+//
+// The API surface:
+//
+//	POST /compile     submit a compilation job (JSON CompileRequest).
+//	                  Returns 202 with the job's status, or the final
+//	                  status directly when "wait" is set. 400 on a parse
+//	                  or validation error, 429 when the queue is full,
+//	                  503 while draining.
+//	GET  /jobs/{id}   poll a job's status.
+//	GET  /healthz     liveness: 200 normally, 503 while draining.
+//	GET  /metrics     expvar-style JSON snapshot of the obs registry
+//	                  (queue depth, in-flight jobs, cache hit/miss, SAT
+//	                  counters from compilations).
+//
+// Robustness properties: per-job timeouts, queue-full backpressure (429),
+// context-propagated cancellation, and graceful drain — Shutdown lets
+// in-flight jobs complete, rejects still-queued jobs, and leaves the
+// listener to close cleanly.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/parser"
+	"repro/internal/solcache"
+	"repro/internal/word"
+)
+
+// Config configures a compile server.
+type Config struct {
+	// Workers is the worker-pool size. 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unstarted jobs; a full
+	// queue rejects submissions with 429. 0 means 64.
+	QueueDepth int
+	// JobTimeout bounds each compilation. 0 means 120s.
+	JobTimeout time.Duration
+	// Cache, when non-nil, memoizes results across jobs.
+	Cache *solcache.Cache
+	// Metrics receives queue/in-flight gauges and compilation counters.
+	// Nil allocates a private registry.
+	Metrics *obs.Registry
+}
+
+func (c *Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+func (c *Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 64
+	}
+	return c.QueueDepth
+}
+
+func (c *Config) jobTimeout() time.Duration {
+	if c.JobTimeout <= 0 {
+		return 120 * time.Second
+	}
+	return c.JobTimeout
+}
+
+// CompileRequest is the JSON body of POST /compile. Source is required;
+// everything else falls back to the quickstart defaults.
+type CompileRequest struct {
+	// Name labels the program in job status and traces.
+	Name string `json:"name"`
+	// Source is the Domino program text.
+	Source string `json:"source"`
+	// Width is the PHV width (containers / ALUs per stage). 0 means 2.
+	Width int `json:"width,omitempty"`
+	// MaxStages bounds iterative deepening. 0 means 4.
+	MaxStages int `json:"max_stages,omitempty"`
+	// ALU names the stateful ALU template (alu.KindByName). Empty means
+	// if_else_raw.
+	ALU string `json:"alu,omitempty"`
+	// ConstBits is the immediate hole width. 0 means the ALU default.
+	ConstBits int `json:"const_bits,omitempty"`
+	// SynthWidth / VerifyWidth are the CEGIS tier widths (0 = defaults).
+	SynthWidth  int `json:"synth_width,omitempty"`
+	VerifyWidth int `json:"verify_width,omitempty"`
+	// Seed drives CEGIS's random test inputs.
+	Seed int64 `json:"seed,omitempty"`
+	// Wait blocks the HTTP request until the job finishes and returns the
+	// final status instead of 202.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// CompileResult is the outcome portion of a finished job's status.
+type CompileResult struct {
+	Feasible bool `json:"feasible"`
+	TimedOut bool `json:"timed_out"`
+	// Cached reports a solution-cache hit (no CEGIS run).
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Resource usage (Figure 5's axes) when feasible.
+	Stages          int `json:"stages,omitempty"`
+	MaxALUsPerStage int `json:"max_alus_per_stage,omitempty"`
+	TotalALUs       int `json:"total_alus,omitempty"`
+	// Config is the synthesized hardware configuration when feasible.
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateError    = "error"
+	StateRejected = "rejected" // drained from the queue during shutdown
+)
+
+// JobStatus is the JSON representation of a job.
+type JobStatus struct {
+	ID       string         `json:"id"`
+	State    string         `json:"state"`
+	Program  string         `json:"program"`
+	Queued   time.Time      `json:"queued"`
+	Started  *time.Time     `json:"started,omitempty"`
+	Finished *time.Time     `json:"finished,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	Result   *CompileResult `json:"result,omitempty"`
+}
+
+type job struct {
+	id   string
+	req  CompileRequest
+	prog *ast.Program
+	opts core.Options
+
+	mu       sync.Mutex
+	state    string
+	queued   time.Time
+	started  time.Time
+	finished time.Time
+	err      string
+	result   *CompileResult
+	done     chan struct{}
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:      j.id,
+		State:   j.state,
+		Program: j.prog.Name,
+		Queued:  j.queued,
+		Error:   j.err,
+		Result:  j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// Server is a compile service: an HTTP handler plus the worker pool behind
+// it. Create with New, serve Handler(), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *obs.Registry
+	mux     *http.ServeMux
+
+	mu       sync.Mutex // guards queue sends vs. close, jobs, draining
+	jobs     map[string]*job
+	queue    chan *job
+	draining bool
+	nextID   int64
+
+	workers sync.WaitGroup
+	// baseCtx parents every job context; forceCancel aborts in-flight
+	// jobs when a graceful drain runs out of time.
+	baseCtx     context.Context
+	forceCancel context.CancelFunc
+
+	// compile is the job execution function; tests substitute stubs with
+	// controllable latency.
+	compile func(ctx context.Context, j *job) (*core.Report, error)
+
+	now func() time.Time
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		jobs:    map[string]*job{},
+		queue:   make(chan *job, cfg.queueDepth()),
+		now:     time.Now,
+	}
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	s.baseCtx, s.forceCancel = context.WithCancel(context.Background())
+	s.compile = func(ctx context.Context, j *job) (*core.Report, error) {
+		return core.Compile(ctx, j.prog, j.opts)
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /compile", s.handleCompile)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	for i := 0; i < cfg.workers(); i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's registry (queue depth, in-flight jobs, job
+// counters, plus whatever the compilations record).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Shutdown drains the server: no new jobs are accepted, jobs still queued
+// are rejected, and in-flight jobs run to completion. If ctx expires
+// first, in-flight job contexts are cancelled (they finish quickly with
+// TimedOut) and Shutdown returns ctx.Err after the pool exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		// Reject everything still queued. Sends happen only under s.mu
+		// with draining false, so draining and closing here cannot race
+		// with a send.
+	drain:
+		for {
+			select {
+			case j := <-s.queue:
+				s.finishRejected(j)
+			default:
+				break drain
+			}
+		}
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.forceCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) finishRejected(j *job) {
+	j.mu.Lock()
+	j.state = StateRejected
+	j.err = "server shutting down before the job started"
+	j.finished = s.now()
+	j.mu.Unlock()
+	close(j.done)
+	s.metrics.Counter("server.jobs.rejected").Add(1)
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.metrics.Gauge("server.queue.depth").Set(int64(len(s.queue)))
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			// Pulled after drain began (racing the drain loop): still a
+			// queued job, so reject rather than start it.
+			s.finishRejected(j)
+			continue
+		}
+		s.run(j)
+	}
+}
+
+func (s *Server) run(j *job) {
+	s.metrics.Gauge("server.inflight").Add(1)
+	defer s.metrics.Gauge("server.inflight").Add(-1)
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = s.now()
+	j.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.jobTimeout())
+	defer cancel()
+	ctx = obs.ContextWithMetrics(ctx, s.metrics)
+
+	rep, err := s.compile(ctx, j)
+
+	j.mu.Lock()
+	j.finished = s.now()
+	if err != nil {
+		j.state = StateError
+		j.err = err.Error()
+		s.metrics.Counter("server.jobs.failed").Add(1)
+	} else {
+		j.state = StateDone
+		res := &CompileResult{
+			Feasible:  rep.Feasible,
+			TimedOut:  rep.TimedOut,
+			Cached:    rep.Cached,
+			ElapsedMS: float64(rep.Elapsed.Microseconds()) / 1000,
+		}
+		if rep.Feasible {
+			res.Stages = rep.Usage.Stages
+			res.MaxALUsPerStage = rep.Usage.MaxALUsPerStage
+			res.TotalALUs = rep.Usage.TotalALUs
+			if cfg, merr := json.Marshal(rep.Config); merr == nil {
+				res.Config = cfg
+			}
+		}
+		j.result = res
+		s.metrics.Counter("server.jobs.completed").Add(1)
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// --- HTTP handlers -----------------------------------------------------------
+
+// maxRequestBody bounds POST /compile bodies (a Domino program is tiny).
+const maxRequestBody = 1 << 20
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	j, err := s.newJob(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("j%06d", s.nextID)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.metrics.Counter("server.jobs.throttled").Add(1)
+		httpError(w, http.StatusTooManyRequests, "compile queue full (%d jobs)", cap(s.queue))
+		return
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	s.metrics.Counter("server.jobs.accepted").Add(1)
+	s.metrics.Gauge("server.queue.depth").Set(int64(len(s.queue)))
+
+	if req.Wait {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			// Client went away; the job keeps running and remains
+			// pollable at /jobs/{id}.
+		}
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) newJob(req CompileRequest) (*job, error) {
+	if req.Source == "" {
+		return nil, fmt.Errorf("missing program source")
+	}
+	name := req.Name
+	if name == "" {
+		name = "anonymous"
+	}
+	prog, err := parser.Parse(name, req.Source)
+	if err != nil {
+		return nil, fmt.Errorf("parsing program: %w", err)
+	}
+	kindName := req.ALU
+	if kindName == "" {
+		kindName = "if_else_raw"
+	}
+	kind, err := alu.KindByName(kindName)
+	if err != nil {
+		return nil, err
+	}
+	width := req.Width
+	if width <= 0 {
+		width = 2
+	}
+	return &job{
+		req:  req,
+		prog: prog,
+		opts: core.Options{
+			Width:        width,
+			MaxStages:    req.MaxStages,
+			StatelessALU: alu.Stateless{ConstBits: req.ConstBits},
+			StatefulALU:  alu.Stateful{Kind: kind, ConstBits: req.ConstBits},
+			SynthWidth:   word.Width(req.SynthWidth),
+			VerifyWidth:  word.Width(req.VerifyWidth),
+			Seed:         req.Seed,
+			Cache:        s.cfg.Cache,
+		},
+		state:  StateQueued,
+		queued: s.now(),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.metrics.Gauge("server.queue.depth").Set(int64(len(s.queue)))
+	s.cfg.Cache.Publish(s.metrics)
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

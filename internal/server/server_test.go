@@ -1,0 +1,357 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pisa"
+	"repro/internal/solcache"
+)
+
+const samplingSrc = `
+int count = 0;
+if (count == 10) {
+  count = 0;
+  pkt.sample = 1;
+} else {
+  count = count + 1;
+  pkt.sample = 0;
+}
+`
+
+func compileReq(wait bool) CompileRequest {
+	return CompileRequest{
+		Name:      "sampling",
+		Source:    samplingSrc,
+		Width:     2,
+		MaxStages: 3,
+		ALU:       "if_else_raw",
+		Wait:      wait,
+	}
+}
+
+func postCompile(t *testing.T, ts *httptest.Server, req CompileRequest) (*http.Response, JobStatus) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, st
+}
+
+// TestCompileEndToEnd exercises the real pipeline over HTTP: a compile
+// succeeds, its configuration deserializes and simulates, and the second
+// identical request is served from the solution cache.
+func TestCompileEndToEnd(t *testing.T) {
+	cache := solcache.New(8)
+	s := New(Config{Workers: 2, QueueDepth: 4, JobTimeout: 2 * time.Minute, Cache: cache})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, st := postCompile(t, ts, compileReq(true))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if st.State != StateDone || st.Result == nil {
+		t.Fatalf("job state %q result=%v", st.State, st.Result)
+	}
+	if !st.Result.Feasible || st.Result.Cached {
+		t.Fatalf("first compile: feasible=%v cached=%v", st.Result.Feasible, st.Result.Cached)
+	}
+	var cfg pisa.Config
+	if err := json.Unmarshal(st.Result.Config, &cfg); err != nil {
+		t.Fatalf("config does not deserialize: %v", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("returned config invalid: %v", err)
+	}
+
+	resp2, st2 := postCompile(t, ts, compileReq(true))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second status %d", resp2.StatusCode)
+	}
+	if !st2.Result.Cached || !st2.Result.Feasible {
+		t.Fatalf("second compile: cached=%v feasible=%v, want a cache hit", st2.Result.Cached, st2.Result.Feasible)
+	}
+
+	// The job remains pollable.
+	jresp, err := http.Get(ts.URL + "/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	if jresp.StatusCode != http.StatusOK {
+		t.Errorf("GET /jobs/%s = %d", st.ID, jresp.StatusCode)
+	}
+	if r, err := http.Get(ts.URL + "/jobs/nope"); err == nil {
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job = %d, want 404", r.StatusCode)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for name, req := range map[string]CompileRequest{
+		"empty source": {Name: "x"},
+		"parse error":  {Name: "x", Source: "if (((("},
+		"bad alu":      {Name: "x", Source: samplingSrc, ALU: "quantum"},
+	} {
+		resp, _ := postCompile(t, ts, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// stubCompiles replaces the server's compile function with one that blocks
+// until released, so tests control queue occupancy deterministically.
+func stubCompiles(s *Server) (started chan string, release chan struct{}) {
+	started = make(chan string, 16)
+	release = make(chan struct{})
+	s.compile = func(ctx context.Context, j *job) (*core.Report, error) {
+		started <- j.prog.Name
+		select {
+		case <-release:
+			return &core.Report{Program: j.prog.Name, Feasible: true}, nil
+		case <-ctx.Done():
+			return &core.Report{Program: j.prog.Name, TimedOut: true}, nil
+		}
+	}
+	return started, release
+}
+
+// TestQueueFullBackpressure: one worker busy, a one-slot queue occupied —
+// the next submission must be rejected with 429, and the metrics must
+// record the throttle.
+func TestQueueFullBackpressure(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Workers: 1, QueueDepth: 1, Metrics: reg})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	started, release := stubCompiles(s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	r1 := compileReq(false)
+	r1.Name = "inflight"
+	resp, _ := postCompile(t, ts, r1)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	<-started // the worker now holds job 1
+
+	r2 := compileReq(false)
+	r2.Name = "queued"
+	if resp, _ := postCompile(t, ts, r2); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d", resp.StatusCode)
+	}
+
+	r3 := compileReq(false)
+	r3.Name = "rejected"
+	if resp, _ := postCompile(t, ts, r3); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: %d, want 429", resp.StatusCode)
+	}
+	if got := reg.Counter("server.jobs.throttled").Value(); got != 1 {
+		t.Errorf("server.jobs.throttled = %d, want 1", got)
+	}
+	close(release)
+}
+
+// TestGracefulShutdown is the acceptance-criteria test: on drain,
+// in-flight jobs complete, queued jobs are rejected, new submissions are
+// refused, and the worker pool exits cleanly.
+func TestGracefulShutdown(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	started, release := stubCompiles(s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	inflightReq := compileReq(false)
+	inflightReq.Name = "inflight"
+	_, inflightSt := postCompile(t, ts, inflightReq)
+	<-started // worker holds it
+
+	queuedReq := compileReq(false)
+	queuedReq.Name = "queued"
+	_, queuedSt := postCompile(t, ts, queuedReq)
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// The drain must reject the queued job promptly, while the in-flight
+	// job is still running.
+	waitForState(t, ts, queuedSt.ID, StateRejected)
+	if st := getJob(t, ts, inflightSt.ID); st.State != StateRunning {
+		t.Fatalf("in-flight job state %q during drain, want running", st.State)
+	}
+
+	// New submissions and health checks are refused while draining.
+	if resp, _ := postCompile(t, ts, compileReq(false)); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit during drain: %d, want 503", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("healthz during drain: %d, want 503", resp.StatusCode)
+		}
+	}
+
+	// Let the in-flight job finish; Shutdown must then return cleanly.
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("graceful shutdown returned %v", err)
+	}
+	if st := getJob(t, ts, inflightSt.ID); st.State != StateDone || !st.Result.Feasible {
+		t.Errorf("in-flight job after drain: state=%q, want done+feasible", st.State)
+	}
+}
+
+// TestShutdownForceCancel: when the drain grace expires, in-flight job
+// contexts are cancelled and the pool still exits.
+func TestShutdownForceCancel(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	started, _ := stubCompiles(s) // never released: only ctx can end it
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := compileReq(false)
+	_, st := postCompile(t, ts, req)
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("forced shutdown returned %v, want deadline exceeded", err)
+	}
+	if got := getJob(t, ts, st.ID); got.State != StateDone || !got.Result.TimedOut {
+		t.Errorf("force-cancelled job: state=%q result=%+v, want done+timed_out", got.State, got.Result)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	cache := solcache.New(8)
+	s := New(Config{Workers: 1, Cache: cache})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postCompile(t, ts, compileReq(true))
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"server.jobs.accepted", "server.jobs.completed", "solcache.misses", "solcache.size"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("metrics snapshot missing %q (have %v)", key, keys(snap))
+		}
+	}
+}
+
+func keys(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitForState(t *testing.T, ts *httptest.Server, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := getJob(t, ts, id); st.State == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %q (now %q)", id, want, getJob(t, ts, id).State)
+}
+
+// TestClientRoundTrip drives the thin client against a live server.
+func TestClientRoundTrip(t *testing.T) {
+	cache := solcache.New(8)
+	s := New(Config{Workers: 2, Cache: cache})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Compile(ctx, compileReq(false)) // Wait is forced on
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || !st.Result.Feasible {
+		t.Fatalf("client compile: %+v", st)
+	}
+	st2, err := c.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID != st.ID || st2.State != StateDone {
+		t.Errorf("job poll mismatch: %+v", st2)
+	}
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap["server.jobs.completed"]; !ok {
+		t.Errorf("client metrics missing completion counter: %v", keys(snap))
+	}
+	if _, err := c.Compile(ctx, CompileRequest{}); err == nil {
+		t.Error("client accepted an empty request")
+	} else if !strings.Contains(err.Error(), "source") {
+		t.Errorf("error should surface the server message, got: %v", err)
+	}
+}

@@ -1,0 +1,434 @@
+// Package solcache provides content-addressed caching of Chipmunk
+// compilation results. The paper's evaluation workload (Table 2: 8 programs
+// × 10 semantics-preserving mutations, re-run across seeds and sessions)
+// repeatedly poses synthesis problems that canonicalize to the same sketch;
+// since CEGIS is the dominant cost, memoizing solved problems amortizes
+// nearly all of it.
+//
+// The cache key is a content address: a SHA-256 fingerprint of the
+// program's canonical form (the paper's §3.1 / Figure 4 canonicalization —
+// variables renamed to their sorted allocation order, so alpha-renamed
+// programs collide on purpose) together with every synthesis parameter that
+// can change the answer (grid shape, ALU templates, tier widths, deepening
+// bounds). The CEGIS seed is deliberately excluded: it perturbs the search
+// path, never the validity of a solution.
+//
+// Three layers make the cache safe under a compile service's concurrency:
+//
+//   - an LRU bounding resident solutions;
+//   - singleflight deduplication, so N concurrent requests for the same
+//     canonical program share one underlying CEGIS run; and
+//   - optional on-disk JSON persistence with versioned invalidation, so
+//     repeat CLI invocations and daemon restarts start warm.
+package solcache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/cegis"
+	"repro/internal/obs"
+	"repro/internal/pisa"
+	"repro/internal/word"
+)
+
+// FormatVersion is bumped whenever the fingerprint derivation or the
+// persisted encoding changes; on-disk files written by another version are
+// discarded wholesale at load time.
+const FormatVersion = 1
+
+// Key is a content address for a compilation problem.
+type Key string
+
+// Problem bundles everything that determines a compilation's outcome. It
+// mirrors core.Options minus the fields that cannot change the answer
+// (seed, callbacks, the cache itself).
+type Problem struct {
+	// Program is the specification; only its canonical form matters.
+	Program *ast.Program
+	// Grid carries Width, WordWidth and the ALU templates. Stages is
+	// ignored — the deepening bound is MaxStages below.
+	Grid pisa.GridSpec
+	// MaxStages and FixedStages describe the iterative-deepening search.
+	MaxStages   int
+	FixedStages bool
+	// SynthWidth and VerifyWidth are the CEGIS tier widths (0 = the cegis
+	// defaults; normalized so explicit defaults and zero values collide).
+	SynthWidth  word.Width
+	VerifyWidth word.Width
+	// IndicatorAlloc selects the Figure 4 ablation allocation.
+	IndicatorAlloc bool
+}
+
+// Fingerprint computes the problem's content address.
+func (p Problem) Fingerprint() Key {
+	h := sha256.New()
+	io.WriteString(h, CanonicalSource(p.Program))
+	sw, vw := p.SynthWidth, p.VerifyWidth
+	if sw == 0 {
+		sw = 4
+	}
+	if vw == 0 {
+		vw = 10
+	}
+	fmt.Fprintf(h, "|v%d|w%d ww%d|sl%+v|sf%+v|ms%d fx%t|sw%d vw%d|ind%t",
+		FormatVersion, p.Grid.Width, p.Grid.WordWidth,
+		p.Grid.StatelessALU, p.Grid.StatefulALU,
+		p.MaxStages, p.FixedStages, sw, vw, p.IndicatorAlloc)
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// CanonicalSource renders the program in the §3.1 canonical form: packet
+// fields renamed f0..fn and state variables s0..sm in their sorted
+// (allocation) order — the same order cegis.CanonicalVars assigns grid
+// resources — then printed back to Domino source. Programs that differ only
+// by a sort-order-preserving variable renaming produce identical text.
+func CanonicalSource(p *ast.Program) string {
+	fields, states := cegis.CanonicalVars(p)
+	rename := make(map[string]string, len(fields)+len(states))
+	for i, f := range fields {
+		rename["pkt."+f] = fmt.Sprintf("f%d", i)
+	}
+	for i, s := range states {
+		rename[s] = fmt.Sprintf("s%d", i)
+	}
+	c := p.Clone()
+	renameStmts(c.Stmts, rename)
+	init := make(map[string]int64, len(c.Init))
+	for n, v := range c.Init {
+		init[rename[n]] = v
+	}
+	c.Init = init
+	return c.Print()
+}
+
+func renameStmts(stmts []ast.Stmt, rename map[string]string) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.Assign:
+			if s.LHS.IsField {
+				s.LHS.Name = rename["pkt."+s.LHS.Name]
+			} else {
+				s.LHS.Name = rename[s.LHS.Name]
+			}
+			renameExpr(s.RHS, rename)
+		case *ast.If:
+			renameExpr(s.Cond, rename)
+			renameStmts(s.Then, rename)
+			renameStmts(s.Else, rename)
+		}
+	}
+}
+
+func renameExpr(e ast.Expr, rename map[string]string) {
+	switch e := e.(type) {
+	case *ast.Field:
+		e.Name = rename["pkt."+e.Name]
+	case *ast.State:
+		e.Name = rename[e.Name]
+	case *ast.Unary:
+		renameExpr(e.X, rename)
+	case *ast.Binary:
+		renameExpr(e.X, rename)
+		renameExpr(e.Y, rename)
+	case *ast.Ternary:
+		renameExpr(e.Cond, rename)
+		renameExpr(e.T, rename)
+		renameExpr(e.F, rename)
+	}
+}
+
+// Solution is a cached compilation outcome. Only definitive answers are
+// stored: feasible configurations and proved-infeasible verdicts. Timed-out
+// runs are never cached (a longer budget might succeed), but TimedOut is
+// set on solutions handed to singleflight followers whose shared run
+// expired.
+type Solution struct {
+	Feasible bool         `json:"feasible"`
+	TimedOut bool         `json:"timed_out,omitempty"`
+	Config   *pisa.Config `json:"config,omitempty"`
+	// Stages is the minimized pipeline depth when feasible.
+	Stages int `json:"stages,omitempty"`
+	// Iters is the CEGIS iteration count of the original run, kept so
+	// warm hits can still report the effort they avoided.
+	Iters int `json:"iters,omitempty"`
+}
+
+// Cache is an in-memory LRU of solved compilation problems with
+// singleflight deduplication and optional disk persistence. All methods are
+// safe for concurrent use. A nil *Cache is a valid no-op (Get always
+// misses, Do always runs).
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recently used
+	flights map[Key]*flight
+	path    string
+
+	hits, misses, shared, evictions int64
+}
+
+type lruEntry struct {
+	key Key
+	sol Solution
+}
+
+type flight struct {
+	done chan struct{}
+	sol  Solution
+	err  error
+}
+
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithPersistPath enables on-disk persistence at path. New loads the file
+// if present (silently starting cold on version mismatch or corruption);
+// Save writes it back.
+func WithPersistPath(path string) Option {
+	return func(c *Cache) { c.path = path }
+}
+
+// DefaultCapacity bounds the LRU when New is given a non-positive capacity.
+const DefaultCapacity = 1024
+
+// New returns a cache holding at most capacity solutions (<= 0 means
+// DefaultCapacity). With WithPersistPath, previously saved solutions are
+// loaded immediately.
+func New(capacity int, opts ...Option) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	c := &Cache{
+		cap:     capacity,
+		entries: map[Key]*list.Element{},
+		lru:     list.New(),
+		flights: map[Key]*flight{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.path != "" {
+		c.Load() // best effort: a missing or stale file just starts cold
+	}
+	return c
+}
+
+// Get returns the cached solution for key, marking it recently used.
+func (c *Cache) Get(key Key) (Solution, bool) {
+	if c == nil {
+		return Solution{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return Solution{}, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(*lruEntry).sol, true
+}
+
+// Put stores a solution, evicting the least recently used entry when over
+// capacity. Timed-out solutions are ignored — a bigger budget could still
+// find an answer, so they are not definitive.
+func (c *Cache) Put(key Key, sol Solution) {
+	if c == nil || sol.TimedOut {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, sol)
+}
+
+func (c *Cache) putLocked(key Key, sol Solution) {
+	if e, ok := c.entries[key]; ok {
+		e.Value.(*lruEntry).sol = sol
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&lruEntry{key: key, sol: sol})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// Len reports the number of resident solutions.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats is a point-in-time view of cache traffic.
+type Stats struct {
+	Size, Capacity                  int
+	Hits, Misses, Shared, Evictions int64
+}
+
+// Stats snapshots the traffic counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Size: c.lru.Len(), Capacity: c.cap,
+		Hits: c.hits, Misses: c.misses, Shared: c.shared, Evictions: c.evictions,
+	}
+}
+
+// Publish copies the traffic counters into an obs registry (the daemon
+// calls this when serving its metrics endpoint).
+func (c *Cache) Publish(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	st := c.Stats()
+	reg.Gauge("solcache.size").Set(int64(st.Size))
+	reg.Gauge("solcache.capacity").Set(int64(st.Capacity))
+	reg.Gauge("solcache.evictions").Set(st.Evictions)
+}
+
+// Do returns the cached solution for key, or runs run to produce it.
+// Concurrent Do calls for the same key share a single run (singleflight):
+// one caller becomes the leader and executes run; the rest block until it
+// finishes and receive the same solution. run reports whether its solution
+// is definitive (cacheable); timed-out results must return false.
+//
+// A follower whose own context expires before the shared run completes
+// receives a Solution with TimedOut set and a nil error, matching
+// core.Compile's contract that deadline expiry is an outcome, not an
+// error.
+//
+// Do records solcache.hits / solcache.misses / solcache.shared counters
+// into the context's obs registry, if one is installed.
+func (c *Cache) Do(ctx context.Context, key Key, run func(ctx context.Context) (sol Solution, cacheable bool, err error)) (Solution, error) {
+	if c == nil {
+		sol, _, err := run(ctx)
+		return sol, err
+	}
+	m := obs.MetricsFrom(ctx)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e)
+		sol := e.Value.(*lruEntry).sol
+		c.hits++
+		c.mu.Unlock()
+		m.Counter("solcache.hits").Add(1)
+		return sol, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.shared++
+		c.mu.Unlock()
+		m.Counter("solcache.shared").Add(1)
+		select {
+		case <-f.done:
+			return f.sol, f.err
+		case <-ctx.Done():
+			return Solution{TimedOut: true}, nil
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.misses++
+	c.mu.Unlock()
+	m.Counter("solcache.misses").Add(1)
+
+	sol, cacheable, err := run(ctx)
+	f.sol, f.err = sol, err
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if err == nil && cacheable && !sol.TimedOut {
+		c.putLocked(key, sol)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return sol, err
+}
+
+// --- Disk persistence --------------------------------------------------------
+
+type diskFile struct {
+	Version int         `json:"version"`
+	Entries []diskEntry `json:"entries"` // least recently used first
+}
+
+type diskEntry struct {
+	Key      Key      `json:"key"`
+	Solution Solution `json:"solution"`
+}
+
+// Save writes the resident solutions to the persistence path as JSON,
+// atomically (write temp + rename). It is a no-op without a path.
+func (c *Cache) Save() error {
+	if c == nil || c.path == "" {
+		return nil
+	}
+	c.mu.Lock()
+	file := diskFile{Version: FormatVersion}
+	for e := c.lru.Back(); e != nil; e = e.Prev() {
+		le := e.Value.(*lruEntry)
+		file.Entries = append(file.Entries, diskEntry{Key: le.key, Solution: le.sol})
+	}
+	c.mu.Unlock()
+	data, err := json.Marshal(file)
+	if err != nil {
+		return err
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path)
+}
+
+// Load merges solutions from the persistence path into the cache. A
+// missing file, a file written by a different FormatVersion, or a corrupt
+// file leaves the cache unchanged and returns nil — persistence is an
+// optimization, never a correctness dependency. Entries whose configuration
+// fails validation are skipped individually.
+func (c *Cache) Load() error {
+	if c == nil || c.path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(c.path)
+	if err != nil {
+		return nil
+	}
+	var file diskFile
+	if err := json.Unmarshal(data, &file); err != nil || file.Version != FormatVersion {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range file.Entries {
+		if e.Solution.TimedOut {
+			continue
+		}
+		if cfg := e.Solution.Config; cfg != nil {
+			if err := cfg.Validate(); err != nil {
+				continue
+			}
+		}
+		c.putLocked(e.Key, e.Solution)
+	}
+	return nil
+}

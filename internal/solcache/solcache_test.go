@@ -1,0 +1,320 @@
+package solcache
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/ast"
+	"repro/internal/obs"
+	"repro/internal/parser"
+	"repro/internal/pisa"
+)
+
+const samplingSrc = `
+int count = 0;
+if (count == 10) {
+  count = 0;
+  pkt.sample = 1;
+} else {
+  count = count + 1;
+  pkt.sample = 0;
+}
+`
+
+// samplingSrcRenamed is samplingSrc with count->tally and sample->tag: a
+// pure alpha-renaming that preserves each class's sort order, so it must
+// canonicalize (and fingerprint) identically.
+const samplingSrcRenamed = `
+int tally = 0;
+if (tally == 10) {
+  tally = 0;
+  pkt.tag = 1;
+} else {
+  tally = tally + 1;
+  pkt.tag = 0;
+}
+`
+
+func mustParse(t *testing.T, name, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func problem(p *ast.Program) Problem {
+	return Problem{
+		Program: p,
+		Grid: pisa.GridSpec{
+			Width:        2,
+			WordWidth:    10,
+			StatefulALU:  alu.Stateful{Kind: alu.IfElseRaw},
+			StatelessALU: alu.Stateless{},
+		},
+		MaxStages: 3,
+	}
+}
+
+func TestCanonicalSourceAlphaRenaming(t *testing.T) {
+	a := CanonicalSource(mustParse(t, "a", samplingSrc))
+	b := CanonicalSource(mustParse(t, "b", samplingSrcRenamed))
+	if a != b {
+		t.Errorf("alpha-renamed programs canonicalize differently:\n%s\nvs\n%s", a, b)
+	}
+	for _, bad := range []string{"count", "tally", "sample", "tag"} {
+		if strings.Contains(a, bad) {
+			t.Errorf("canonical form leaks original name %q:\n%s", bad, a)
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	p := mustParse(t, "p", samplingSrc)
+	base := problem(p)
+	k0 := base.Fingerprint()
+
+	if k := problem(mustParse(t, "q", samplingSrcRenamed)).Fingerprint(); k != k0 {
+		t.Error("alpha-renamed program got a different fingerprint")
+	}
+
+	other := mustParse(t, "p", `pkt.out = pkt.in + 1;`)
+	if k := problem(other).Fingerprint(); k == k0 {
+		t.Error("different program collided")
+	}
+
+	wider := base
+	wider.Grid.Width = 3
+	if wider.Fingerprint() == k0 {
+		t.Error("different grid width collided")
+	}
+
+	deeper := base
+	deeper.MaxStages = 4
+	if deeper.Fingerprint() == k0 {
+		t.Error("different deepening bound collided")
+	}
+
+	ind := base
+	ind.IndicatorAlloc = true
+	if ind.Fingerprint() == k0 {
+		t.Error("indicator allocation collided with canonical")
+	}
+
+	// Explicit defaults and zero values must normalize to the same key.
+	expl := base
+	expl.SynthWidth, expl.VerifyWidth = 4, 10
+	if expl.Fingerprint() != k0 {
+		t.Error("explicit default widths got a different fingerprint than zero values")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", Solution{Feasible: true, Stages: 1})
+	c.Put("b", Solution{Feasible: true, Stages: 2})
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", Solution{Feasible: true, Stages: 3})
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be resident")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestPutIgnoresTimedOut(t *testing.T) {
+	c := New(4)
+	c.Put("t", Solution{TimedOut: true})
+	if c.Len() != 0 {
+		t.Error("timed-out solution was cached")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c := New(8, WithPersistPath(path))
+	c.Put("k1", Solution{Feasible: true, Stages: 2, Iters: 7})
+	c.Put("k2", Solution{Feasible: false})
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New(8, WithPersistPath(path))
+	if c2.Len() != 2 {
+		t.Fatalf("reloaded %d entries, want 2", c2.Len())
+	}
+	sol, ok := c2.Get("k1")
+	if !ok || !sol.Feasible || sol.Stages != 2 || sol.Iters != 7 {
+		t.Errorf("k1 roundtrip mismatch: %+v ok=%v", sol, ok)
+	}
+	if sol, ok := c2.Get("k2"); !ok || sol.Feasible {
+		t.Errorf("k2 (infeasible verdict) roundtrip mismatch: %+v ok=%v", sol, ok)
+	}
+}
+
+func TestPersistenceVersionInvalidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	writeFile(t, path, fmt.Sprintf(`{"version":%d,"entries":[{"key":"k","solution":{"feasible":true}}]}`, FormatVersion+1))
+	c := New(8, WithPersistPath(path))
+	if c.Len() != 0 {
+		t.Errorf("stale-version file loaded %d entries, want 0", c.Len())
+	}
+
+	writeFile(t, path, "{not json")
+	c = New(8, WithPersistPath(path))
+	if c.Len() != 0 {
+		t.Errorf("corrupt file loaded %d entries, want 0", c.Len())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoSingleflight is the satellite concurrency test: N goroutines
+// requesting the same canonical program must trigger exactly one
+// underlying run, observed both through the closure itself and through the
+// obs counters Do records. Run under -race (CI does).
+func TestDoSingleflight(t *testing.T) {
+	const n = 16
+	c := New(8)
+	reg := obs.NewRegistry()
+	ctx := obs.ContextWithMetrics(context.Background(), reg)
+	key := problem(mustParse(t, "p", samplingSrc)).Fingerprint()
+
+	var runs atomic.Int64
+	var release sync.WaitGroup
+	release.Add(1)
+	var wg sync.WaitGroup
+	sols := make([]Solution, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sol, err := c.Do(ctx, key, func(context.Context) (Solution, bool, error) {
+				runs.Add(1)
+				release.Wait() // hold the flight open until all callers joined
+				return Solution{Feasible: true, Stages: 2}, true, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			sols[i] = sol
+		}(i)
+	}
+	// Wait until every non-leader has had a chance to join the flight,
+	// then let the leader finish. Polling the shared counter is the only
+	// observable signal; give it a bounded spin.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter("solcache.shared").Value()+reg.Counter("solcache.hits").Value() < n-1 &&
+		time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	release.Done()
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("underlying run executed %d times, want exactly 1", got)
+	}
+	if got := reg.Counter("solcache.misses").Value(); got != 1 {
+		t.Errorf("solcache.misses = %d, want 1", got)
+	}
+	if got := reg.Counter("solcache.shared").Value() + reg.Counter("solcache.hits").Value(); got != n-1 {
+		t.Errorf("shared+hits = %d, want %d", got, n-1)
+	}
+	for i, sol := range sols {
+		if !sol.Feasible || sol.Stages != 2 {
+			t.Errorf("caller %d got %+v, want the shared solution", i, sol)
+		}
+	}
+	// The flight's solution must now be resident: a fresh Do is a pure hit.
+	var ranAgain bool
+	if _, err := c.Do(ctx, key, func(context.Context) (Solution, bool, error) {
+		ranAgain = true
+		return Solution{}, false, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ranAgain {
+		t.Error("warm Do re-ran the closure")
+	}
+}
+
+func TestDoFollowerContextExpiry(t *testing.T) {
+	c := New(8)
+	key := Key("k")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), key, func(context.Context) (Solution, bool, error) {
+			close(started)
+			<-release
+			return Solution{Feasible: true}, true, nil
+		})
+	}()
+	<-started
+	fctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := c.Do(fctx, key, func(context.Context) (Solution, bool, error) {
+		t.Error("follower must not run")
+		return Solution{}, false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.TimedOut {
+		t.Errorf("expired follower got %+v, want TimedOut", sol)
+	}
+	close(release)
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(8)
+	wantErr := fmt.Errorf("boom")
+	_, err := c.Do(context.Background(), "k", func(context.Context) (Solution, bool, error) {
+		return Solution{}, true, wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if c.Len() != 0 {
+		t.Error("errored run was cached")
+	}
+}
+
+func TestNilCacheIsNoop(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("k"); ok {
+		t.Error("nil cache hit")
+	}
+	c.Put("k", Solution{Feasible: true})
+	ran := false
+	sol, err := c.Do(context.Background(), "k", func(context.Context) (Solution, bool, error) {
+		ran = true
+		return Solution{Feasible: true}, true, nil
+	})
+	if err != nil || !ran || !sol.Feasible {
+		t.Errorf("nil cache Do: ran=%v sol=%+v err=%v", ran, sol, err)
+	}
+}

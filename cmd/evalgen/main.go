@@ -33,14 +33,14 @@ func main() {
 
 func run() error {
 	var (
-		mutants  = flag.Int("mutants", 10, "mutations per program (the paper uses 10)")
-		seed     = flag.Int64("seed", 42, "mutation and CEGIS seed")
-		timeout  = flag.Duration("timeout", 2*time.Minute, "per-mutant Chipmunk compile timeout")
-		parallel = flag.Int("parallel", 0, "concurrent compilations (0 = GOMAXPROCS)")
-		progs    = flag.String("programs", "", "comma-separated subset of the corpus (default: all 8)")
-		table2   = flag.Bool("table2", false, "print Table 2 only")
-		figure5  = flag.Bool("figure5", false, "print Figure 5 only")
-		csvPath  = flag.String("csv", "", "also write raw per-mutant outcomes as CSV")
+		mutants   = flag.Int("mutants", 10, "mutations per program (the paper uses 10)")
+		seed      = flag.Int64("seed", 42, "mutation and CEGIS seed")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-mutant Chipmunk compile timeout")
+		parallel  = flag.Int("parallel", 0, "concurrent compilations (0 = GOMAXPROCS)")
+		progs     = flag.String("programs", "", "comma-separated subset of the corpus (default: all 8)")
+		table2    = flag.Bool("table2", false, "print Table 2 only")
+		figure5   = flag.Bool("figure5", false, "print Figure 5 only")
+		csvPath   = flag.String("csv", "", "also write raw per-mutant outcomes as CSV")
 		traceDir  = flag.String("trace-dir", "", "write one JSONL span trace per mutant compilation into this directory")
 		stats     = flag.Bool("stats", false, "print aggregate solver metrics after the run")
 		cachePath = flag.String("cache-path", "", "persist the solution cache to this JSON file; repeat sweeps skip already-solved mutants")

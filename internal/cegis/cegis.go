@@ -44,14 +44,25 @@ import (
 	"repro/internal/word"
 )
 
+// Default tier widths used when Options leaves SynthWidth / VerifyWidth
+// zero. Exported because the solution cache (internal/solcache) folds these
+// into its content address so that explicit defaults and zero values collide
+// on the same key: changing either value changes the meaning of persisted
+// cache entries and therefore requires a solcache.FormatVersion bump.
+const (
+	DefaultSynthWidth  word.Width = 4
+	DefaultVerifyWidth word.Width = 10
+)
+
 // Options tunes the CEGIS loop.
 type Options struct {
 	// SynthWidth is the datapath width for synthesis-phase test inputs
 	// (the paper notes SKETCH defaults to 5-bit integers; 4 is our
-	// default, swept by the two-tier ablation bench). 0 means 4.
+	// default, swept by the two-tier ablation bench). 0 means
+	// DefaultSynthWidth.
 	SynthWidth word.Width
 	// VerifyWidth is the verification width (the paper's Z3 stage runs at
-	// 10-bit integers). 0 means 10.
+	// 10-bit integers). 0 means DefaultVerifyWidth.
 	VerifyWidth word.Width
 	// IndicatorAlloc selects the indicator-variable field allocation
 	// (Figure 4 ablation) instead of canonical allocation.
@@ -79,14 +90,14 @@ type Options struct {
 
 func (o *Options) synthWidth() word.Width {
 	if o.SynthWidth == 0 {
-		return 4
+		return DefaultSynthWidth
 	}
 	return o.SynthWidth
 }
 
 func (o *Options) verifyWidth() word.Width {
 	if o.VerifyWidth == 0 {
-		return 10
+		return DefaultVerifyWidth
 	}
 	return o.VerifyWidth
 }

@@ -612,3 +612,16 @@ func TestProgressCallbackDuringSynthesis(t *testing.T) {
 		}
 	}
 }
+
+// TestDefaultTierWidths pins the zero-value Options accessors to the
+// exported defaults the solution cache folds into its content address;
+// changing either constant requires a solcache.FormatVersion bump.
+func TestDefaultTierWidths(t *testing.T) {
+	var o Options
+	if got := o.synthWidth(); got != DefaultSynthWidth {
+		t.Errorf("zero-value synth width = %d, want DefaultSynthWidth (%d)", got, DefaultSynthWidth)
+	}
+	if got := o.verifyWidth(); got != DefaultVerifyWidth {
+		t.Errorf("zero-value verify width = %d, want DefaultVerifyWidth (%d)", got, DefaultVerifyWidth)
+	}
+}

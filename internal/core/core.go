@@ -121,8 +121,10 @@ type Report struct {
 	// failure mode for flowlet mutations).
 	TimedOut bool
 	// Cached reports that the outcome came from the solution cache (or a
-	// shared in-flight run) without a fresh CEGIS search; Depths is empty
-	// in that case.
+	// completed shared in-flight run) without a fresh CEGIS search; Depths
+	// is empty in that case. A compile whose wait on a shared run expired,
+	// or that received a shared run's timed-out verdict, reports TimedOut
+	// with Cached false — nothing definitive came from the cache.
 	Cached bool
 	// Config is the synthesized hardware configuration when feasible.
 	Config *pisa.Config
@@ -155,8 +157,10 @@ func (r *Report) Effort() Effort {
 //
 // With Options.Cache set, the problem's canonical fingerprint is consulted
 // first: a warm hit skips synthesis entirely and returns the stored
-// configuration with Report.Cached set, and concurrent compilations of the
-// same canonical problem share a single underlying CEGIS run.
+// configuration — translated onto this program's own variable names, since
+// alpha-renamed programs share a fingerprint — with Report.Cached set, and
+// concurrent compilations of the same canonical problem share a single
+// underlying CEGIS run.
 func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, error) {
 	start := time.Now()
 	rep := &Report{Program: prog.Name}
@@ -188,13 +192,32 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 		if err != nil {
 			return nil, err
 		}
-		if !ran {
+		switch {
+		case ran:
+			// Leader: rep was filled by search directly.
+		case sol.TimedOut:
+			// Follower whose wait on the shared run expired, or whose
+			// leader itself timed out: a timeout, not a cache hit.
+			rep.TimedOut = true
+		default:
+			// Cache hit or completed shared run. The stored config names
+			// the variables of whichever program first solved this
+			// canonical problem — alpha-renamed programs collide by
+			// design — so translate it onto this program's names, then
+			// cross-check it against this program's semantics exactly as a
+			// fresh synthesis would be.
+			sol, err = sol.ForProgram(prog)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s: %w", prog.Name, err)
+			}
 			rep.Cached = true
 			rep.Feasible = sol.Feasible
-			rep.TimedOut = sol.TimedOut
 			rep.Config = sol.Config
 			if sol.Config != nil {
 				rep.Usage = sol.Config.Usage()
+				if err := crossCheck(prog, sol.Config, opts.Seed); err != nil {
+					return nil, fmt.Errorf("core: %s: cached configuration: %w", prog.Name, err)
+				}
 			}
 		}
 		rep.Elapsed = time.Since(start)

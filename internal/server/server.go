@@ -48,6 +48,11 @@ type Config struct {
 	QueueDepth int
 	// JobTimeout bounds each compilation. 0 means 120s.
 	JobTimeout time.Duration
+	// MaxFinishedJobs caps how many finished jobs (done, error, or
+	// rejected) remain pollable at /jobs/{id}; beyond it the oldest are
+	// evicted so a long-running daemon's job table stays bounded. 0 means
+	// 1024.
+	MaxFinishedJobs int
 	// Cache, when non-nil, memoizes results across jobs.
 	Cache *solcache.Cache
 	// Metrics receives queue/in-flight gauges and compilation counters.
@@ -74,6 +79,13 @@ func (c *Config) jobTimeout() time.Duration {
 		return 120 * time.Second
 	}
 	return c.JobTimeout
+}
+
+func (c *Config) maxFinishedJobs() int {
+	if c.MaxFinishedJobs <= 0 {
+		return 1024
+	}
+	return c.MaxFinishedJobs
 }
 
 // CompileRequest is the JSON body of POST /compile. Source is required;
@@ -183,8 +195,9 @@ type Server struct {
 	metrics *obs.Registry
 	mux     *http.ServeMux
 
-	mu       sync.Mutex // guards queue sends vs. close, jobs, draining
+	mu       sync.Mutex // guards queue sends vs. close, jobs, finished, draining
 	jobs     map[string]*job
+	finished []string // finished job IDs, oldest first, capped by MaxFinishedJobs
 	queue    chan *job
 	draining bool
 	nextID   int64
@@ -255,6 +268,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			select {
 			case j := <-s.queue:
 				s.finishRejected(j)
+				s.retireLocked(j.id)
 			default:
 				break drain
 			}
@@ -288,6 +302,23 @@ func (s *Server) finishRejected(j *job) {
 	s.metrics.Counter("server.jobs.rejected").Add(1)
 }
 
+// retireLocked enrolls a finished job in the eviction FIFO and evicts the
+// oldest finished jobs beyond the retention cap, keeping the job table
+// bounded on a long-running daemon. s.mu must be held.
+func (s *Server) retireLocked(id string) {
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.cfg.maxFinishedJobs() {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+func (s *Server) retire(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retireLocked(id)
+}
+
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
@@ -299,6 +330,7 @@ func (s *Server) worker() {
 			// Pulled after drain began (racing the drain loop): still a
 			// queued job, so reject rather than start it.
 			s.finishRejected(j)
+			s.retire(j.id)
 			continue
 		}
 		s.run(j)
@@ -347,6 +379,7 @@ func (s *Server) run(j *job) {
 	}
 	j.mu.Unlock()
 	close(j.done)
+	s.retire(j.id)
 }
 
 // --- HTTP handlers -----------------------------------------------------------

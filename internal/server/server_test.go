@@ -182,6 +182,58 @@ func TestQueueFullBackpressure(t *testing.T) {
 	close(release)
 }
 
+// TestFinishedJobEviction: the job table must stay bounded — beyond
+// MaxFinishedJobs, the oldest finished jobs stop being pollable while the
+// newest remain.
+func TestFinishedJobEviction(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, MaxFinishedJobs: 2})
+	defer s.Shutdown(context.Background())
+	_, release := stubCompiles(s)
+	close(release) // every compile returns immediately
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp, st := postCompile(t, ts, compileReq(true))
+		if resp.StatusCode != http.StatusOK || st.State != StateDone {
+			t.Fatalf("job %d: status %d state %q", i, resp.StatusCode, st.State)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	// Retirement runs just after the waiter is released; poll briefly for
+	// the oldest job to fall out of the table.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		_, resident := s.jobs[ids[0]]
+		s.mu.Unlock()
+		if !resident {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if resp, err := http.Get(ts.URL + "/jobs/" + ids[0]); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("oldest finished job still pollable: %d, want 404", resp.StatusCode)
+		}
+	}
+	for _, id := range ids[1:] {
+		if st := getJob(t, ts, id); st.State != StateDone {
+			t.Errorf("recent job %s state %q, want done", id, st.State)
+		}
+	}
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	if n != 2 {
+		t.Errorf("job table holds %d entries, want 2", n)
+	}
+}
+
 // TestGracefulShutdown is the acceptance-criteria test: on drain,
 // in-flight jobs complete, queued jobs are rejected, new submissions are
 // refused, and the worker pool exits cleanly.

@@ -41,8 +41,11 @@ import (
 )
 
 // FormatVersion is bumped whenever the fingerprint derivation or the
-// persisted encoding changes; on-disk files written by another version are
-// discarded wholesale at load time.
+// persisted encoding changes — including a change to the cegis default tier
+// widths (cegis.DefaultSynthWidth / DefaultVerifyWidth), which Fingerprint
+// folds into the key so zero-valued options and explicit defaults collide.
+// On-disk files written by another version are discarded wholesale at load
+// time.
 const FormatVersion = 1
 
 // Key is a content address for a compilation problem.
@@ -74,10 +77,10 @@ func (p Problem) Fingerprint() Key {
 	io.WriteString(h, CanonicalSource(p.Program))
 	sw, vw := p.SynthWidth, p.VerifyWidth
 	if sw == 0 {
-		sw = 4
+		sw = cegis.DefaultSynthWidth
 	}
 	if vw == 0 {
-		vw = 10
+		vw = cegis.DefaultVerifyWidth
 	}
 	fmt.Fprintf(h, "|v%d|w%d ww%d|sl%+v|sf%+v|ms%d fx%t|sw%d vw%d|ind%t",
 		FormatVersion, p.Grid.Width, p.Grid.WordWidth,
@@ -104,10 +107,31 @@ func CanonicalSource(p *ast.Program) string {
 	renameStmts(c.Stmts, rename)
 	init := make(map[string]int64, len(c.Init))
 	for n, v := range c.Init {
-		init[rename[n]] = v
+		init[renamed(rename, n)] = v
 	}
 	c.Init = init
 	return c.Print()
+}
+
+// renamed looks name up in the rename map, falling back to the original
+// name on a miss. CanonicalVars inventories every variable, so a miss
+// should be impossible — but if it ever happens, keeping the original name
+// makes genuinely different programs canonicalize differently (a cache
+// miss) instead of both collapsing to "" (a wrong shared hit).
+func renamed(rename map[string]string, name string) string {
+	if n, ok := rename[name]; ok {
+		return n
+	}
+	return name
+}
+
+// renamedField is renamed for packet fields, whose map keys carry the
+// "pkt." prefix; the fallback is the bare original field name.
+func renamedField(rename map[string]string, name string) string {
+	if n, ok := rename["pkt."+name]; ok {
+		return n
+	}
+	return name
 }
 
 func renameStmts(stmts []ast.Stmt, rename map[string]string) {
@@ -115,9 +139,9 @@ func renameStmts(stmts []ast.Stmt, rename map[string]string) {
 		switch s := s.(type) {
 		case *ast.Assign:
 			if s.LHS.IsField {
-				s.LHS.Name = rename["pkt."+s.LHS.Name]
+				s.LHS.Name = renamedField(rename, s.LHS.Name)
 			} else {
-				s.LHS.Name = rename[s.LHS.Name]
+				s.LHS.Name = renamed(rename, s.LHS.Name)
 			}
 			renameExpr(s.RHS, rename)
 		case *ast.If:
@@ -131,9 +155,9 @@ func renameStmts(stmts []ast.Stmt, rename map[string]string) {
 func renameExpr(e ast.Expr, rename map[string]string) {
 	switch e := e.(type) {
 	case *ast.Field:
-		e.Name = rename["pkt."+e.Name]
+		e.Name = renamedField(rename, e.Name)
 	case *ast.State:
-		e.Name = rename[e.Name]
+		e.Name = renamed(rename, e.Name)
 	case *ast.Unary:
 		renameExpr(e.X, rename)
 	case *ast.Binary:
@@ -160,6 +184,32 @@ type Solution struct {
 	// Iters is the CEGIS iteration count of the original run, kept so
 	// warm hits can still report the effort they avoided.
 	Iters int `json:"iters,omitempty"`
+}
+
+// ForProgram translates a solution's configuration onto prog's own variable
+// names. The cache deliberately collides alpha-renamed programs, so a hit
+// may return a configuration recorded under a *different* program's names;
+// because Config.Fields and Config.States are stored in canonical (sorted
+// allocation) order — the same order cegis.CanonicalVars yields — the
+// translation is positional. The returned solution owns fresh name slices;
+// the cached configuration is never mutated. A count mismatch means the
+// solution cannot belong to prog's canonical problem (a fingerprint
+// collision or a corrupted persisted entry) and is reported as an error.
+func (s Solution) ForProgram(prog *ast.Program) (Solution, error) {
+	if s.Config == nil {
+		return s, nil
+	}
+	fields, states := cegis.CanonicalVars(prog)
+	if len(fields) != len(s.Config.Fields) || len(states) != len(s.Config.States) {
+		return Solution{}, fmt.Errorf(
+			"solcache: cached config names %d fields / %d states but %s has %d / %d (fingerprint collision?)",
+			len(s.Config.Fields), len(s.Config.States), prog.Name, len(fields), len(states))
+	}
+	cfg := *s.Config
+	cfg.Fields = fields
+	cfg.States = states
+	s.Config = &cfg
+	return s, nil
 }
 
 // Cache is an in-memory LRU of solved compilation problems with

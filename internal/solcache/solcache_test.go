@@ -118,6 +118,41 @@ func TestFingerprintSensitivity(t *testing.T) {
 	}
 }
 
+// TestForProgramTranslatesNames: a cached config carries whichever names
+// the original (leader) program used; ForProgram must rewrite them
+// positionally onto the requesting program's variables without mutating
+// the cached copy.
+func TestForProgramTranslatesNames(t *testing.T) {
+	cached := &pisa.Config{Fields: []string{"sample"}, States: []string{"count"}}
+	sol := Solution{Feasible: true, Config: cached}
+
+	out, err := sol.ForProgram(mustParse(t, "b", samplingSrcRenamed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Config.Fields; len(got) != 1 || got[0] != "tag" {
+		t.Errorf("translated fields = %v, want [tag]", got)
+	}
+	if got := out.Config.States; len(got) != 1 || got[0] != "tally" {
+		t.Errorf("translated states = %v, want [tally]", got)
+	}
+	if cached.Fields[0] != "sample" || cached.States[0] != "count" {
+		t.Errorf("ForProgram mutated the cached config: %v / %v", cached.Fields, cached.States)
+	}
+
+	// A variable-count mismatch cannot belong to the same canonical
+	// problem: surface it instead of returning a nonsense config.
+	bad := Solution{Config: &pisa.Config{Fields: []string{"a", "b"}}}
+	if _, err := bad.ForProgram(mustParse(t, "b", samplingSrcRenamed)); err == nil {
+		t.Error("field-count mismatch was not reported")
+	}
+
+	// Config-less verdicts (infeasible, timed out) pass through untouched.
+	if out, err := (Solution{Feasible: false}).ForProgram(mustParse(t, "b", samplingSrcRenamed)); err != nil || out.Config != nil {
+		t.Errorf("config-less solution: out=%+v err=%v", out, err)
+	}
+}
+
 func TestLRUEviction(t *testing.T) {
 	c := New(2)
 	c.Put("a", Solution{Feasible: true, Stages: 1})

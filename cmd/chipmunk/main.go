@@ -59,6 +59,9 @@ func run() error {
 		indicator   = flag.Bool("indicator-alloc", false, "use indicator-variable field allocation instead of canonical")
 		fixed       = flag.Bool("fixed-stages", false, "synthesize at exactly max-stages (skip depth minimization)")
 		seed        = flag.Int64("seed", 1, "random seed for CEGIS test inputs")
+		parallel    = flag.Int("parallel", 1, "portfolio parallelism: race stage depths and seeds on this many workers (1 = sequential)")
+		seedFanout  = flag.Int("seed-fanout", 1, "diversified CEGIS seeds raced per stage depth in portfolio mode")
+		raceAllocs  = flag.Bool("race-allocs", false, "also race the opposite field-allocation mode in portfolio mode")
 		asJSON      = flag.Bool("json", false, "emit the configuration as JSON")
 		emitLang    = flag.String("emit", "", "translate the configuration to low-level code: \"go\" or \"p4\"")
 		verbose     = flag.Bool("v", false, "trace CEGIS phases")
@@ -80,8 +83,19 @@ func run() error {
 	}
 
 	if *remote != "" {
-		return runRemote(*remote, prog.Name, src, *width, *maxStages, *aluKind, *constBits,
-			*synthWidth, *verifyWidth, *seed, *timeout, *asJSON)
+		return runRemote(*remote, server.CompileRequest{
+			Name:        prog.Name,
+			Source:      src,
+			Width:       *width,
+			MaxStages:   *maxStages,
+			ALU:         *aluKind,
+			ConstBits:   *constBits,
+			SynthWidth:  *synthWidth,
+			VerifyWidth: *verifyWidth,
+			Seed:        *seed,
+			Parallel:    *parallel,
+			SeedFanout:  *seedFanout,
+		}, *timeout, *asJSON)
 	}
 
 	kind, err := alu.KindByName(*aluKind)
@@ -98,6 +112,9 @@ func run() error {
 		IndicatorAlloc: *indicator,
 		FixedStages:    *fixed,
 		Seed:           *seed,
+		Parallelism:    *parallel,
+		SeedFanout:     *seedFanout,
+		RaceAllocs:     *raceAllocs,
 	}
 	var cache *solcache.Cache
 	if *cachePath != "" {
@@ -210,22 +227,11 @@ func run() error {
 
 // runRemote ships the compilation to a chipmunkd daemon and renders the
 // returned job status in the local CLI's formats.
-func runRemote(base, name, src string, width, maxStages int, aluKind string, constBits,
-	synthWidth, verifyWidth int, seed int64, timeout time.Duration, asJSON bool) error {
+func runRemote(base string, req server.CompileRequest, timeout time.Duration, asJSON bool) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	client := server.NewClient(base)
-	st, err := client.Compile(ctx, server.CompileRequest{
-		Name:        name,
-		Source:      src,
-		Width:       width,
-		MaxStages:   maxStages,
-		ALU:         aluKind,
-		ConstBits:   constBits,
-		SynthWidth:  synthWidth,
-		VerifyWidth: verifyWidth,
-		Seed:        seed,
-	})
+	st, err := client.Compile(ctx, req)
 	if err != nil {
 		return err
 	}
@@ -238,7 +244,7 @@ func runRemote(base, name, src string, width, maxStages int, aluKind string, con
 		fmt.Printf("TIMEOUT after %.0fms (remote job %s)\n", res.ElapsedMS, st.ID)
 		os.Exit(2)
 	case !res.Feasible:
-		fmt.Printf("INFEASIBLE on a %d-wide grid up to %d stages (remote job %s)\n", width, maxStages, st.ID)
+		fmt.Printf("INFEASIBLE on a %d-wide grid up to %d stages (remote job %s)\n", req.Width, req.MaxStages, st.ID)
 		os.Exit(3)
 	}
 	if asJSON {
@@ -250,7 +256,7 @@ func runRemote(base, name, src string, width, maxStages int, aluKind string, con
 	if res.Cached {
 		how += ", solution cache hit"
 	}
-	fmt.Printf("compiled %q in %.1fms (%s)\n", name, res.ElapsedMS, how)
+	fmt.Printf("compiled %q in %.1fms (%s)\n", req.Name, res.ElapsedMS, how)
 	fmt.Printf("resources: %d stage(s), max %d ALU(s)/stage, %d total\n",
 		res.Stages, res.MaxALUsPerStage, res.TotalALUs)
 	return nil
@@ -263,12 +269,24 @@ func depthSummary(rep *core.Report) string {
 			s += ", "
 		}
 		verdict := "infeasible"
-		if d.Feasible {
+		switch {
+		case d.Feasible:
 			verdict = "feasible"
-		} else if d.TimedOut {
+		case d.Pruned:
+			verdict = "pruned by depth floor"
+		case d.Canceled:
+			verdict = "canceled"
+		case d.TimedOut:
 			verdict = "timeout"
 		}
-		s += fmt.Sprintf("%d stage(s): %s after %d iters", d.Stages, verdict, d.Iters)
+		label := fmt.Sprintf("%d stage(s)", d.Stages)
+		if d.Member != "" {
+			label = d.Member
+		}
+		s += fmt.Sprintf("%s: %s after %d iters", label, verdict, d.Iters)
+	}
+	if rep.Winner != "" {
+		s += ", winner " + rep.Winner
 	}
 	return s
 }

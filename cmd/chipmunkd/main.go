@@ -6,7 +6,14 @@
 // Usage:
 //
 //	chipmunkd [-listen :8926] [-workers N] [-queue 64] [-job-timeout 2m]
-//	          [-cache-size 1024] [-cache-path chipmunk.cache.json]
+//	          [-job-parallelism 1] [-cache-size 1024]
+//	          [-cache-path chipmunk.cache.json]
+//
+// -job-parallelism caps how much intra-job portfolio racing a request's
+// "parallel" field may buy (1 = always sequential). Startup fails when
+// workers x job-parallelism would oversubscribe GOMAXPROCS by more than
+// 2x; /metrics exposes the portfolio.inflight gauge of attempts racing
+// across all jobs.
 //
 // Endpoints:
 //
@@ -53,6 +60,7 @@ func run() error {
 		workers    = flag.Int("workers", 0, "concurrent compile workers (0 = GOMAXPROCS)")
 		queueDepth = flag.Int("queue", 64, "bounded job queue depth; a full queue returns 429")
 		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job compile timeout")
+		jobPar     = flag.Int("job-parallelism", 1, "max intra-job portfolio parallelism a request may ask for (1 = sequential)")
 		cacheSize  = flag.Int("cache-size", solcache.DefaultCapacity, "solution-cache capacity (entries)")
 		cachePath  = flag.String("cache-path", "", "persist the solution cache to this JSON file across restarts")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
@@ -66,13 +74,18 @@ func run() error {
 	cache := solcache.New(*cacheSize, copts...)
 
 	reg := obs.NewRegistry()
-	svc := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		JobTimeout: *jobTimeout,
-		Cache:      cache,
-		Metrics:    reg,
-	})
+	cfg := server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		JobTimeout:     *jobTimeout,
+		JobParallelism: *jobPar,
+		Cache:          cache,
+		Metrics:        reg,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	svc := server.New(cfg)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -85,8 +98,8 @@ func run() error {
 			errc <- err
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "chipmunkd: listening on %s (workers=%d queue=%d cache=%d)\n",
-		ln.Addr(), *workers, *queueDepth, *cacheSize)
+	fmt.Fprintf(os.Stderr, "chipmunkd: listening on %s (workers=%d queue=%d job-parallelism=%d cache=%d)\n",
+		ln.Addr(), *workers, *queueDepth, *jobPar, *cacheSize)
 	if cache.Len() > 0 {
 		fmt.Fprintf(os.Stderr, "chipmunkd: loaded %d cached solutions from %s\n", cache.Len(), *cachePath)
 	}

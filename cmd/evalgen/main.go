@@ -37,6 +37,8 @@ func run() error {
 		seed      = flag.Int64("seed", 42, "mutation and CEGIS seed")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-mutant Chipmunk compile timeout")
 		parallel  = flag.Int("parallel", 0, "concurrent compilations (0 = GOMAXPROCS)")
+		intraPar  = flag.Int("intra-parallel", 1, "portfolio parallelism inside each compilation (1 = sequential)")
+		fanout    = flag.Int("seed-fanout", 1, "diversified CEGIS seeds raced per stage depth in portfolio mode")
 		progs     = flag.String("programs", "", "comma-separated subset of the corpus (default: all 8)")
 		table2    = flag.Bool("table2", false, "print Table 2 only")
 		figure5   = flag.Bool("figure5", false, "print Figure 5 only")
@@ -48,10 +50,12 @@ func run() error {
 	flag.Parse()
 
 	opts := eval.Options{
-		Mutants:  *mutants,
-		Seed:     *seed,
-		Timeout:  *timeout,
-		Parallel: *parallel,
+		Mutants:          *mutants,
+		Seed:             *seed,
+		Timeout:          *timeout,
+		Parallel:         *parallel,
+		IntraParallelism: *intraPar,
+		SeedFanout:       *fanout,
 	}
 	if *progs != "" {
 		opts.Programs = strings.Split(*progs, ",")

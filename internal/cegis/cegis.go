@@ -27,6 +27,7 @@ package cegis
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -86,6 +87,12 @@ type Options struct {
 	// few thousand conflicts with the phase name and a counter snapshot,
 	// so multi-minute solves (Table 2's worst cases) stay observable.
 	Progress func(phase string, st sat.Stats)
+	// Member labels the portfolio attempt this synthesis run belongs to
+	// (internal/portfolio). It is attached to iteration spans and trace
+	// events so concurrent attempts within one compile stay attributable,
+	// and echoed on the Result so the winner can be reported. Empty
+	// outside portfolio mode.
+	Member string
 }
 
 func (o *Options) synthWidth() word.Width {
@@ -119,6 +126,10 @@ func (o *Options) maxIters() int {
 // Event reports one CEGIS phase outcome for tracing.
 type Event struct {
 	Iter int
+	// Member is the portfolio attempt label this event belongs to (empty
+	// outside portfolio mode), so interleaved traces from racing attempts
+	// can be demultiplexed.
+	Member string
 	// Phase is "synth" or "verify".
 	Phase string
 	// Outcome is "sat", "unsat", or "timeout".
@@ -143,6 +154,10 @@ func (e Event) Conflicts() int64 { return e.SynthConflicts + e.VerifyConflicts }
 
 // Result is the outcome of a synthesis run.
 type Result struct {
+	// Member echoes Options.Member so a portfolio scheduler racing many
+	// Synthesize calls can attribute each result (in particular the
+	// winner's) without extra bookkeeping.
+	Member string
 	// Feasible reports whether a configuration implementing the program
 	// on this grid exists (false also when the run timed out — check
 	// TimedOut to distinguish).
@@ -240,7 +255,7 @@ func cexBits(cex interp.Snapshot) int {
 // at which it is proven correct.
 func Synthesize(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, opts Options) (*Result, error) {
 	start := time.Now()
-	res := &Result{}
+	res := &Result{Member: opts.Member}
 
 	vars := prog.Variables()
 	fields, states := vars.Fields, vars.States
@@ -323,6 +338,7 @@ func Synthesize(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, opts
 
 	trace := func(ev Event) {
 		if opts.Trace != nil {
+			ev.Member = opts.Member
 			opts.Trace(ev)
 		}
 	}
@@ -330,7 +346,11 @@ func Synthesize(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, opts
 	for iter := 1; iter <= opts.maxIters(); iter++ {
 		res.Iters = iter
 		reg.Counter("cegis.iterations").Add(1)
-		iterCtx, iterSpan := obs.StartSpan(ctx, "cegis.iter", obs.Int("iter", iter))
+		iterAttrs := []obs.Attr{obs.Int("iter", iter)}
+		if opts.Member != "" {
+			iterAttrs = append(iterAttrs, obs.String("member", opts.Member))
+		}
+		iterCtx, iterSpan := obs.StartSpan(ctx, "cegis.iter", iterAttrs...)
 
 		// --- Synthesis phase (Equation 2) ---
 		phaseStart := time.Now()
@@ -501,9 +521,23 @@ func verify(ctx context.Context, prog *ast.Program, cfg *pisa.Config, fields, st
 	return out
 }
 
-// solveWithContext runs the solver in budgeted chunks, checking the context
-// between chunks so compile timeouts (Table 2) interrupt long solves.
+// solveWithContext runs the solver under the context's cancellation. The
+// primary mechanism is the solver's in-search stop hook (sat.SetStop),
+// which polls the context every few hundred conflicts so cancelled
+// portfolio members abort mid-solve; the budgeted-chunk loop remains as a
+// fallback for solvers whose hook a caller has displaced.
 func solveWithContext(ctx context.Context, s *sat.Solver) (sat.Status, bool) {
+	if done := ctx.Done(); done != nil {
+		s.SetStop(func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		})
+		defer s.SetStop(nil)
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -511,9 +545,14 @@ func solveWithContext(ctx context.Context, s *sat.Solver) (sat.Status, bool) {
 		default:
 		}
 		st, err := s.SolveWithBudget(budgetChunk)
-		if err == nil {
+		switch {
+		case err == nil:
 			return st, false
+		case errors.Is(err, sat.ErrStopped):
+			return sat.Unknown, true
 		}
+		// sat.ErrBudget: chunk exhausted; re-check the context and keep
+		// solving.
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/pisa"
+	"repro/internal/portfolio"
 	"repro/internal/sat"
 	"repro/internal/solcache"
 	"repro/internal/word"
@@ -62,7 +63,24 @@ type Options struct {
 	FixedStages bool
 	// Seed drives CEGIS's initial random test inputs.
 	Seed int64
-	// Trace receives CEGIS events, if non-nil.
+	// Parallelism, when >= 2, compiles via the portfolio scheduler
+	// (internal/portfolio): candidate stage depths race concurrently on a
+	// worker pool of this size instead of being probed sequentially, with
+	// first-SAT-wins semantics that still return the minimum-depth
+	// solution. 0 or 1 run the classic sequential iterative-deepening
+	// loop, bit-for-bit identical to the pre-portfolio behaviour.
+	Parallelism int
+	// SeedFanout is how many diversified CEGIS seeds race per stage depth
+	// in portfolio mode (0 or 1 = just Seed). Diversified seeds join with
+	// a small stagger so fast compiles pay no redundancy cost, while
+	// heavy-tailed solves recruit rivals that often finish first.
+	SeedFanout int
+	// RaceAllocs additionally races the opposite field-allocation mode
+	// (canonical vs indicator) for every portfolio member.
+	RaceAllocs bool
+	// Trace receives CEGIS events, if non-nil. In portfolio mode events
+	// from racing members arrive concurrently (distinguished by
+	// Event.Member); the callback must be safe for concurrent use.
 	Trace func(cegis.Event)
 	// Progress receives solver counter snapshots from inside long SAT
 	// solves (see cegis.Options.Progress), if non-nil.
@@ -82,7 +100,8 @@ func (o *Options) maxStages() int {
 	return o.MaxStages
 }
 
-// DepthResult records one iterative-deepening probe.
+// DepthResult records one iterative-deepening probe (or one portfolio
+// member's attempt).
 type DepthResult struct {
 	Stages   int
 	Feasible bool
@@ -90,6 +109,19 @@ type DepthResult struct {
 	Iters    int
 	HoleBits int
 	Elapsed  time.Duration
+	// Seed is the CEGIS seed the probe used (portfolio fanout diversifies
+	// it per member).
+	Seed int64
+	// Member labels the portfolio member that ran this probe (e.g.
+	// "d2.s1.canon"); empty on the sequential path.
+	Member string
+	// Pruned marks a depth skipped without any SAT effort because the
+	// portfolio's witness-based depth floor proved it infeasible.
+	Pruned bool
+	// Canceled marks a portfolio attempt aborted because a sibling's
+	// result made it moot (superseded by a SAT, or implied infeasible by
+	// a deeper UNSAT).
+	Canceled bool
 	// Solver-effort telemetry for this probe (see cegis.Result).
 	SynthConflicts  int64
 	VerifyConflicts int64
@@ -130,8 +162,17 @@ type Report struct {
 	Config *pisa.Config
 	// Usage is the Figure 5 resource report for Config.
 	Usage pisa.Usage
-	// Depths records every stage count probed, in order.
+	// Depths records every stage count probed, in order. In portfolio
+	// mode it holds one entry per member that ran (plus Pruned markers
+	// for floor-skipped depths), ordered by depth then seed slot.
 	Depths []DepthResult
+	// Winner labels the portfolio member that produced Config (empty on
+	// the sequential path).
+	Winner string
+	// WastedConflicts sums the SAT conflicts spent by portfolio members
+	// other than the winner — the redundancy cost of racing. Zero on the
+	// sequential path.
+	WastedConflicts int64
 	// Elapsed is total compile time (Table 2's time column).
 	Elapsed time.Duration
 }
@@ -172,12 +213,20 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 			obs.Bool("cached", rep.Cached), obs.Int("attempts", len(rep.Depths)))
 	}()
 
+	// Parallelism >= 2 swaps the sequential iterative-deepening loop for
+	// the portfolio scheduler; both fill rep through the shared attempt
+	// body, so the two paths cannot drift.
+	searchFn := search
+	if opts.Parallelism > 1 {
+		searchFn = searchPortfolio
+	}
+
 	if opts.Cache != nil {
 		key := cacheKey(prog, opts)
 		ran := false
 		sol, err := opts.Cache.Do(ctx, key, func(ctx context.Context) (solcache.Solution, bool, error) {
 			ran = true
-			if err := search(ctx, prog, opts, rep); err != nil {
+			if err := searchFn(ctx, prog, opts, rep); err != nil {
 				return solcache.Solution{}, false, err
 			}
 			sol := solcache.Solution{
@@ -224,7 +273,7 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 		return rep, nil
 	}
 
-	if err := search(ctx, prog, opts, rep); err != nil {
+	if err := searchFn(ctx, prog, opts, rep); err != nil {
 		return nil, err
 	}
 	rep.Elapsed = time.Since(start)
@@ -232,8 +281,11 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 }
 
 // cacheKey derives the solution-cache fingerprint for a compilation. The
-// seed and callbacks are excluded: they steer the search, not the validity
-// of its result.
+// seed, the callbacks, and the portfolio knobs (Parallelism, SeedFanout,
+// RaceAllocs) are excluded: they steer the search, not the validity of
+// its result, so one canonical problem keeps one fingerprint regardless
+// of fanout and a portfolio winner populates the same entry a sequential
+// run would.
 func cacheKey(prog *ast.Program, opts Options) solcache.Key {
 	return solcache.Problem{
 		Program: prog,
@@ -251,15 +303,71 @@ func cacheKey(prog *ast.Program, opts Options) solcache.Key {
 	}.Fingerprint()
 }
 
-// search runs the iterative-deepening synthesis loop, filling rep in place.
-func search(ctx context.Context, prog *ast.Program, opts Options, rep *Report) error {
-	grid := pisa.GridSpec{
+// gridSpec builds the grid template shared by every attempt of a compile.
+func gridSpec(opts Options) pisa.GridSpec {
+	return pisa.GridSpec{
 		Width:        opts.Width,
 		WordWidth:    10, // placeholder; CEGIS manages widths
 		StatelessALU: opts.StatelessALU,
 		StatefulALU:  opts.StatefulALU,
 	}
+}
 
+// attempt runs one synthesis probe at a fixed stage count: build the
+// grid, run CEGIS, and validate + interpreter-cross-check a feasible
+// configuration. Both the sequential deepening loop and the portfolio
+// scheduler go through this body, so the two paths cannot drift. The
+// returned cegis.Result carries the configuration when feasible.
+func attempt(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, stages int, copts cegis.Options) (DepthResult, *cegis.Result, error) {
+	grid.Stages = stages
+	obs.MetricsFrom(ctx).Counter("core.attempts").Add(1)
+	attrs := []obs.Attr{obs.Int("stages", stages)}
+	if copts.Member != "" {
+		attrs = append(attrs, obs.String("member", copts.Member))
+	}
+	actx, aspan := obs.StartSpan(ctx, "attempt", attrs...)
+	res, err := cegis.Synthesize(actx, prog, grid, copts)
+	if err != nil {
+		aspan.End(obs.String("outcome", "error"))
+		return DepthResult{}, nil, fmt.Errorf("core: %s at %d stages: %w", prog.Name, stages, err)
+	}
+	outcome := "infeasible"
+	switch {
+	case res.TimedOut:
+		outcome = "timeout"
+	case res.Feasible:
+		outcome = "feasible"
+	}
+	aspan.End(obs.String("outcome", outcome), obs.Int("iters", res.Iters))
+	dr := DepthResult{
+		Stages:          stages,
+		Feasible:        res.Feasible,
+		TimedOut:        res.TimedOut,
+		Iters:           res.Iters,
+		HoleBits:        res.HoleBits,
+		Elapsed:         res.Elapsed,
+		Seed:            copts.Seed,
+		Member:          copts.Member,
+		SynthConflicts:  res.SynthConflicts,
+		VerifyConflicts: res.VerifyConflicts,
+		Decisions:       res.Decisions,
+		Propagations:    res.Propagations,
+		PeakCNFVars:     res.PeakCNFVars,
+	}
+	if res.Feasible {
+		if err := res.Config.Validate(); err != nil {
+			return dr, nil, fmt.Errorf("core: synthesized configuration invalid: %w", err)
+		}
+		if err := crossCheck(prog, res.Config, copts.Seed); err != nil {
+			return dr, nil, fmt.Errorf("core: %s: %w", prog.Name, err)
+		}
+	}
+	return dr, res, nil
+}
+
+// search runs the iterative-deepening synthesis loop, filling rep in place.
+func search(ctx context.Context, prog *ast.Program, opts Options, rep *Report) error {
+	grid := gridSpec(opts)
 	copts := cegis.Options{
 		SynthWidth:     opts.SynthWidth,
 		VerifyWidth:    opts.VerifyWidth,
@@ -274,35 +382,11 @@ func search(ctx context.Context, prog *ast.Program, opts Options, rep *Report) e
 		lo = opts.maxStages()
 	}
 	for stages := lo; stages <= opts.maxStages(); stages++ {
-		grid.Stages = stages
-		obs.MetricsFrom(ctx).Counter("core.attempts").Add(1)
-		actx, aspan := obs.StartSpan(ctx, "attempt", obs.Int("stages", stages))
-		res, err := cegis.Synthesize(actx, prog, grid, copts)
+		dr, res, err := attempt(ctx, prog, grid, stages, copts)
 		if err != nil {
-			aspan.End(obs.String("outcome", "error"))
-			return fmt.Errorf("core: %s at %d stages: %w", prog.Name, stages, err)
+			return err
 		}
-		outcome := "infeasible"
-		switch {
-		case res.TimedOut:
-			outcome = "timeout"
-		case res.Feasible:
-			outcome = "feasible"
-		}
-		aspan.End(obs.String("outcome", outcome), obs.Int("iters", res.Iters))
-		rep.Depths = append(rep.Depths, DepthResult{
-			Stages:          stages,
-			Feasible:        res.Feasible,
-			TimedOut:        res.TimedOut,
-			Iters:           res.Iters,
-			HoleBits:        res.HoleBits,
-			Elapsed:         res.Elapsed,
-			SynthConflicts:  res.SynthConflicts,
-			VerifyConflicts: res.VerifyConflicts,
-			Decisions:       res.Decisions,
-			Propagations:    res.Propagations,
-			PeakCNFVars:     res.PeakCNFVars,
-		})
+		rep.Depths = append(rep.Depths, dr)
 		if res.TimedOut {
 			rep.TimedOut = true
 			break
@@ -310,16 +394,130 @@ func search(ctx context.Context, prog *ast.Program, opts Options, rep *Report) e
 		if !res.Feasible {
 			continue
 		}
-		if err := res.Config.Validate(); err != nil {
-			return fmt.Errorf("core: synthesized configuration invalid: %w", err)
-		}
-		if err := crossCheck(prog, res.Config, opts.Seed); err != nil {
-			return fmt.Errorf("core: %s: %w", prog.Name, err)
-		}
 		rep.Feasible = true
 		rep.Config = res.Config
 		rep.Usage = res.Config.Usage()
 		break
+	}
+	return nil
+}
+
+// memberAttempt is what one portfolio member's run yields.
+type memberAttempt struct {
+	dr  DepthResult
+	res *cegis.Result
+}
+
+// searchPortfolio races the candidate stage depths (and diversified
+// seeds/allocation modes) via internal/portfolio, filling rep in place
+// with first-SAT-wins, minimum-depth semantics. Depths below the
+// witness-proven floor (portfolio.DepthFloor) are pruned without SAT
+// effort and recorded as Pruned DepthResults.
+func searchPortfolio(ctx context.Context, prog *ast.Program, opts Options, rep *Report) error {
+	grid := gridSpec(opts)
+	maxS := opts.maxStages()
+	lo := 1
+	if opts.FixedStages {
+		lo = maxS
+	}
+
+	pctx, pspan := obs.StartSpan(ctx, "portfolio",
+		obs.Int("parallelism", opts.Parallelism), obs.Int("fanout", opts.SeedFanout))
+	defer func() {
+		pspan.End(obs.String("winner", rep.Winner),
+			obs.Bool("feasible", rep.Feasible),
+			obs.Int64("wasted_conflicts", rep.WastedConflicts))
+	}()
+
+	floor := lo
+	if !opts.FixedStages {
+		// The floor's witnesses must run at the width feasibility is
+		// defined at: the CEGIS verification width (raised to the
+		// synthesis width when that is wider, mirroring cegis's clamp).
+		vw := opts.VerifyWidth
+		if vw == 0 {
+			vw = cegis.DefaultVerifyWidth
+		}
+		if sw := opts.SynthWidth; sw > vw {
+			vw = sw
+		}
+		if f := portfolio.DepthFloor(prog, opts.StatefulALU, vw, opts.Seed); f > floor {
+			floor = f
+		}
+		for d := lo; d < floor && d <= maxS; d++ {
+			obs.MetricsFrom(pctx).Counter("portfolio.pruned").Add(1)
+			rep.Depths = append(rep.Depths, DepthResult{Stages: d, Pruned: true})
+		}
+		if floor > maxS {
+			// Every depth in range is witness-proven infeasible; no SAT
+			// effort needed.
+			return nil
+		}
+	}
+
+	spec := portfolio.Spec{
+		MinStages:      floor,
+		MaxStages:      maxS,
+		SeedFanout:     opts.SeedFanout,
+		BaseSeed:       opts.Seed,
+		IndicatorAlloc: opts.IndicatorAlloc,
+		RaceAllocs:     opts.RaceAllocs,
+	}
+	res, err := portfolio.Run(pctx, spec.Members(), opts.Parallelism,
+		func(mctx context.Context, m portfolio.Member) (memberAttempt, portfolio.Verdict, error) {
+			copts := cegis.Options{
+				SynthWidth:     opts.SynthWidth,
+				VerifyWidth:    opts.VerifyWidth,
+				IndicatorAlloc: m.IndicatorAlloc,
+				Seed:           m.Seed,
+				Trace:          opts.Trace,
+				Progress:       opts.Progress,
+				Member:         m.Label,
+			}
+			dr, cres, err := attempt(mctx, prog, grid, m.Stages, copts)
+			if err != nil {
+				return memberAttempt{}, portfolio.Unknown, err
+			}
+			v := portfolio.Infeasible
+			switch {
+			case cres.TimedOut:
+				v = portfolio.TimedOut
+			case cres.Feasible:
+				v = portfolio.Feasible
+			}
+			return memberAttempt{dr: dr, res: cres}, v, nil
+		})
+	if err != nil {
+		return err
+	}
+
+	for _, o := range res.Outcomes {
+		if !o.Ran {
+			continue
+		}
+		dr := o.Value.dr
+		if o.Verdict == portfolio.Canceled {
+			// The member was aborted mid-solve by a sibling's result; its
+			// context expiry is not a compile timeout.
+			dr.Canceled = true
+			dr.TimedOut = false
+		}
+		rep.Depths = append(rep.Depths, dr)
+		if res.Winner == nil || o.Member.Index != res.Winner.Member.Index {
+			rep.WastedConflicts += dr.SynthConflicts + dr.VerifyConflicts
+		}
+	}
+	obs.MetricsFrom(pctx).Counter("portfolio.wasted_conflicts").Add(rep.WastedConflicts)
+
+	switch {
+	case res.Winner != nil:
+		win := res.Winner.Value
+		rep.Feasible = true
+		rep.Config = win.res.Config
+		rep.Usage = win.res.Config.Usage()
+		rep.Winner = res.Winner.Member.Label
+	case res.TimedOut:
+		rep.TimedOut = true
 	}
 	return nil
 }

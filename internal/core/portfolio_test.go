@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/programs"
+	"repro/internal/solcache"
+)
+
+// dep2 needs two stages (s2 reads s1's old value); chain3's template
+// limits force three. Both are fast enough for race-enabled CI.
+const dep2Src = "int s1 = 0; int s2 = 0; s2 = s1; s1 = s1 + pkt.x;"
+
+func dep2Options() Options {
+	return Options{
+		Width:        2,
+		MaxStages:    3,
+		StatelessALU: alu.Stateless{ConstBits: 4},
+		StatefulALU:  alu.Stateful{Kind: alu.PredRaw, ConstBits: 4},
+		Seed:         7,
+	}
+}
+
+// scrubTimes zeroes every wall-clock field so reports from separate runs
+// can be compared structurally.
+func scrubTimes(rep *Report) {
+	rep.Elapsed = 0
+	for i := range rep.Depths {
+		rep.Depths[i].Elapsed = 0
+	}
+}
+
+// Parallelism<=1 must take the classic sequential path: the report (and
+// in particular the synthesized configuration) is identical to one from
+// default options, bit for bit.
+func TestParallelismOnePreservesSequential(t *testing.T) {
+	b, err := programs.ByName("sampling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := b.Parse()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	base, err := Compile(ctx, prog, benchOptions(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 1} {
+		opts := benchOptions(b)
+		opts.Parallelism = par
+		opts.SeedFanout = 4 // must be inert without Parallelism > 1
+		rep, err := Compile(ctx, prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scrubTimes(base)
+		scrubTimes(rep)
+		if !reflect.DeepEqual(base, rep) {
+			t.Fatalf("Parallelism=%d report differs from sequential:\n%+v\nvs\n%+v", par, rep, base)
+		}
+	}
+}
+
+// The portfolio winner must carry the minimum feasible stage count, match
+// the sequential result, and behave exactly like the source program.
+func TestPortfolioFindsMinimumDepth(t *testing.T) {
+	prog, err := parser.Parse("dep2", dep2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	opts := dep2Options()
+	opts.Parallelism = 4
+	opts.SeedFanout = 2
+	rep, err := Compile(ctx, prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible || rep.Usage.Stages != 2 {
+		t.Fatalf("feasible=%v stages=%d, want feasible at 2 stages", rep.Feasible, rep.Usage.Stages)
+	}
+	if rep.Winner == "" {
+		t.Error("portfolio report has no winner attribution")
+	}
+
+	// Depth 1 must be accounted for: pruned by the witness floor (dep2 has
+	// a cross-state dependency) rather than solved.
+	var sawD1 bool
+	for _, d := range rep.Depths {
+		if d.Stages == 1 {
+			sawD1 = true
+			if !d.Pruned {
+				t.Errorf("depth 1 entry %+v, want Pruned", d)
+			}
+		}
+	}
+	if !sawD1 {
+		t.Error("no depth-1 entry in portfolio report")
+	}
+
+	// Cross-check the winning configuration against the interpreter on a
+	// fresh input sweep (the compile already cross-checked; this guards
+	// the plumbing from scheduler to report).
+	in := interp.MustNew(rep.Config.Grid.WordWidth)
+	snap := interp.NewSnapshot()
+	snap.State["s1"], snap.State["s2"] = 0, 0
+	state := map[string]uint64{"s1": 0, "s2": 0}
+	for x := uint64(0); x < 50; x++ {
+		snap.Pkt["x"] = x
+		want, err := in.Run(prog, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, state = rep.Config.Exec(map[string]uint64{"x": x}, state)
+		if state["s1"] != want.State["s1"] || state["s2"] != want.State["s2"] {
+			t.Fatalf("x=%d: config state %v, program state %v", x, state, want.State)
+		}
+		snap = want
+	}
+}
+
+// Portfolio knobs must not leak into the cache fingerprint: a portfolio
+// compile and a sequential compile of the same program share one entry.
+func TestPortfolioSharesCacheFingerprint(t *testing.T) {
+	prog, err := parser.Parse("dep2", dep2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	cache := solcache.New(16)
+	opts := dep2Options()
+	opts.Cache = cache
+	opts.Parallelism = 4
+	opts.SeedFanout = 2
+	first, err := Compile(ctx, prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first compile unexpectedly hit the cache")
+	}
+
+	seq := dep2Options()
+	seq.Cache = cache
+	second, err := Compile(ctx, prog, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("sequential compile missed the entry the portfolio populated")
+	}
+	if second.Usage.Stages != first.Usage.Stages {
+		t.Fatalf("cached stages %d, portfolio stages %d", second.Usage.Stages, first.Usage.Stages)
+	}
+}

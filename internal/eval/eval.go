@@ -44,6 +44,13 @@ type Options struct {
 	// Parallel is the number of concurrent compilations. 0 means
 	// GOMAXPROCS.
 	Parallel int
+	// IntraParallelism, when above 1, runs each compilation as a racing
+	// portfolio of that many workers (core.Options.Parallelism). Combine
+	// with Parallel thoughtfully: total concurrency is the product.
+	IntraParallelism int
+	// SeedFanout is how many diversified CEGIS seeds race per stage depth
+	// when IntraParallelism enables portfolio search.
+	SeedFanout int
 	// Programs restricts the corpus (empty = all 8).
 	Programs []string
 	// Metrics, when non-nil, accumulates solver-effort counters across
@@ -210,6 +217,8 @@ func compileBoth(ctx context.Context, b programs.Benchmark, m mutate.Mutant, idx
 		StatelessALU: alu.Stateless{ConstBits: b.ConstBits},
 		StatefulALU:  alu.Stateful{Kind: b.StatefulALU, ConstBits: b.ConstBits},
 		Seed:         opts.Seed + int64(idx),
+		Parallelism:  opts.IntraParallelism,
+		SeedFanout:   opts.SeedFanout,
 		Cache:        opts.Cache,
 	})
 	if err == nil {

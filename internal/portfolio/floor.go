@@ -1,0 +1,115 @@
+// Witness-proven stage-count lower bounds.
+//
+// The PISA datapath (internal/pisa.Datapath) gives state variables no
+// same-stage channel between stateful ALU columns: a column's state value
+// can reach anything outside that column only through its result wire,
+// which the output muxes write into the PHV containers *leaving* the
+// column's active stage, and every ALU (stateless or stateful) reads its
+// packet operands from the containers *entering* its own stage. So if one
+// state group's update provably consumes another group's value, the two
+// accesses must sit at distinct stages — a 1-stage grid cannot implement
+// the program, and iterative deepening's depth-1 probe is a foregone
+// UNSAT.
+//
+// The proof obligation is discharged with concrete interpreter witnesses
+// rather than syntactic analysis: flipping state a's initial value in a
+// random snapshot and observing state b's final value change is an
+// ironclad information-flow proof (a syntactic read like `s2 = s1 - s1`
+// is not a dependency; a witness never lies). Witnesses run at the CEGIS
+// verification width, the width at which feasibility is defined.
+//
+// The bound deliberately stops at 2. Longer witness chains (a→b→c) do NOT
+// compose into deeper bounds: a column may be active at several stages,
+// so b's ALU can export b's old value at stage 1 and absorb a's value at
+// stage 2, letting a 3-link chain — even a swap cycle — fit in two
+// stages. Only the single-edge argument is sound.
+package portfolio
+
+import (
+	"math/rand"
+
+	"repro/internal/alu"
+	"repro/internal/ast"
+	"repro/internal/cegis"
+	"repro/internal/interp"
+	"repro/internal/word"
+)
+
+// floorTrials is how many random witness probes test each state variable.
+// Real cross-state dependencies are deterministic dataflow and witness on
+// the first probe for almost any input; the extras only chase
+// data-dependent flows. Misses are harmless (the floor stays
+// conservative), but every trial costs two interpreter runs that are pure
+// overhead on programs with no dependency, so the count is kept small.
+const floorTrials = 6
+
+// DepthFloor returns a sound lower bound on the pipeline depth any
+// configuration equivalent to prog (at verification width w, on a grid
+// whose stateful template is sfu) must have: 2 when a cross-group state
+// dependency is witnessed, 1 otherwise. The portfolio scheduler prunes
+// depths below the floor instead of spending SAT effort on proofs of
+// known infeasibility.
+//
+// Groups follow the canonical state allocation (§3.1): sorted state k
+// lives in stateful ALU column k/ns where ns is the states-per-ALU of the
+// template (Pair ALUs hold two states in one column, which therefore
+// impose no cross-stage ordering between them).
+func DepthFloor(prog *ast.Program, sfu alu.Stateful, w word.Width, seed int64) int {
+	fields, states := cegis.CanonicalVars(prog)
+	ns := sfu.NumStates()
+	if ns < 1 {
+		ns = 1
+	}
+	if (len(states)+ns-1)/ns <= 1 {
+		return 1 // zero or one state group: nothing to order
+	}
+	in, err := interp.New(w)
+	if err != nil {
+		return 1 // conservative: no pruning without a sound witness width
+	}
+	group := func(i int) int { return i / ns }
+
+	rng := rand.New(rand.NewSource(seed*16777619 + 0x5eed))
+	random := func() interp.Snapshot {
+		x := interp.NewSnapshot()
+		for _, f := range fields {
+			x.Pkt[f] = w.Trunc(rng.Uint64())
+		}
+		for _, s := range states {
+			x.State[s] = w.Trunc(rng.Uint64())
+		}
+		return x
+	}
+
+	for i, si := range states {
+		for t := 0; t < floorTrials; t++ {
+			base := random()
+			want, err := in.Run(prog, base)
+			if err != nil {
+				return 1 // conservative on any interpreter failure
+			}
+			alt := base.Clone()
+			// Perturb si to a guaranteed-different value.
+			alt.State[si] = w.Trunc(base.State[si] + 1 + rng.Uint64()%3)
+			if alt.State[si] == base.State[si] {
+				continue
+			}
+			got, err := in.Run(prog, alt)
+			if err != nil {
+				return 1
+			}
+			for j, sj := range states {
+				if group(j) == group(i) {
+					continue
+				}
+				if want.State[sj] != got.State[sj] {
+					// Concrete witness: sj's final value depends on si's
+					// initial value across columns, forcing si's export
+					// stage strictly before sj's update stage.
+					return 2
+				}
+			}
+		}
+	}
+	return 1
+}

@@ -1,0 +1,65 @@
+package portfolio
+
+import (
+	"testing"
+
+	"repro/internal/alu"
+	"repro/internal/ast"
+	"repro/internal/cegis"
+	"repro/internal/parser"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse("floor_test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestDepthFloorCrossDependency(t *testing.T) {
+	// s2 consumes s1's old value: the classic read-then-shift chain that a
+	// 1-stage grid cannot express.
+	prog := parse(t, "int s1 = 0; int s2 = 0; s2 = s1; s1 = s1 + pkt.x;")
+	sfu := alu.Stateful{Kind: alu.PredRaw, ConstBits: 4}
+	if got := DepthFloor(prog, sfu, cegis.DefaultVerifyWidth, 7); got != 2 {
+		t.Fatalf("floor = %d, want 2", got)
+	}
+}
+
+func TestDepthFloorSingleState(t *testing.T) {
+	prog := parse(t, "int s = 0; s = s + pkt.x;")
+	sfu := alu.Stateful{Kind: alu.PredRaw, ConstBits: 4}
+	if got := DepthFloor(prog, sfu, cegis.DefaultVerifyWidth, 7); got != 1 {
+		t.Fatalf("floor = %d, want 1", got)
+	}
+}
+
+func TestDepthFloorIndependentStates(t *testing.T) {
+	prog := parse(t, "int s1 = 0; int s2 = 0; s1 = s1 + pkt.x; s2 = s2 + pkt.y;")
+	sfu := alu.Stateful{Kind: alu.PredRaw, ConstBits: 4}
+	if got := DepthFloor(prog, sfu, cegis.DefaultVerifyWidth, 7); got != 1 {
+		t.Fatalf("floor = %d, want 1", got)
+	}
+}
+
+// A syntactic read that carries no information (s1 - s1 == 0) must not
+// raise the floor: witnesses prove real dependencies only.
+func TestDepthFloorIgnoresVacuousReads(t *testing.T) {
+	prog := parse(t, "int s1 = 0; int s2 = 0; s2 = s1 - s1; s1 = s1 + pkt.x;")
+	sfu := alu.Stateful{Kind: alu.PredRaw, ConstBits: 4}
+	if got := DepthFloor(prog, sfu, cegis.DefaultVerifyWidth, 7); got != 1 {
+		t.Fatalf("floor = %d, want 1", got)
+	}
+}
+
+// Pair ALUs hold two states in one column, so a dependency between the
+// pair imposes no cross-stage ordering.
+func TestDepthFloorPairALUSharesColumn(t *testing.T) {
+	prog := parse(t, "int s1 = 0; int s2 = 0; s2 = s1; s1 = s1 + pkt.x;")
+	sfu := alu.Stateful{Kind: alu.Pair, ConstBits: 4}
+	if got := DepthFloor(prog, sfu, cegis.DefaultVerifyWidth, 7); got != 1 {
+		t.Fatalf("floor = %d, want 1 (both states share the pair column)", got)
+	}
+}

@@ -99,6 +99,16 @@ func (s Status) String() string {
 // exhausted before a result is determined.
 var ErrBudget = errors.New("sat: conflict budget exhausted")
 
+// ErrStopped is returned by SolveWithBudget when the caller-installed stop
+// hook (SetStop) reported true mid-search. The solver state remains valid:
+// a later Solve call resumes from the same clause database.
+var ErrStopped = errors.New("sat: solve stopped by caller")
+
+// stopCheckInterval is how many conflicts run between stop-hook polls — a
+// much finer grain than the budgeted-chunk fallback, so a cancelled
+// portfolio member abandons its solve almost immediately.
+const stopCheckInterval = 256
+
 // clauseRef indexes into the solver's clause arena. The special value
 // refUndef marks "no reason" (decision variables); refBinary+lit encodes a
 // binary-clause reason inline.
@@ -185,6 +195,9 @@ type Solver struct {
 	progressEvery int64
 	progressFn    func(Stats)
 
+	stopFn  func() bool // polled every stopCheckInterval conflicts
+	stopped bool        // set by search when stopFn fired
+
 	assumptions []Lit
 }
 
@@ -246,6 +259,16 @@ func (s *Solver) SetProgress(every int64, fn func(Stats)) {
 		return
 	}
 	s.progressEvery, s.progressFn = every, fn
+}
+
+// SetStop installs a cancellation hook polled every stopCheckInterval
+// conflicts during search. When fn returns true the in-flight
+// SolveWithBudget call returns (Unknown, ErrStopped) without finishing the
+// query, so losing portfolio members abort mid-solve instead of waiting
+// for the next budget-chunk boundary. A nil fn removes the hook. The hook
+// must be cheap and race-free: it runs on the solving goroutine.
+func (s *Solver) SetStop(fn func() bool) {
+	s.stopFn = fn
 }
 
 // litValue returns the current value of a literal.
@@ -662,6 +685,9 @@ func (s *Solver) SolveWithBudget(budget int64, assumptions ...Lit) (Status, erro
 	if !s.ok {
 		return Unsat, nil
 	}
+	if s.stopFn != nil && s.stopFn() {
+		return Unknown, ErrStopped
+	}
 	s.assumptions = assumptions
 	defer s.cancelUntil(0)
 
@@ -675,6 +701,10 @@ func (s *Solver) SolveWithBudget(budget int64, assumptions ...Lit) (Status, erro
 		}
 		if st != Unknown {
 			return st, nil
+		}
+		if s.stopped {
+			s.stopped = false
+			return Unknown, ErrStopped
 		}
 		if budget == 0 {
 			return Unknown, ErrBudget
@@ -722,6 +752,13 @@ func (s *Solver) search(maxConfl int64, budget *int64) Status {
 			s.decayClause()
 			if int64(len(s.learnts)) > int64(s.stats.Clauses)*2+10000 {
 				s.reduceDB()
+			}
+			// Poll the stop hook after the conflict is fully resolved
+			// (clause learnt, backjump done) so an abort never leaves the
+			// trail mid-analysis.
+			if s.stopFn != nil && s.stats.Conflicts%stopCheckInterval == 0 && s.stopFn() {
+				s.stopped = true
+				return Unknown
 			}
 			continue
 		}

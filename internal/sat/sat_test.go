@@ -498,3 +498,66 @@ func TestProgressCallback(t *testing.T) {
 		t.Fatal("progress fired after being disabled")
 	}
 }
+
+func TestStopHookImmediate(t *testing.T) {
+	s := New()
+	pigeonhole(s, 8, 7)
+	s.SetStop(func() bool { return true })
+	st, err := s.SolveWithBudget(-1)
+	if st != Unknown || err != ErrStopped {
+		t.Fatalf("SolveWithBudget = %v, %v; want Unknown, ErrStopped", st, err)
+	}
+}
+
+func TestStopHookMidSolve(t *testing.T) {
+	// A hard UNSAT instance: without the stop the solve takes many
+	// thousands of conflicts. Stop after the first poll fires.
+	s := New()
+	pigeonhole(s, 9, 8)
+	var polls int
+	s.SetStop(func() bool {
+		polls++
+		return polls > 1
+	})
+	st, err := s.SolveWithBudget(-1)
+	if st != Unknown || err != ErrStopped {
+		t.Fatalf("SolveWithBudget = %v, %v; want Unknown, ErrStopped", st, err)
+	}
+	if s.Stats().Conflicts == 0 {
+		t.Fatal("solver stopped before doing any work")
+	}
+}
+
+func TestStopHookClearedSolveCompletes(t *testing.T) {
+	// A stop that fired must not poison later solves once cleared.
+	s := New()
+	pigeonhole(s, 6, 5)
+	stop := true
+	s.SetStop(func() bool { return stop })
+	if st, err := s.SolveWithBudget(-1); st != Unknown || err != ErrStopped {
+		t.Fatalf("stopped solve = %v, %v; want Unknown, ErrStopped", st, err)
+	}
+	stop = false
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("resumed solve = %v, want Unsat", got)
+	}
+	s.SetStop(nil)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("re-solve with hook cleared = %v, want Unsat", got)
+	}
+}
+
+func TestStopHookNeverFiringKeepsResult(t *testing.T) {
+	s := New()
+	pigeonhole(s, 6, 5)
+	s.SetStop(func() bool { return false })
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+	s2 := New()
+	pigeonhole(s2, 5, 5)
+	s2.SetStop(func() bool { return false })
+	if got := s2.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+}

@@ -13,7 +13,9 @@
 //	GET  /healthz     liveness: 200 normally, 503 while draining.
 //	GET  /metrics     expvar-style JSON snapshot of the obs registry
 //	                  (queue depth, in-flight jobs, cache hit/miss, SAT
-//	                  counters from compilations).
+//	                  counters from compilations, and — for portfolio
+//	                  jobs — the portfolio.inflight gauge of attempts
+//	                  currently racing plus wasted-work counters).
 //
 // Robustness properties: per-job timeouts, queue-full backpressure (429),
 // context-propagated cancellation, and graceful drain — Shutdown lets
@@ -53,6 +55,11 @@ type Config struct {
 	// evicted so a long-running daemon's job table stays bounded. 0 means
 	// 1024.
 	MaxFinishedJobs int
+	// JobParallelism caps the intra-job portfolio parallelism a request
+	// may ask for (CompileRequest.Parallel). 0 or 1 means jobs always run
+	// the classic sequential search. See Validate for the oversubscription
+	// guard against Workers * JobParallelism.
+	JobParallelism int
 	// Cache, when non-nil, memoizes results across jobs.
 	Cache *solcache.Cache
 	// Metrics receives queue/in-flight gauges and compilation counters.
@@ -88,6 +95,26 @@ func (c *Config) maxFinishedJobs() int {
 	return c.MaxFinishedJobs
 }
 
+func (c *Config) jobParallelism() int {
+	if c.JobParallelism <= 1 {
+		return 1
+	}
+	return c.JobParallelism
+}
+
+// Validate rejects configurations whose worst case oversubscribes the
+// machine: Workers jobs each racing JobParallelism portfolio members is
+// fine up to 2x GOMAXPROCS (portfolio members are often blocked on
+// staggers or cancel early), but beyond that the compile workers thrash
+// each other's SAT solvers and every job slows down.
+func (c *Config) Validate() error {
+	cores := runtime.GOMAXPROCS(0)
+	if load := c.workers() * c.jobParallelism(); load > 2*cores {
+		return fmt.Errorf("server: %d workers x %d job parallelism = %d concurrent attempts oversubscribes %d cores by more than 2x; lower -workers or -job-parallelism", c.workers(), c.jobParallelism(), load, cores)
+	}
+	return nil
+}
+
 // CompileRequest is the JSON body of POST /compile. Source is required;
 // everything else falls back to the quickstart defaults.
 type CompileRequest struct {
@@ -109,6 +136,13 @@ type CompileRequest struct {
 	VerifyWidth int `json:"verify_width,omitempty"`
 	// Seed drives CEGIS's random test inputs.
 	Seed int64 `json:"seed,omitempty"`
+	// Parallel asks for portfolio search with this many concurrent
+	// attempts inside the job. The server clamps it to its per-job budget
+	// (Config.JobParallelism); 0 or 1 runs the classic sequential search.
+	Parallel int `json:"parallel,omitempty"`
+	// SeedFanout is how many diversified CEGIS seeds race per stage depth
+	// in portfolio mode (clamped to [1, 8]; ignored unless Parallel > 1).
+	SeedFanout int `json:"seed_fanout,omitempty"`
 	// Wait blocks the HTTP request until the job finishes and returns the
 	// final status instead of 202.
 	Wait bool `json:"wait,omitempty"`
@@ -127,6 +161,11 @@ type CompileResult struct {
 	TotalALUs       int `json:"total_alus,omitempty"`
 	// Config is the synthesized hardware configuration when feasible.
 	Config json.RawMessage `json:"config,omitempty"`
+	// Winner names the portfolio member that produced the solution
+	// (e.g. "d2.s0.canon") and WastedConflicts totals the losing
+	// members' solver work; both are zero-valued for sequential jobs.
+	Winner          string `json:"winner,omitempty"`
+	WastedConflicts int64  `json:"wasted_conflicts,omitempty"`
 }
 
 // Job states.
@@ -361,10 +400,12 @@ func (s *Server) run(j *job) {
 	} else {
 		j.state = StateDone
 		res := &CompileResult{
-			Feasible:  rep.Feasible,
-			TimedOut:  rep.TimedOut,
-			Cached:    rep.Cached,
-			ElapsedMS: float64(rep.Elapsed.Microseconds()) / 1000,
+			Feasible:        rep.Feasible,
+			TimedOut:        rep.TimedOut,
+			Cached:          rep.Cached,
+			ElapsedMS:       float64(rep.Elapsed.Microseconds()) / 1000,
+			Winner:          rep.Winner,
+			WastedConflicts: rep.WastedConflicts,
 		}
 		if rep.Feasible {
 			res.Stages = rep.Usage.Stages
@@ -458,6 +499,17 @@ func (s *Server) newJob(req CompileRequest) (*job, error) {
 	if width <= 0 {
 		width = 2
 	}
+	// Clamp the requested portfolio parallelism to the server's per-job
+	// budget rather than rejecting: callers tuned for a bigger machine
+	// still compile, just with less intra-job racing.
+	parallel := req.Parallel
+	if cap := s.cfg.jobParallelism(); parallel > cap {
+		parallel = cap
+	}
+	fanout := req.SeedFanout
+	if fanout > 8 {
+		fanout = 8
+	}
 	return &job{
 		req:  req,
 		prog: prog,
@@ -469,6 +521,8 @@ func (s *Server) newJob(req CompileRequest) (*job, error) {
 			SynthWidth:   word.Width(req.SynthWidth),
 			VerifyWidth:  word.Width(req.VerifyWidth),
 			Seed:         req.Seed,
+			Parallelism:  parallel,
+			SeedFanout:   fanout,
 			Cache:        s.cfg.Cache,
 		},
 		state:  StateQueued,

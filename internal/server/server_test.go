@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -405,5 +406,84 @@ func TestClientRoundTrip(t *testing.T) {
 		t.Error("client accepted an empty request")
 	} else if !strings.Contains(err.Error(), "source") {
 		t.Errorf("error should surface the server message, got: %v", err)
+	}
+}
+
+// TestJobParallelismClamp: the server caps a request's portfolio
+// parallelism at Config.JobParallelism and passes the seed fanout through
+// (itself clamped to a sane bound).
+func TestJobParallelismClamp(t *testing.T) {
+	cases := []struct {
+		name         string
+		cfgCap       int
+		reqParallel  int
+		reqFanout    int
+		wantParallel int
+		wantFanout   int
+	}{
+		{"default cap is sequential", 0, 8, 2, 1, 2},
+		{"within cap", 4, 3, 2, 3, 2},
+		{"above cap clamped", 2, 16, 2, 2, 2},
+		{"sequential request unchanged", 4, 0, 0, 0, 0},
+		{"fanout clamped", 4, 4, 99, 4, 8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := New(Config{Workers: 1, JobParallelism: c.cfgCap})
+			defer s.Shutdown(context.Background())
+			j, err := s.newJob(CompileRequest{Name: "x", Source: samplingSrc,
+				Parallel: c.reqParallel, SeedFanout: c.reqFanout})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j.opts.Parallelism != c.wantParallel {
+				t.Errorf("Parallelism = %d, want %d", j.opts.Parallelism, c.wantParallel)
+			}
+			if j.opts.SeedFanout != c.wantFanout {
+				t.Errorf("SeedFanout = %d, want %d", j.opts.SeedFanout, c.wantFanout)
+			}
+		})
+	}
+}
+
+// TestConfigValidateOversubscription: workers x job-parallelism beyond
+// 2x GOMAXPROCS is a configuration error; anything at or below passes.
+func TestConfigValidateOversubscription(t *testing.T) {
+	cores := runtime.GOMAXPROCS(0)
+	ok := Config{Workers: 2, JobParallelism: cores}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("2 workers x %d parallelism should validate: %v", cores, err)
+	}
+	seq := Config{Workers: 1}
+	if err := seq.Validate(); err != nil {
+		t.Fatalf("sequential default should validate: %v", err)
+	}
+	bad := Config{Workers: 2*cores + 1, JobParallelism: 2}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("oversubscribed config validated")
+	}
+}
+
+// TestPortfolioJobReportsWinner: a portfolio job's result carries the
+// winning member's attribution so clients can see which depth/seed/alloc
+// produced the solution.
+func TestPortfolioJobReportsWinner(t *testing.T) {
+	s := New(Config{Workers: 1, JobParallelism: 2, JobTimeout: 2 * time.Minute})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := compileReq(true)
+	req.Parallel = 2
+	req.SeedFanout = 2
+	resp, st := postCompile(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if st.State != StateDone || st.Result == nil || !st.Result.Feasible {
+		t.Fatalf("job state %q result=%+v", st.State, st.Result)
+	}
+	if st.Result.Winner == "" {
+		t.Fatalf("portfolio job result has no winner attribution: %+v", st.Result)
 	}
 }

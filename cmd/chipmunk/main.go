@@ -26,6 +26,8 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/alu"
@@ -69,9 +71,14 @@ func run() error {
 		stats       = flag.Bool("stats", false, "print solver metrics and a span summary tree to stderr")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 		remote      = flag.String("remote", "", "compile via a chipmunkd daemon at this base URL (e.g. http://localhost:8926) instead of locally")
+		watch       = flag.Bool("watch", false, "with -remote: stream the job's live progress events (SSE) to stderr while it compiles")
 		cachePath   = flag.String("cache-path", "", "persist a local solution cache to this JSON file so repeat invocations skip synthesis")
 	)
 	flag.Parse()
+
+	if *watch && *remote == "" {
+		return fmt.Errorf("-watch requires -remote (live events stream from a chipmunkd daemon)")
+	}
 
 	src, name, err := readSource(flag.Arg(0))
 	if err != nil {
@@ -95,7 +102,7 @@ func run() error {
 			Seed:        *seed,
 			Parallel:    *parallel,
 			SeedFanout:  *seedFanout,
-		}, *timeout, *asJSON)
+		}, *timeout, *asJSON, *watch)
 	}
 
 	kind, err := alu.KindByName(*aluKind)
@@ -226,12 +233,28 @@ func run() error {
 }
 
 // runRemote ships the compilation to a chipmunkd daemon and renders the
-// returned job status in the local CLI's formats.
-func runRemote(base string, req server.CompileRequest, timeout time.Duration, asJSON bool) error {
+// returned job status in the local CLI's formats. With watch, the job is
+// submitted asynchronously and its live SSE event stream is rendered to
+// stderr until the terminal status arrives.
+func runRemote(base string, req server.CompileRequest, timeout time.Duration, asJSON, watch bool) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	client := server.NewClient(base)
-	st, err := client.Compile(ctx, req)
+	var st *server.JobStatus
+	var err error
+	if watch {
+		st, err = client.Submit(ctx, req)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "watching remote job %s (%s)\n", st.ID, st.State)
+		spanNames := map[int64]string{}
+		st, err = client.Watch(ctx, st.ID, func(ev server.JobEvent) {
+			renderWatchEvent(spanNames, ev)
+		})
+	} else {
+		st, err = client.Compile(ctx, req)
+	}
 	if err != nil {
 		return err
 	}
@@ -260,6 +283,59 @@ func runRemote(base string, req server.CompileRequest, timeout time.Duration, as
 	fmt.Printf("resources: %d stage(s), max %d ALU(s)/stage, %d total\n",
 		res.Stages, res.MaxALUsPerStage, res.TotalALUs)
 	return nil
+}
+
+// renderWatchEvent prints one SSE progress event. Span end records carry
+// no name (only the span id), so starts register the id → name mapping
+// that ends consume. SAT-solve spans are elided as too chatty for a
+// terminal; their effort still arrives via sat.progress notes.
+func renderWatchEvent(spanNames map[int64]string, ev server.JobEvent) {
+	if ev.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "  (%d events dropped by backpressure)\n", ev.Dropped)
+	}
+	switch ev.Type {
+	case "state":
+		fmt.Fprintf(os.Stderr, "  state: %s\n", ev.Name)
+	case "span_start":
+		spanNames[ev.Span] = ev.Name
+		if ev.Name == "sat.solve" {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "  > %s%s\n", ev.Name, attrSummary(ev.Attrs))
+	case "span_end":
+		name := spanNames[ev.Span]
+		delete(spanNames, ev.Span)
+		if name == "" || name == "sat.solve" {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "  < %s%s\n", name, attrSummary(ev.Attrs))
+	case "note":
+		fmt.Fprintf(os.Stderr, "  … %s%s\n", ev.Name, attrSummary(ev.Attrs))
+	case "done":
+		fmt.Fprintf(os.Stderr, "  state: %s\n", ev.Status.State)
+	}
+}
+
+// attrSummary renders event attributes deterministically for the watch
+// stream (JSON numbers arrive as float64; print integral values plainly).
+func attrSummary(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		v := attrs[k]
+		if f, ok := v.(float64); ok && f == float64(int64(f)) {
+			v = int64(f)
+		}
+		fmt.Fprintf(&sb, " %s=%v", k, v)
+	}
+	return sb.String()
 }
 
 func depthSummary(rep *core.Report) string {

@@ -8,6 +8,8 @@
 //	chipmunkd [-listen :8926] [-workers N] [-queue 64] [-job-timeout 2m]
 //	          [-job-parallelism 1] [-cache-size 1024]
 //	          [-cache-path chipmunk.cache.json]
+//	          [-trace-dir DIR] [-slow-job 30s]
+//	          [-log-level info] [-log-format text]
 //
 // -job-parallelism caps how much intra-job portfolio racing a request's
 // "parallel" field may buy (1 = always sequential). Startup fails when
@@ -15,15 +17,28 @@
 // 2x; /metrics exposes the portfolio.inflight gauge of attempts racing
 // across all jobs.
 //
+// Observability: every job runs under its own tracer with a bounded
+// flight recorder; with -trace-dir, jobs that time out or fail leave a
+// JSONL dump of their last moments in <trace-dir>/<job-id>/flight.jsonl,
+// and jobs running longer than -slow-job leave a CPU profile alongside.
+// Logs are structured (log/slog) and carry job_id and fingerprint fields
+// that join log lines, flight dumps, and the SSE event streams.
+//
 // Endpoints:
 //
-//	POST /compile     submit a job: {"name":..., "source":..., "width":...,
-//	                  "alu":..., "wait":true}. With "wait" the response is
-//	                  the finished job; without, poll GET /jobs/{id}.
-//	GET  /jobs/{id}   job status and result.
-//	GET  /healthz     liveness (503 while draining).
-//	GET  /metrics     JSON metrics: queue depth, in-flight jobs, cache
-//	                  hits/misses, solver counters.
+//	POST /compile            submit a job: {"name":..., "source":...,
+//	                         "width":..., "alu":..., "wait":true}. With
+//	                         "wait" the response is the finished job;
+//	                         without, poll GET /jobs/{id}.
+//	GET  /jobs/{id}          job status and result.
+//	GET  /jobs/{id}/events   live progress stream (Server-Sent Events);
+//	                         `chipmunk -remote ... -watch` renders it.
+//	GET  /healthz            liveness (503 while draining) with a JSON
+//	                         body: drain state, queue depth, inflight,
+//	                         uptime, job counters.
+//	GET  /metrics            JSON metrics snapshot; Prometheus text
+//	                         format when Accept asks for text/plain.
+//	GET  /metrics/prom       Prometheus text format unconditionally.
 //
 // SIGINT/SIGTERM triggers a graceful drain: in-flight jobs complete,
 // queued jobs are rejected, the listener closes, and (with -cache-path)
@@ -35,6 +50,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -64,8 +80,17 @@ func run() error {
 		cacheSize  = flag.Int("cache-size", solcache.DefaultCapacity, "solution-cache capacity (entries)")
 		cachePath  = flag.String("cache-path", "", "persist the solution cache to this JSON file across restarts")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
+		traceDir   = flag.String("trace-dir", "", "write per-job postmortem artifacts (flight-recorder dumps, slow-job CPU profiles) under this directory")
+		slowJob    = flag.Duration("slow-job", 30*time.Second, "capture a CPU profile for jobs still running after this long (requires -trace-dir; 0 disables)")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 
 	var copts []solcache.Option
 	if *cachePath != "" {
@@ -75,12 +100,15 @@ func run() error {
 
 	reg := obs.NewRegistry()
 	cfg := server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		JobTimeout:     *jobTimeout,
-		JobParallelism: *jobPar,
-		Cache:          cache,
-		Metrics:        reg,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		JobTimeout:       *jobTimeout,
+		JobParallelism:   *jobPar,
+		Cache:            cache,
+		Metrics:          reg,
+		TraceDir:         *traceDir,
+		SlowJobThreshold: *slowJob,
+		Logger:           logger,
 	}
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -98,10 +126,11 @@ func run() error {
 			errc <- err
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "chipmunkd: listening on %s (workers=%d queue=%d job-parallelism=%d cache=%d)\n",
-		ln.Addr(), *workers, *queueDepth, *jobPar, *cacheSize)
+	logger.Info("listening", "addr", ln.Addr().String(), "workers", *workers,
+		"queue", *queueDepth, "job_parallelism", *jobPar, "cache_size", *cacheSize,
+		"trace_dir", *traceDir)
 	if cache.Len() > 0 {
-		fmt.Fprintf(os.Stderr, "chipmunkd: loaded %d cached solutions from %s\n", cache.Len(), *cachePath)
+		logger.Info("loaded cached solutions", "entries", cache.Len(), "path", *cachePath)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -112,13 +141,13 @@ func run() error {
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(os.Stderr, "chipmunkd: draining (in-flight jobs complete, queued jobs rejected)")
+	logger.Info("draining: in-flight jobs complete, queued jobs rejected")
 	dctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
 	// Drain the scheduler first so wait-mode requests unblock, then close
 	// the listener and remaining HTTP handlers.
 	if err := svc.Shutdown(dctx); err != nil {
-		fmt.Fprintln(os.Stderr, "chipmunkd: drain grace expired; in-flight jobs cancelled")
+		logger.Warn("drain grace expired; in-flight jobs cancelled")
 	}
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
@@ -127,8 +156,26 @@ func run() error {
 		if err := cache.Save(); err != nil {
 			return fmt.Errorf("saving cache: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "chipmunkd: persisted %d solutions to %s\n", cache.Len(), *cachePath)
+		logger.Info("persisted solution cache", "entries", cache.Len(), "path", *cachePath)
 	}
-	fmt.Fprintln(os.Stderr, "chipmunkd: bye")
+	logger.Info("bye")
 	return nil
+}
+
+// newLogger builds the daemon's slog logger from the -log-level and
+// -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }

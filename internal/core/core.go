@@ -280,6 +280,15 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 	return rep, nil
 }
 
+// Fingerprint returns the canonical solution-cache fingerprint of a
+// compilation as a string — the correlation key joining a daemon's
+// structured log lines, flight-recorder dumps, and cache entries for one
+// canonical problem. Alpha-renamed programs share a fingerprint by
+// design (see solcache).
+func Fingerprint(prog *ast.Program, opts Options) string {
+	return string(cacheKey(prog, opts))
+}
+
 // cacheKey derives the solution-cache fingerprint for a compilation. The
 // seed, the callbacks, and the portfolio knobs (Parallelism, SeedFanout,
 // RaceAllocs) are excluded: they steer the search, not the validity of
@@ -516,6 +525,14 @@ func searchPortfolio(ctx context.Context, prog *ast.Program, opts Options, rep *
 		rep.Config = win.res.Config
 		rep.Usage = win.res.Config.Usage()
 		rep.Winner = res.Winner.Member.Label
+		// Record the race outcome in the registry by allocation mode, so
+		// a daemon's /metrics shows which member family wins over time —
+		// until now winner attribution lived only on individual reports.
+		mode := "canon"
+		if res.Winner.Member.IndicatorAlloc {
+			mode = "ind"
+		}
+		obs.MetricsFrom(pctx).Counter("portfolio.winner." + mode).Add(1)
 	case res.TimedOut:
 		rep.TimedOut = true
 	}

@@ -43,18 +43,19 @@ func (s *jsonlSink) write(rec Record) {
 }
 
 // StreamTo makes the tracer write each record to w as one JSON line, in
-// addition to retaining it in memory. Call before starting spans; records
-// emitted earlier are replayed so no span is lost.
-func (t *Tracer) StreamTo(w io.Writer) {
+// addition to retaining it in memory. Records emitted earlier are
+// replayed first so no span is lost, which makes mid-compile attachment
+// safe. The returned Subscription stops the stream when closed; callers
+// that stream for the tracer's whole life may ignore it.
+func (t *Tracer) StreamTo(w io.Writer) *Subscription {
 	if t == nil {
-		return
+		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.sink = &jsonlSink{enc: json.NewEncoder(w)}
-	for _, rec := range t.records {
-		t.sink.write(rec)
-	}
+	sink := &jsonlSink{enc: json.NewEncoder(w)}
+	t.sink = sink
+	return t.subscribeLocked(sink.write, true)
 }
 
 // Err returns the first error encountered while streaming, if any.

@@ -168,6 +168,17 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bits.Len64(uint64(v))]++
 }
 
+// raw copies the histogram's internal state for exposition formats that
+// need the power-of-two buckets directly (see WritePrometheus).
+func (h *Histogram) raw() (count, sum int64, buckets [65]int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum, h.buckets
+}
+
 // HistSnapshot is a point-in-time copy of a histogram's state.
 type HistSnapshot struct {
 	Count, Sum, Min, Max int64

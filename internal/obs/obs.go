@@ -55,17 +55,70 @@ func Float(k string, v float64) Attr { return Attr{k, v} }
 
 // Tracer records hierarchical spans. It retains every record in memory
 // (compilations emit at most a few thousand spans) for Summary and
-// Records, and optionally streams each record as a JSON line via StreamTo.
-// Safe for concurrent use; a nil *Tracer discards everything.
+// Records, and fans each record out to live subscribers (Subscribe,
+// StreamTo) as it is emitted. Safe for concurrent use; a nil *Tracer
+// discards everything.
 type Tracer struct {
 	mu      sync.Mutex
 	sink    *jsonlSink
 	records []Record
 	nextID  int64
+	subs    map[int64]func(Record)
+	nextSub int64
 }
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer { return &Tracer{} }
+
+// Subscription is a handle to a live record feed registered with
+// Subscribe or StreamTo. Close detaches it; a nil *Subscription no-ops.
+type Subscription struct {
+	t  *Tracer
+	id int64
+}
+
+// Subscribe registers fn to receive every record the tracer emits from
+// now on, in emission order. With replay, records emitted before the
+// subscription are delivered first, so a mid-compile subscriber still
+// sees the whole span tree. fn is invoked synchronously under the
+// tracer's lock: it must be fast and must not call back into the tracer
+// (enqueue into your own buffer and return — see internal/obs/flight and
+// the server's SSE fan-out for the intended pattern).
+func (t *Tracer) Subscribe(fn func(Record), replay bool) *Subscription {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.subscribeLocked(fn, replay)
+}
+
+func (t *Tracer) subscribeLocked(fn func(Record), replay bool) *Subscription {
+	if t.subs == nil {
+		t.subs = map[int64]func(Record){}
+	}
+	t.nextSub++
+	id := t.nextSub
+	t.subs[id] = fn
+	if replay {
+		for _, rec := range t.records {
+			fn(rec)
+		}
+	}
+	return &Subscription{t: t, id: id}
+}
+
+// Close detaches the subscription; records emitted afterwards are no
+// longer delivered. Closing twice is a no-op. Must not be called from
+// inside the subscription's own callback.
+func (s *Subscription) Close() {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	delete(s.t.subs, s.id)
+	s.t.mu.Unlock()
+}
 
 // Span is one timed region of work. A nil *Span is a valid no-op, which is
 // what StartSpan returns when no tracer is installed in the context.
@@ -83,8 +136,8 @@ func (t *Tracer) emit(rec Record) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.records = append(t.records, rec)
-	if t.sink != nil {
-		t.sink.write(rec)
+	for _, fn := range t.subs {
+		fn(rec)
 	}
 }
 

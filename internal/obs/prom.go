@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4) so a long-running daemon can be scraped by
+// standard tooling with no third-party dependency:
+//
+//   - counters and gauges become single samples with # HELP/# TYPE
+//     headers;
+//   - histograms become cumulative series: one name_bucket sample per
+//     occupied power-of-two bucket (upper bound 2^i-1, the top of the
+//     [2^(i-1), 2^i) range Histogram tracks), a closing le="+Inf"
+//     bucket, plus name_sum and name_count.
+//
+// Metric names use dots as separators internally ("server.jobs.accepted");
+// they are sanitized to the [a-zA-Z0-9_:] grammar here. Output is sorted
+// by name so scrapes are deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type hist struct {
+		count, sum int64
+		buckets    [65]int64
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]hist, len(r.hists))
+	for name, h := range r.hists {
+		var s hist
+		s.count, s.sum, s.buckets = h.raw()
+		hists[name] = s
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(counters)+len(gauges)+len(hists))
+	for name := range counters {
+		names = append(names, name)
+	}
+	for name := range gauges {
+		names = append(names, name)
+	}
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Distinct internal names could collide after sanitization ("a.b" and
+	// "a_b"); emit the first and skip the rest rather than produce a
+	// scrape the server would reject for duplicate TYPE lines.
+	emitted := map[string]bool{}
+	var sb strings.Builder
+	for _, name := range names {
+		pn := PromName(name)
+		if emitted[pn] {
+			continue
+		}
+		emitted[pn] = true
+		if v, ok := counters[name]; ok {
+			fmt.Fprintf(&sb, "# HELP %s Chipmunk metric %s.\n# TYPE %s counter\n%s %d\n", pn, name, pn, pn, v)
+			continue
+		}
+		if v, ok := gauges[name]; ok {
+			fmt.Fprintf(&sb, "# HELP %s Chipmunk metric %s.\n# TYPE %s gauge\n%s %d\n", pn, name, pn, pn, v)
+			continue
+		}
+		h := hists[name]
+		fmt.Fprintf(&sb, "# HELP %s Chipmunk metric %s.\n# TYPE %s histogram\n", pn, name, pn)
+		cum := int64(0)
+		top := 0
+		for i, n := range h.buckets {
+			if n != 0 {
+				top = i
+			}
+		}
+		for i := 0; i <= top; i++ {
+			cum += h.buckets[i]
+			fmt.Fprintf(&sb, "%s_bucket{le=\"%d\"} %d\n", pn, bucketUpper(i), cum)
+		}
+		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.count)
+		fmt.Fprintf(&sb, "%s_sum %d\n", pn, h.sum)
+		fmt.Fprintf(&sb, "%s_count %d\n", pn, h.count)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// bucketUpper is the inclusive upper bound of histogram bucket i: bucket
+// 0 holds zeros, bucket i holds [2^(i-1), 2^i).
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return (int64(1) << uint(i)) - 1
+}
+
+// PromName sanitizes a dotted internal metric name to the Prometheus
+// metric-name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func PromName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}

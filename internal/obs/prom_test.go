@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	promComment = regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)( .*)?$`)
+	promSample  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="(\+Inf|[0-9]+)"\})? (-?[0-9]+)$`)
+)
+
+// TestWritePrometheusGrammar scrapes a populated registry and checks the
+// output line-by-line against the text-format grammar: HELP/TYPE
+// comments with sanitized names, plain samples for counters and gauges,
+// and cumulative histogram buckets closed by +Inf with matching
+// _sum/_count.
+func TestWritePrometheusGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.jobs.accepted").Add(7)
+	r.Counter("9starts.with-digit").Add(1)
+	r.Gauge("server.queue.depth").Set(3)
+	h := r.Histogram("cegis.cex_bits")
+	for _, v := range []int64{0, 1, 1, 2, 5, 9, 100} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	t.Logf("exposition:\n%s", out)
+
+	typeOf := map[string]string{}   // sanitized name -> counter/gauge/histogram
+	samplesOf := map[string]int{}   // base name -> sample lines seen
+	bucketCum := map[string]int64{} // histogram name -> last cumulative value
+	var infSeen = map[string]int64{}
+	sums := map[string]int64{}
+	counts := map[string]int64{}
+
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if m := promComment.FindStringSubmatch(line); m != nil {
+			if m[1] == "TYPE" {
+				fields := strings.Fields(line)
+				typeOf[fields[2]] = fields[3]
+			}
+			continue
+		}
+		m := promSample.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d violates the text-format grammar: %q", i+1, line)
+		}
+		name, le := m[1], m[3]
+		val, _ := strconv.ParseInt(m[4], 10, 64)
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base = strings.TrimSuffix(base, suffix)
+		}
+		if _, ok := typeOf[base]; !ok {
+			t.Errorf("line %d: sample %q precedes its # TYPE", i+1, name)
+		}
+		samplesOf[base]++
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if le == "+Inf" {
+				infSeen[base] = val
+			} else {
+				if val < bucketCum[base] {
+					t.Errorf("%s: bucket le=%s value %d not cumulative (prev %d)", base, le, val, bucketCum[base])
+				}
+				bucketCum[base] = val
+			}
+		case strings.HasSuffix(name, "_sum"):
+			sums[base] = val
+		case strings.HasSuffix(name, "_count"):
+			counts[base] = val
+		}
+	}
+
+	if typeOf["server_jobs_accepted"] != "counter" {
+		t.Errorf("server_jobs_accepted type = %q, want counter", typeOf["server_jobs_accepted"])
+	}
+	if typeOf["server_queue_depth"] != "gauge" {
+		t.Errorf("server_queue_depth type = %q, want gauge", typeOf["server_queue_depth"])
+	}
+	if typeOf["_9starts_with_digit"] != "counter" {
+		t.Errorf("digit-leading name not sanitized: types=%v", typeOf)
+	}
+	hn := "cegis_cex_bits"
+	if typeOf[hn] != "histogram" {
+		t.Fatalf("%s type = %q, want histogram", hn, typeOf[hn])
+	}
+	if infSeen[hn] != 7 || counts[hn] != 7 {
+		t.Errorf("%s: +Inf bucket %d and count %d, want 7", hn, infSeen[hn], counts[hn])
+	}
+	if bucketCum[hn] > infSeen[hn] {
+		t.Errorf("%s: finite buckets (%d) exceed +Inf (%d)", hn, bucketCum[hn], infSeen[hn])
+	}
+	if sums[hn] != 118 {
+		t.Errorf("%s_sum = %d, want 118", hn, sums[hn])
+	}
+
+	// A second render must be byte-identical (sorted, deterministic).
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("two renders of the same registry differ")
+	}
+
+	var nilReg *Registry
+	if err := nilReg.WritePrometheus(&sb2); err != nil {
+		t.Errorf("nil registry: %v", err)
+	}
+}
+
+// TestPromName pins the sanitization rules.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"server.jobs.accepted": "server_jobs_accepted",
+		"cnf.vars":             "cnf_vars",
+		"9lead":                "_9lead",
+		"weird#name":           "weird_name",
+		"ok_name:x9":           "ok_name:x9",
+		"":                     "_",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSubscribeReplayAndClose: a mid-compile subscriber sees earlier
+// records via replay, live records while open, and nothing after Close.
+func TestSubscribeReplayAndClose(t *testing.T) {
+	tr := NewTracer()
+	s1 := tr.StartRoot("before")
+	s1.End()
+
+	var got []Record
+	sub := tr.Subscribe(func(r Record) { got = append(got, r) }, true)
+	if len(got) != 2 {
+		t.Fatalf("replay delivered %d records, want 2", len(got))
+	}
+
+	s2 := tr.StartRoot("during")
+	if len(got) != 3 {
+		t.Fatalf("live delivery: %d records, want 3", len(got))
+	}
+
+	sub.Close()
+	s2.End()
+	tr.StartRoot("after").End()
+	if len(got) != 3 {
+		t.Fatalf("closed subscriber still received records: %d, want 3", len(got))
+	}
+	// The tracer itself keeps recording past the unsubscribe.
+	if n := len(tr.Records()); n != 6 {
+		t.Fatalf("tracer retained %d records, want 6", n)
+	}
+
+	// Closing twice and nil handles are no-ops.
+	sub.Close()
+	var nilSub *Subscription
+	nilSub.Close()
+	var nilTr *Tracer
+	if nilTr.Subscribe(func(Record) {}, true) != nil {
+		t.Error("nil tracer Subscribe should return nil")
+	}
+}
+
+// TestSubscribeWithoutReplay: replay=false delivers only records emitted
+// after the subscription.
+func TestSubscribeWithoutReplay(t *testing.T) {
+	tr := NewTracer()
+	tr.StartRoot("old").End()
+	var got []Record
+	defer tr.Subscribe(func(r Record) { got = append(got, r) }, false).Close()
+	tr.StartRoot("new").End()
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2 (no replay)", len(got))
+	}
+	if got[0].Name != "new" {
+		t.Errorf("first live record is %q, want \"new\"", got[0].Name)
+	}
+}
+
+// TestStreamToCloseStopsWrites: StreamTo's subscription handle detaches
+// the JSONL sink mid-compile — the fix for subscribers that previously
+// could never unsubscribe.
+func TestStreamToCloseStopsWrites(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer()
+	sub := tr.StreamTo(&buf)
+	tr.StartRoot("a").End()
+	if n := strings.Count(buf.String(), "\n"); n != 2 {
+		t.Fatalf("streamed %d lines, want 2", n)
+	}
+	sub.Close()
+	tr.StartRoot("b").End()
+	if n := strings.Count(buf.String(), "\n"); n != 2 {
+		t.Fatalf("closed stream still written to: %d lines, want 2", n)
+	}
+	recs, err := ReadRecords(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckWellFormed(recs); err != nil {
+		t.Errorf("streamed prefix not well-formed: %v", err)
+	}
+}

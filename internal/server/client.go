@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -40,6 +41,79 @@ func (c *Client) Compile(ctx context.Context, req CompileRequest) (*JobStatus, e
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	return c.roundTrip(hreq)
+}
+
+// Submit enqueues a job without waiting for it (Wait is forced off) and
+// returns its queued status; follow up with Job polling or Watch.
+func (c *Client) Submit(ctx context.Context, req CompileRequest) (*JobStatus, error) {
+	req.Wait = false
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/compile", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return c.roundTrip(hreq)
+}
+
+// Watch streams a job's live events (GET /jobs/{id}/events, Server-Sent
+// Events), invoking fn — which may be nil — for every event as it
+// arrives, and returns the job's final status from the stream's terminal
+// "done" event. If the stream ends without one (daemon restart, proxy
+// timeout), the final status is fetched by polling instead, so Watch
+// always returns the job's terminal state unless ctx expires first.
+func (c *Client) Watch(ctx context.Context, id string, fn func(JobEvent)) (*JobStatus, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxRequestBody))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("daemon: %s (%s)", e.Error, resp.Status)
+		}
+		return nil, fmt.Errorf("daemon: %s", resp.Status)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data:")
+		if !ok {
+			continue // event:/id:/retry: fields and blank separators
+		}
+		var ev JobEvent
+		if err := json.Unmarshal([]byte(strings.TrimSpace(data)), &ev); err != nil {
+			return nil, fmt.Errorf("decoding event: %w", err)
+		}
+		if fn != nil {
+			fn(ev)
+		}
+		if ev.Type == "done" && ev.Status != nil {
+			return ev.Status, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	// Stream ended without a terminal event; fall back to polling.
+	return c.Job(ctx, id)
 }
 
 // Job polls a job's status by ID.

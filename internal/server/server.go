@@ -4,39 +4,64 @@
 //
 // The API surface:
 //
-//	POST /compile     submit a compilation job (JSON CompileRequest).
-//	                  Returns 202 with the job's status, or the final
-//	                  status directly when "wait" is set. 400 on a parse
-//	                  or validation error, 429 when the queue is full,
-//	                  503 while draining.
-//	GET  /jobs/{id}   poll a job's status.
-//	GET  /healthz     liveness: 200 normally, 503 while draining.
-//	GET  /metrics     expvar-style JSON snapshot of the obs registry
-//	                  (queue depth, in-flight jobs, cache hit/miss, SAT
-//	                  counters from compilations, and — for portfolio
-//	                  jobs — the portfolio.inflight gauge of attempts
-//	                  currently racing plus wasted-work counters).
+//	POST /compile            submit a compilation job (JSON CompileRequest).
+//	                         Returns 202 with the job's status, or the final
+//	                         status directly when "wait" is set. 400 on a
+//	                         parse or validation error, 429 when the queue
+//	                         is full, 503 while draining.
+//	GET  /jobs/{id}          poll a job's status.
+//	GET  /jobs/{id}/events   Server-Sent Events stream of the job's live
+//	                         progress (phase transitions, CEGIS iterations,
+//	                         portfolio member starts/cancels, SAT progress
+//	                         milestones), ending with a "done" event that
+//	                         carries the final status. Works for queued
+//	                         jobs — events begin when the job starts.
+//	GET  /healthz            liveness: 200 normally, 503 while draining,
+//	                         with a JSON body (drain state, queue depth,
+//	                         inflight count, uptime, job counters).
+//	GET  /metrics            obs registry snapshot. JSON (expvar-style) by
+//	                         default; Prometheus text format when the
+//	                         Accept header asks for text/plain or
+//	                         openmetrics.
+//	GET  /metrics/prom       Prometheus text format unconditionally.
 //
 // Robustness properties: per-job timeouts, queue-full backpressure (429),
 // context-propagated cancellation, and graceful drain — Shutdown lets
 // in-flight jobs complete, rejects still-queued jobs, and leaves the
 // listener to close cleanly.
+//
+// Observability: every job runs under its own obs.Tracer feeding both the
+// SSE stream and a bounded flight recorder (internal/obs/flight); on
+// timeout, failure, or cancellation the recorder's tail is attached to
+// the job status and, with Config.TraceDir set, dumped as JSONL into the
+// job's trace directory. Jobs exceeding Config.SlowJobThreshold get a
+// CPU profile for their remainder. Lifecycle events are logged through
+// Config.Logger (log/slog) with job_id and fingerprint fields that join
+// log lines, dumps, and streams on the same job.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/alu"
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/parser"
+	"repro/internal/sat"
 	"repro/internal/solcache"
 	"repro/internal/word"
 )
@@ -65,6 +90,20 @@ type Config struct {
 	// Metrics receives queue/in-flight gauges and compilation counters.
 	// Nil allocates a private registry.
 	Metrics *obs.Registry
+	// TraceDir, when set, gives each failed/timed-out job a directory
+	// <TraceDir>/<jobID>/ holding its flight-recorder dump
+	// (flight.jsonl) and, for slow jobs, a CPU profile (cpu.pprof).
+	TraceDir string
+	// SlowJobThreshold starts a CPU profile for the remainder of any job
+	// still running after this long (requires TraceDir; at most one
+	// profile at a time process-wide). 0 disables.
+	SlowJobThreshold time.Duration
+	// FlightCapacity bounds each job's flight-recorder ring (entries).
+	// 0 means flight.DefaultCapacity.
+	FlightCapacity int
+	// Logger receives structured job-lifecycle logs carrying job_id and
+	// fingerprint fields. Nil discards.
+	Logger *slog.Logger
 }
 
 func (c *Config) workers() int {
@@ -100,6 +139,13 @@ func (c *Config) jobParallelism() int {
 		return 1
 	}
 	return c.JobParallelism
+}
+
+func (c *Config) logger() *slog.Logger {
+	if c.Logger == nil {
+		return slog.New(slog.DiscardHandler)
+	}
+	return c.Logger
 }
 
 // Validate rejects configurations whose worst case oversubscribes the
@@ -187,6 +233,17 @@ type JobStatus struct {
 	Finished *time.Time     `json:"finished,omitempty"`
 	Error    string         `json:"error,omitempty"`
 	Result   *CompileResult `json:"result,omitempty"`
+	// Fingerprint is the job's canonical-problem content address — the
+	// correlation key shared by the daemon's log lines, flight dumps,
+	// and solution-cache entries.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Flight is the truncated tail of the job's flight recorder,
+	// attached when the job timed out, failed, or was cancelled, so a
+	// postmortem no longer requires re-running with tracing enabled.
+	Flight []flight.Entry `json:"flight,omitempty"`
+	// FlightDump is the server-side path of the full JSONL dump (set
+	// only when the server runs with a trace directory).
+	FlightDump string `json:"flight_dump,omitempty"`
 }
 
 type job struct {
@@ -194,27 +251,34 @@ type job struct {
 	req  CompileRequest
 	prog *ast.Program
 	opts core.Options
+	fp   string // canonical-problem fingerprint
+	feed *feed  // live event fan-out; set when the job is admitted
 
-	mu       sync.Mutex
-	state    string
-	queued   time.Time
-	started  time.Time
-	finished time.Time
-	err      string
-	result   *CompileResult
-	done     chan struct{}
+	mu         sync.Mutex
+	state      string
+	queued     time.Time
+	started    time.Time
+	finished   time.Time
+	err        string
+	result     *CompileResult
+	flight     []flight.Entry
+	flightDump string
+	done       chan struct{}
 }
 
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:      j.id,
-		State:   j.state,
-		Program: j.prog.Name,
-		Queued:  j.queued,
-		Error:   j.err,
-		Result:  j.result,
+		ID:          j.id,
+		State:       j.state,
+		Program:     j.prog.Name,
+		Queued:      j.queued,
+		Error:       j.err,
+		Result:      j.result,
+		Fingerprint: j.fp,
+		Flight:      j.flight,
+		FlightDump:  j.flightDump,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -232,6 +296,8 @@ func (j *job) status() JobStatus {
 type Server struct {
 	cfg     Config
 	metrics *obs.Registry
+	logger  *slog.Logger
+	started time.Time
 	mux     *http.ServeMux
 
 	mu       sync.Mutex // guards queue sends vs. close, jobs, finished, draining
@@ -259,6 +325,8 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		metrics: cfg.Metrics,
+		logger:  cfg.logger(),
+		started: time.Now(),
 		jobs:    map[string]*job{},
 		queue:   make(chan *job, cfg.queueDepth()),
 		now:     time.Now,
@@ -274,8 +342,10 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /compile", s.handleCompile)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics/prom", s.handleMetricsProm)
 
 	for i := 0; i < cfg.workers(); i++ {
 		s.workers.Add(1)
@@ -338,7 +408,9 @@ func (s *Server) finishRejected(j *job) {
 	j.finished = s.now()
 	j.mu.Unlock()
 	close(j.done)
+	j.feed.close(j.status())
 	s.metrics.Counter("server.jobs.rejected").Add(1)
+	s.logger.Warn("job rejected during drain", "job_id", j.id, "program", j.prog.Name)
 }
 
 // retireLocked enrolls a finished job in the eviction FIFO and evicts the
@@ -383,16 +455,44 @@ func (s *Server) run(j *job) {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = s.now()
+	waited := j.started.Sub(j.queued)
 	j.mu.Unlock()
+	j.feed.publish("state", StateRunning, 0, s.now().UnixNano(), nil)
+	s.logger.Info("job started", "job_id", j.id, "program", j.prog.Name,
+		"fingerprint", shortFP(j.fp), "queue_wait_ms", durMS(waited))
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.jobTimeout())
 	defer cancel()
 	ctx = obs.ContextWithMetrics(ctx, s.metrics)
 
+	// Every job gets its own tracer: the flight recorder keeps a bounded
+	// tail for postmortems, and the SSE feed relays each record live.
+	tracer := obs.NewTracer()
+	ctx = obs.ContextWithTracer(ctx, tracer)
+	rec := flight.New(s.cfg.FlightCapacity)
+	rec.Attach(tracer)
+	defer rec.Close()
+	feedSub := tracer.Subscribe(j.feed.publishRecord, false)
+	defer feedSub.Close()
+	j.opts.Progress = func(phase string, st sat.Stats) {
+		attrs := map[string]any{"phase": phase, "conflicts": st.Conflicts,
+			"decisions": st.Decisions, "restarts": st.Restarts}
+		rec.Note("sat.progress", attrs)
+		j.feed.publish("note", "sat.progress", 0, time.Now().UnixNano(), attrs)
+	}
+
+	stopSlowWatch := s.startSlowJobWatch(j)
 	rep, err := s.compile(ctx, j)
+	stopSlowWatch()
+
+	rec.Close()
+	if err != nil || rep.TimedOut {
+		s.dumpFlight(j, rec)
+	}
 
 	j.mu.Lock()
 	j.finished = s.now()
+	elapsed := j.finished.Sub(j.started)
 	if err != nil {
 		j.state = StateError
 		j.err = err.Error()
@@ -420,8 +520,151 @@ func (s *Server) run(j *job) {
 	}
 	j.mu.Unlock()
 	close(j.done)
+	j.feed.close(j.status())
+	s.logJobFinished(j, rep, err, elapsed)
 	s.retire(j.id)
 }
+
+// logJobFinished emits the job's terminal log line, correlated by job_id
+// and fingerprint with the flight dump and SSE stream.
+func (s *Server) logJobFinished(j *job, rep *core.Report, err error, elapsed time.Duration) {
+	attrs := []any{"job_id", j.id, "program", j.prog.Name,
+		"fingerprint", shortFP(j.fp), "elapsed_ms", durMS(elapsed)}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+		s.logger.Error("job failed", attrs...)
+		return
+	}
+	attrs = append(attrs, "feasible", rep.Feasible, "cached", rep.Cached)
+	if rep.Winner != "" {
+		attrs = append(attrs, "winner", rep.Winner, "wasted_conflicts", rep.WastedConflicts)
+	}
+	if rep.TimedOut {
+		s.logger.Warn("job timed out", attrs...)
+		return
+	}
+	s.logger.Info("job finished", attrs...)
+}
+
+// dumpFlight preserves the flight recorder's tail after a timeout,
+// failure, or cancellation: a truncated summary is attached to the job
+// status, and with a trace directory configured the full tail is dumped
+// as JSONL next to any CPU profile.
+func (s *Server) dumpFlight(j *job, rec *flight.Recorder) {
+	tail := rec.Tail()
+	if len(tail) == 0 {
+		return
+	}
+	// statusFlightTail bounds the summary attached to the job result so
+	// status responses stay small; the JSONL dump holds the full ring.
+	const statusFlightTail = 20
+	sum := tail
+	if len(sum) > statusFlightTail {
+		sum = sum[len(sum)-statusFlightTail:]
+	}
+	j.mu.Lock()
+	j.flight = append([]flight.Entry(nil), sum...)
+	j.mu.Unlock()
+	if s.cfg.TraceDir == "" {
+		return
+	}
+	dir := filepath.Join(s.cfg.TraceDir, j.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.logger.Error("flight dump failed", "job_id", j.id, "error", err.Error())
+		return
+	}
+	path := filepath.Join(dir, "flight.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		s.logger.Error("flight dump failed", "job_id", j.id, "error", err.Error())
+		return
+	}
+	werr := rec.WriteJSONL(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		s.logger.Error("flight dump failed", "job_id", j.id, "error", werr.Error())
+		return
+	}
+	j.mu.Lock()
+	j.flightDump = path
+	j.mu.Unlock()
+	s.logger.Warn("flight recorder dumped", "job_id", j.id,
+		"fingerprint", shortFP(j.fp), "path", path,
+		"entries", len(tail), "dropped", rec.Dropped())
+}
+
+// cpuProfileActive guards runtime/pprof's process-wide CPU profiler:
+// when several jobs cross the slow threshold at once, only the first
+// gets a profile.
+var cpuProfileActive atomic.Bool
+
+// startSlowJobWatch arms the slow-job profiler: if the job is still
+// running after Config.SlowJobThreshold, a CPU profile of the job's
+// remainder is captured into its trace directory. The returned stop
+// function must be called when the job finishes.
+func (s *Server) startSlowJobWatch(j *job) (stop func()) {
+	if s.cfg.TraceDir == "" || s.cfg.SlowJobThreshold <= 0 {
+		return func() {}
+	}
+	var (
+		mu       sync.Mutex
+		jobDone  bool
+		profFile *os.File
+	)
+	timer := time.AfterFunc(s.cfg.SlowJobThreshold, func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if jobDone || !cpuProfileActive.CompareAndSwap(false, true) {
+			return
+		}
+		dir := filepath.Join(s.cfg.TraceDir, j.id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			cpuProfileActive.Store(false)
+			return
+		}
+		f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+		if err != nil {
+			cpuProfileActive.Store(false)
+			return
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			cpuProfileActive.Store(false)
+			return
+		}
+		profFile = f
+		s.logger.Warn("slow job: capturing CPU profile",
+			"job_id", j.id, "fingerprint", shortFP(j.fp),
+			"threshold", s.cfg.SlowJobThreshold.String(), "path", f.Name())
+	})
+	return func() {
+		timer.Stop()
+		// If the timer callback is mid-flight, the lock makes us wait for
+		// it, so a started profile is always stopped exactly once.
+		mu.Lock()
+		defer mu.Unlock()
+		jobDone = true
+		if profFile != nil {
+			pprof.StopCPUProfile()
+			profFile.Close()
+			profFile = nil
+			cpuProfileActive.Store(false)
+		}
+	}
+}
+
+// shortFP abbreviates a fingerprint for log lines; dumps and cache
+// entries keep the full hash.
+func shortFP(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 // --- HTTP handlers -----------------------------------------------------------
 
@@ -449,18 +692,25 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextID++
 	j.id = fmt.Sprintf("j%06d", s.nextID)
+	// The feed must exist before the job is visible to a worker, so a
+	// subscriber attaching to a queued job never races its start.
+	j.feed = newFeed(j.id)
 	select {
 	case s.queue <- j:
 	default:
 		s.mu.Unlock()
 		s.metrics.Counter("server.jobs.throttled").Add(1)
+		s.logger.Warn("job throttled: queue full", "program", j.prog.Name, "queue_depth", cap(s.queue))
 		httpError(w, http.StatusTooManyRequests, "compile queue full (%d jobs)", cap(s.queue))
 		return
 	}
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	j.feed.publish("state", StateQueued, 0, s.now().UnixNano(), nil)
 	s.metrics.Counter("server.jobs.accepted").Add(1)
 	s.metrics.Gauge("server.queue.depth").Set(int64(len(s.queue)))
+	s.logger.Info("job accepted", "job_id", j.id, "program", j.prog.Name,
+		"fingerprint", shortFP(j.fp), "parallel", j.opts.Parallelism)
 
 	if req.Wait {
 		select {
@@ -510,7 +760,7 @@ func (s *Server) newJob(req CompileRequest) (*job, error) {
 	if fanout > 8 {
 		fanout = 8
 	}
-	return &job{
+	j := &job{
 		req:  req,
 		prog: prog,
 		opts: core.Options{
@@ -528,7 +778,9 @@ func (s *Server) newJob(req CompileRequest) (*job, error) {
 		state:  StateQueued,
 		queued: s.now(),
 		done:   make(chan struct{}),
-	}, nil
+	}
+	j.fp = core.Fingerprint(prog, j.opts)
+	return j, nil
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -542,22 +794,63 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+// Health is the JSON body of GET /healthz: the same drain/load signal
+// for load balancers (via the status code) and humans (via the fields).
+type Health struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	Draining      bool    `json:"draining"`
+	QueueDepth    int     `json:"queue_depth"`
+	Inflight      int64   `json:"inflight"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	JobsAccepted  int64   `json:"jobs_accepted"`
+	JobsCompleted int64   `json:"jobs_completed"`
+	JobsFailed    int64   `json:"jobs_failed"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	if draining {
-		httpError(w, http.StatusServiceUnavailable, "draining")
-		return
+	h := Health{
+		Status:        "ok",
+		Draining:      draining,
+		QueueDepth:    len(s.queue),
+		Inflight:      s.metrics.Gauge("server.inflight").Value(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		JobsAccepted:  s.metrics.Counter("server.jobs.accepted").Value(),
+		JobsCompleted: s.metrics.Counter("server.jobs.completed").Value(),
+		JobsFailed:    s.metrics.Counter("server.jobs.failed").Value(),
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	code := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Gauge("server.queue.depth").Set(int64(len(s.queue)))
 	s.cfg.Cache.Publish(s.metrics)
+	// Content-negotiate: Prometheus scrapers ask for text/plain (or
+	// OpenMetrics); everything else keeps the expvar-style JSON snapshot.
+	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics") {
+		s.writeProm(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	s.metrics.Gauge("server.queue.depth").Set(int64(len(s.queue)))
+	s.cfg.Cache.Publish(s.metrics)
+	s.writeProm(w)
+}
+
+func (s *Server) writeProm(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

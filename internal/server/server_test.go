@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -272,9 +273,16 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Errorf("submit during drain: %d, want 503", resp.StatusCode)
 	}
 	if resp, err := http.Get(ts.URL + "/healthz"); err == nil {
+		var h Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Errorf("healthz body during drain: %v", err)
+		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusServiceUnavailable {
 			t.Errorf("healthz during drain: %d, want 503", resp.StatusCode)
+		}
+		if h.Status != "draining" || !h.Draining {
+			t.Errorf("healthz body during drain: %+v, want status=draining", h)
 		}
 	}
 
@@ -331,6 +339,99 @@ func TestMetricsEndpoint(t *testing.T) {
 		if _, ok := snap[key]; !ok {
 			t.Errorf("metrics snapshot missing %q (have %v)", key, keys(snap))
 		}
+	}
+}
+
+// TestHealthzBody: a healthy daemon reports its operational state as
+// JSON, not just a status code.
+func TestHealthzBody(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postCompile(t, ts, compileReq(true))
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d, want 200", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Draining {
+		t.Errorf("healthz body: %+v, want status=ok", h)
+	}
+	if h.JobsAccepted != 1 || h.JobsCompleted != 1 {
+		t.Errorf("healthz counters: accepted=%d completed=%d, want 1/1", h.JobsAccepted, h.JobsCompleted)
+	}
+	if h.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v, want > 0", h.UptimeSeconds)
+	}
+	if h.Inflight != 0 || h.QueueDepth != 0 {
+		t.Errorf("idle daemon reports inflight=%d queue_depth=%d", h.Inflight, h.QueueDepth)
+	}
+}
+
+// TestMetricsPrometheus: /metrics/prom and content-negotiated /metrics
+// serve the Prometheus text format; plain GET /metrics stays JSON.
+func TestMetricsPrometheus(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postCompile(t, ts, compileReq(true))
+	fetch := func(path, accept string) (string, string) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String(), resp.Header.Get("Content-Type")
+	}
+
+	prom, ct := fetch("/metrics/prom", "")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics/prom Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE server_jobs_completed counter",
+		"server_jobs_completed 1",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics/prom missing %q:\n%s", want, prom)
+		}
+	}
+
+	negotiated, ct2 := fetch("/metrics", "text/plain")
+	if !strings.HasPrefix(ct2, "text/plain") {
+		t.Errorf("negotiated /metrics Content-Type = %q", ct2)
+	}
+	if !strings.Contains(negotiated, "server_jobs_completed 1") {
+		t.Errorf("negotiated /metrics is not Prometheus text:\n%s", negotiated)
+	}
+
+	jsonOut, ct3 := fetch("/metrics", "")
+	if !strings.HasPrefix(ct3, "application/json") {
+		t.Errorf("default /metrics Content-Type = %q", ct3)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(jsonOut), &snap); err != nil {
+		t.Errorf("default /metrics is not JSON: %v", err)
 	}
 }
 

@@ -283,13 +283,40 @@ func Synthesize(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, opts
 	sk.PublishMetrics(reg)
 
 	synthSolver := sat.New()
+	// Attach the cancellation hook before any clause is loaded: AddClause
+	// runs top-level unit propagation, so loading must respect the context
+	// just like in-search propagation does.
+	if fn := contextStop(ctx); fn != nil {
+		synthSolver.SetStop(fn)
+	}
 	synthCNF := circuit.NewCNF(b, synthSolver)
 	sk.AssertDomains(synthCNF)
 
 	// addTest encodes one concrete test input: instantiate the datapath at
 	// the input's width with constant inputs and assert equality with the
 	// specification's concrete outputs.
+	//
+	// Every canonical variable is materialized in the snapshot first. State
+	// entries absent from the input would otherwise diverge: the datapath
+	// side reads a missing map key as 0, while the interpreter seeds the
+	// variable from the program's Init declaration — yielding a constraint
+	// pipeline(0) == spec(Init) that contradicts later counterexamples and
+	// drives synthesis to a bogus UNSAT for any program with a nonzero
+	// initializer. Feasibility is a property of the transfer function over
+	// free state inputs (exactly how verify encodes it); Init only sets a
+	// register's deployed initial contents.
 	addTest := func(x interp.Snapshot, w word.Width) error {
+		x = x.Clone()
+		for _, f := range fields {
+			if _, ok := x.Pkt[f]; !ok {
+				x.Pkt[f] = 0
+			}
+		}
+		for _, s := range states {
+			if _, ok := x.State[s]; !ok {
+				x.State[s] = 0
+			}
+		}
 		in := interp.MustNew(w)
 		specOut, err := in.Run(prog, x)
 		if err != nil {
@@ -499,6 +526,9 @@ func verify(ctx context.Context, prog *ast.Program, cfg *pisa.Config, fields, st
 	}
 
 	solver := sat.New()
+	if fn := contextStop(ctx); fn != nil {
+		solver.SetStop(fn)
+	}
 	cnf := circuit.NewCNF(b, solver)
 	cnf.AssertNot(equal)
 	st, delta, timedOut := solveTraced(ctx, solver, "verify", progress)
@@ -527,16 +557,11 @@ func verify(ctx context.Context, prog *ast.Program, cfg *pisa.Config, fields, st
 // portfolio members abort mid-solve; the budgeted-chunk loop remains as a
 // fallback for solvers whose hook a caller has displaced.
 func solveWithContext(ctx context.Context, s *sat.Solver) (sat.Status, bool) {
-	if done := ctx.Done(); done != nil {
-		s.SetStop(func() bool {
-			select {
-			case <-done:
-				return true
-			default:
-				return false
-			}
-		})
-		defer s.SetStop(nil)
+	if fn := contextStop(ctx); fn != nil {
+		// Deliberately left installed after the solve returns: the hook
+		// also guards top-level propagation when later clauses are loaded
+		// into this solver (incremental CEGIS test constraints).
+		s.SetStop(fn)
 	}
 	for {
 		select {
@@ -553,6 +578,23 @@ func solveWithContext(ctx context.Context, s *sat.Solver) (sat.Status, bool) {
 		}
 		// sat.ErrBudget: chunk exhausted; re-check the context and keep
 		// solving.
+	}
+}
+
+// contextStop adapts a context to a solver stop hook, or nil for contexts
+// that can never be cancelled.
+func contextStop(ctx context.Context) func() bool {
+	done := ctx.Done()
+	if done == nil {
+		return nil
+	}
+	return func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
 	}
 }
 

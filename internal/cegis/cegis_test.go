@@ -2,6 +2,8 @@ package cegis
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -623,5 +625,50 @@ func TestDefaultTierWidths(t *testing.T) {
 	}
 	if got := o.verifyWidth(); got != DefaultVerifyWidth {
 		t.Errorf("zero-value verify width = %d, want DefaultVerifyWidth (%d)", got, DefaultVerifyWidth)
+	}
+}
+
+// TestNonzeroInitStateFeasible is the minimized regression for a bug found
+// by the chipfuzz campaign: the initial all-zeros seed test left state
+// entries out of the snapshot, so the interpreter seeded them from Init
+// while the datapath side read 0, producing a contradictory constraint
+// (pipeline(0) == spec(Init)) that made any program with a nonzero state
+// initializer "infeasible" within one counterexample round.
+func TestNonzeroInitStateFeasible(t *testing.T) {
+	// The reproducers live in testdata/ as chipfuzz shrank them.
+	cases := []struct {
+		file string
+		kind alu.Kind
+	}{
+		{"nonzero_init_identity.domino", alu.Counter},
+		{"nonzero_init_counter.domino", alu.Counter},
+		{"nonzero_init_guarded.domino", alu.IfElseRaw},
+	}
+	for _, tc := range cases {
+		raw, err := os.ReadFile(filepath.Join("testdata", tc.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(raw)
+		res := synth(t, src, grid(1, 1, tc.kind, 4), Options{Seed: 1})
+		if !res.Feasible {
+			t.Fatalf("%s: infeasible, but Init must not affect the transfer function", tc.file)
+		}
+		// The synthesized config must implement the transfer function for
+		// arbitrary state inputs, not just the initializer.
+		for s0 := uint64(0); s0 < 8; s0++ {
+			in := interp.MustNew(word.Width(10))
+			prog := parser.MustParse("t", src)
+			snap := interp.NewSnapshot()
+			snap.State["s"] = s0
+			want, err := in.Run(prog, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, state := res.Config.Exec(nil, map[string]uint64{"s": s0})
+			if state["s"] != want.State["s"] {
+				t.Fatalf("%q: config(s=%d) = %d, interpreter says %d", src, s0, state["s"], want.State["s"])
+			}
+		}
 	}
 }

@@ -1,0 +1,263 @@
+package difftest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+)
+
+// CampaignOptions configures a fuzzing campaign.
+type CampaignOptions struct {
+	// Iters is the number of iterations. 0 means 100. When Duration is
+	// also set, the campaign stops at whichever limit hits first.
+	Iters int
+	// Duration optionally bounds wall-clock time.
+	Duration time.Duration
+	// Seed makes the campaign reproducible: iteration i derives all its
+	// randomness from Seed+i, so a failure can be replayed by rerunning
+	// its iteration alone.
+	Seed int64
+	// Parallelism is the worker count. 0 means 1.
+	Parallelism int
+	// CompileTimeout bounds each core.Compile call. 0 means 10s.
+	CompileTimeout time.Duration
+	// MutantsEvery runs the metamorphic oracle every n-th iteration
+	// (compiling mutants is the campaign's most expensive stage).
+	// 0 means 8.
+	MutantsEvery int
+	// UnsatSamples is the number of random hole assignments probed per
+	// infeasible verdict. 0 means 64.
+	UnsatSamples int
+	// Gen bounds the program generator.
+	Gen GenOptions
+	// Artifacts receives one JSON line per failure, if non-nil.
+	Artifacts io.Writer
+	// Log receives progress lines, if non-nil.
+	Log io.Writer
+}
+
+func (o CampaignOptions) iters() int {
+	if o.Iters == 0 {
+		return 100
+	}
+	return o.Iters
+}
+
+func (o CampaignOptions) parallelism() int {
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
+}
+
+func (o CampaignOptions) compileTimeout() time.Duration {
+	if o.CompileTimeout == 0 {
+		return 10 * time.Second
+	}
+	return o.CompileTimeout
+}
+
+func (o CampaignOptions) mutantsEvery() int {
+	if o.MutantsEvery == 0 {
+		return 8
+	}
+	return o.MutantsEvery
+}
+
+func (o CampaignOptions) unsatSamples() int {
+	if o.UnsatSamples == 0 {
+		return 64
+	}
+	return o.UnsatSamples
+}
+
+// Failure is one reported discrepancy, serialized as a JSONL artifact.
+// Program is a standalone reproducer: the (minimized) Domino source of the
+// offending program, re-parseable with internal/parser.
+type Failure struct {
+	Iter     int    `json:"iter"`
+	Seed     int64  `json:"seed"`
+	Kind     string `json:"kind"`
+	Detail   string `json:"detail"`
+	Program  string `json:"program,omitempty"`
+	Width    int    `json:"width,omitempty"`
+	Stages   int    `json:"max_stages,omitempty"`
+	ALU      string `json:"alu,omitempty"`
+	Shrunken bool   `json:"shrunken,omitempty"`
+}
+
+// Summary aggregates a campaign run.
+type Summary struct {
+	Iters        int `json:"iters"`
+	Compiles     int `json:"compiles"`
+	Feasible     int `json:"feasible"`
+	Infeasible   int `json:"infeasible"`
+	TimedOut     int `json:"timed_out"`
+	SolverChecks int `json:"solver_checks"`
+	Mutants      int `json:"mutants"`
+	UnsatProbes  int `json:"unsat_probes"`
+	Failures     int `json:"failures"`
+}
+
+// Run executes a campaign: every iteration differentially tests the SAT
+// solver on a random CNF, round-trips it through DIMACS, compiles a random
+// program through the full stack, cross-checks feasible results against
+// the brute-force oracle, spot-checks infeasible claims by hole sampling,
+// and periodically applies the metamorphic mutation oracle. It returns the
+// summary plus all failures (minimized where a shrinker applies).
+func Run(ctx context.Context, opts CampaignOptions) (Summary, []Failure, error) {
+	var (
+		mu       sync.Mutex
+		sum      Summary
+		failures []Failure
+	)
+	deadline := time.Time{}
+	if opts.Duration > 0 {
+		deadline = time.Now().Add(opts.Duration)
+	}
+
+	record := func(f Failure) {
+		mu.Lock()
+		defer mu.Unlock()
+		failures = append(failures, f)
+		sum.Failures++
+		if opts.Artifacts != nil {
+			if b, err := json.Marshal(f); err == nil {
+				fmt.Fprintln(opts.Artifacts, string(b))
+			}
+		}
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "FAIL iter=%d seed=%d kind=%s\n%s\n", f.Iter, f.Seed, f.Kind, f.Detail)
+		}
+	}
+
+	iterCh := make(chan int)
+	var wg sync.WaitGroup
+	workers := opts.parallelism()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range iterCh {
+				runIteration(ctx, i, opts, &mu, &sum, record)
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < opts.iters(); i++ {
+		if ctx.Err() != nil || (!deadline.IsZero() && time.Now().After(deadline)) {
+			break feed
+		}
+		select {
+		case iterCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(iterCh)
+	wg.Wait()
+
+	if opts.Log != nil {
+		b, _ := json.Marshal(sum)
+		fmt.Fprintf(opts.Log, "campaign summary: %s\n", string(b))
+	}
+	return sum, failures, nil
+}
+
+// runIteration is one unit of campaign work, fully determined by
+// opts.Seed + i.
+func runIteration(ctx context.Context, i int, opts CampaignOptions, mu *sync.Mutex, sum *Summary, record func(Failure)) {
+	seed := opts.Seed + int64(i)
+	rng := rand.New(rand.NewSource(seed))
+	count := func(f func(s *Summary)) {
+		mu.Lock()
+		f(sum)
+		mu.Unlock()
+	}
+	count(func(s *Summary) { s.Iters++ })
+
+	// Stage 1: solver differential + DIMACS round trip. Cheap, every
+	// iteration; this is what catches solver mutations within a few
+	// hundred iterations regardless of how compiles behave.
+	f := RandomFormula(rng)
+	count(func(s *Summary) { s.SolverChecks++ })
+	if d := CheckSolver(f, nil); d != nil {
+		record(Failure{Iter: i, Seed: seed, Kind: d.Kind, Detail: d.Detail})
+	}
+	if d := CheckDIMACSRoundTrip(f); d != nil {
+		record(Failure{Iter: i, Seed: seed, Kind: d.Kind, Detail: d.Detail})
+	}
+
+	// Stage 2: compile a random program and re-validate the outcome.
+	sc := RandomScenario(rng, opts.Gen)
+	cctx, cancel := context.WithTimeout(ctx, opts.compileTimeout())
+	rep, err := core.Compile(cctx, sc.Prog, compileOptions(sc, seed))
+	cancel()
+	count(func(s *Summary) { s.Compiles++ })
+	fail := func(kind, detail string, prog string, shrunken bool) {
+		record(Failure{
+			Iter: i, Seed: seed, Kind: kind, Detail: detail,
+			Program: prog, Width: sc.Width, Stages: sc.MaxStages,
+			ALU: sc.Stateful.Kind.String(), Shrunken: shrunken,
+		})
+	}
+	switch {
+	case err != nil:
+		fail(KindCompileError, err.Error(), sc.Prog.Print(), false)
+	case rep.TimedOut:
+		count(func(s *Summary) { s.TimedOut++ })
+	case rep.Feasible:
+		count(func(s *Summary) { s.Feasible++ })
+		if d := CheckConfigEquivalence(sc.Prog, rep.Config, seed); d != nil {
+			min := shrinkCompileFailure(ctx, sc, seed, opts.compileTimeout())
+			fail(d.Kind, d.Detail, min.Print(), min != sc.Prog)
+		}
+	default:
+		count(func(s *Summary) { s.Infeasible++ })
+		count(func(s *Summary) { s.UnsatProbes += opts.unsatSamples() })
+		if d := SpotCheckInfeasible(sc, sc.MaxStages, opts.unsatSamples(), seed); d != nil {
+			fail(d.Kind, d.Detail, sc.Prog.Print(), false)
+		}
+	}
+
+	// Stage 3: metamorphic oracle on a subsample of iterations.
+	if opts.mutantsEvery() > 0 && i%opts.mutantsEvery() == 0 && err == nil && rep != nil && !rep.TimedOut {
+		mctx, mcancel := context.WithTimeout(ctx, 4*opts.compileTimeout())
+		ds, merr := CheckMetamorphic(mctx, sc, 2, seed)
+		mcancel()
+		count(func(s *Summary) { s.Mutants += 2 })
+		if merr != nil {
+			fail(KindCompileError, merr.Error(), sc.Prog.Print(), false)
+		}
+		for _, d := range ds {
+			fail(d.Kind, d.Detail, sc.Prog.Print(), false)
+		}
+	}
+}
+
+// shrinkCompileFailure minimizes a program whose feasible config failed
+// the equivalence oracle: the failure predicate recompiles each candidate
+// and keeps it only if it still produces a feasible-but-wrong config.
+func shrinkCompileFailure(ctx context.Context, sc Scenario, seed int64, timeout time.Duration) *ast.Program {
+	pred := func(cand *ast.Program) bool {
+		cctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		rep, err := core.Compile(cctx, cand, compileOptions(Scenario{
+			Prog: cand, Width: sc.Width, MaxStages: sc.MaxStages,
+			Stateless: sc.Stateless, Stateful: sc.Stateful,
+		}, seed))
+		if err != nil || rep.TimedOut || !rep.Feasible {
+			return false
+		}
+		return CheckConfigEquivalence(cand, rep.Config, seed) != nil
+	}
+	return Shrink(sc.Prog, pred)
+}

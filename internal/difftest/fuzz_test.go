@@ -1,0 +1,56 @@
+package difftest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// FuzzSolver derives a CNF from fuzz bytes and differentially tests the
+// production CDCL solver against the enumeration and DPLL references,
+// including model validation and the DIMACS round trip.
+func FuzzSolver(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{255, 0, 255, 0, 255, 0})
+	f.Add([]byte("dense unsat region steering bytes"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		formula := RandomFormula(NewByteChooser(data))
+		if d := CheckSolver(formula, nil); d != nil {
+			t.Fatal(d)
+		}
+		if d := CheckDIMACSRoundTrip(formula); d != nil {
+			t.Fatal(d)
+		}
+	})
+}
+
+// FuzzCompileEquivalence derives a compile scenario from fuzz bytes, runs
+// it through the full stack, and re-validates a feasible result against
+// the brute-force interpreter oracle. Infeasible and timed-out outcomes
+// are accepted as-is (the campaign's hole-sampling spot check covers
+// those); what the fuzzer hunts here is a config that CEGIS "verified"
+// but that disagrees with the reference semantics.
+func FuzzCompileEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte{200, 13, 86, 42, 9, 111, 250, 3, 17})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := RandomScenario(NewByteChooser(data), GenOptions{})
+		ctx, cancel := context.WithTimeout(context.Background(), 8*time.Second)
+		defer cancel()
+		rep, err := core.Compile(ctx, sc.Prog, compileOptions(sc, 1))
+		if err != nil {
+			t.Fatalf("compile error on generated program: %v\n%s", err, sc.Prog.Print())
+		}
+		if rep.TimedOut || !rep.Feasible {
+			return
+		}
+		if d := CheckConfigEquivalence(sc.Prog, rep.Config, 1); d != nil {
+			t.Fatalf("%s\nprogram:\n%s", d, sc.Prog.Print())
+		}
+	})
+}

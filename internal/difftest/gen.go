@@ -1,0 +1,286 @@
+// Package difftest is the randomized differential-testing and fuzzing
+// subsystem: it generates random Domino packet transactions, compiles them
+// through the full Chipmunk stack (core.Compile), and re-validates every
+// outcome against oracles that are independent of the SAT/CEGIS machinery
+// being tested:
+//
+//   - feasible results are checked end-to-end by running the reference
+//     interpreter against the simulated pisa.Config, exhaustively at a
+//     small width and randomly at the verification width;
+//   - infeasible (UNSAT-at-depth) claims are spot-checked by sampling
+//     random hole assignments and looking for a configuration the solver
+//     should have found;
+//   - the CDCL solver itself is differentially tested on random CNFs
+//     against the naive reference solvers in internal/sat (enumeration
+//     and DPLL);
+//   - semantics-preserving mutations (internal/mutate) give a metamorphic
+//     oracle: a program and its mutants must agree on feasibility and on
+//     minimum pipeline depth.
+//
+// Failing programs are minimized by the shrinker before being reported.
+// cmd/chipfuzz drives campaigns over these oracles; the native Go fuzz
+// targets reuse the same building blocks.
+package difftest
+
+import (
+	"math/rand"
+
+	"repro/internal/alu"
+	"repro/internal/ast"
+)
+
+// Chooser is the decision source for the random generators. *rand.Rand
+// satisfies it for seeded campaigns; ByteChooser adapts a fuzz-engine byte
+// string so native fuzzing can steer program shapes structurally.
+type Chooser interface {
+	// Intn returns a value in [0, n). n must be > 0.
+	Intn(n int) int
+}
+
+var _ Chooser = (*rand.Rand)(nil)
+
+// ByteChooser derives decisions from a byte stream, one byte per choice,
+// wrapping around when exhausted (an empty stream yields all zeros). This
+// gives a fuzzer byte-level control over every structural decision the
+// generator makes.
+type ByteChooser struct {
+	data []byte
+	pos  int
+}
+
+// NewByteChooser wraps a fuzz input.
+func NewByteChooser(data []byte) *ByteChooser { return &ByteChooser{data: data} }
+
+// Intn implements Chooser.
+func (b *ByteChooser) Intn(n int) int {
+	if len(b.data) == 0 {
+		return 0
+	}
+	v := int(b.data[b.pos%len(b.data)])
+	b.pos++
+	return v % n
+}
+
+// GenOptions bounds the random program generator. The zero value gives the
+// campaign defaults: small programs on small grids, sized so compiles take
+// milliseconds and exhaustive oracle checks stay feasible.
+type GenOptions struct {
+	// MaxFields bounds the packet-field alphabet (1..MaxFields fields).
+	// 0 means 3.
+	MaxFields int
+	// MaxStmts bounds the top-level statement count. 0 means 3.
+	MaxStmts int
+	// MaxDepth bounds expression nesting. 0 means 2.
+	MaxDepth int
+	// MaxConst bounds integer literals (exclusive). 0 means 8, within the
+	// default 4-bit immediate holes.
+	MaxConst int
+}
+
+func (o GenOptions) maxFields() int {
+	if o.MaxFields == 0 {
+		return 3
+	}
+	return o.MaxFields
+}
+
+func (o GenOptions) maxStmts() int {
+	if o.MaxStmts == 0 {
+		return 3
+	}
+	return o.MaxStmts
+}
+
+func (o GenOptions) maxDepth() int {
+	if o.MaxDepth == 0 {
+		return 2
+	}
+	return o.MaxDepth
+}
+
+func (o GenOptions) maxConst() int {
+	if o.MaxConst == 0 {
+		return 8
+	}
+	return o.MaxConst
+}
+
+// Scenario is one randomly drawn compile problem: a program plus the grid
+// and ALU templates to compile it against.
+type Scenario struct {
+	Prog      *ast.Program
+	Width     int
+	MaxStages int
+	Stateless alu.Stateless
+	Stateful  alu.Stateful
+}
+
+var fieldNames = []string{"a", "b", "c", "d"}
+
+// statefulKinds are the ALU templates the generator draws from. The richer
+// templates (Sub, NestedIfs, Pair) blow up hole counts on even tiny grids;
+// the campaign sticks to the three the corpus programs exercise most.
+var statefulKinds = []alu.Kind{alu.Counter, alu.PredRaw, alu.IfElseRaw}
+
+// statelessOps are operators the stateless ALU plausibly covers, so a
+// reasonable fraction of generated programs is feasible. Comparisons are
+// included: they exercise the relop datapath and legitimately infeasible
+// shapes.
+var statelessOps = []ast.Op{
+	ast.OpAdd, ast.OpSub, ast.OpBitAnd, ast.OpBitOr, ast.OpBitXor,
+	ast.OpEq, ast.OpNe, ast.OpLt, ast.OpGe,
+}
+
+// relOps are guard comparison operators.
+var relOps = []ast.Op{ast.OpEq, ast.OpNe, ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe}
+
+// RandomScenario draws a scenario from the chooser. Roughly half the
+// programs are pure stateless field transforms (compiled against a
+// width-matched grid), half are guarded stateful updates in the shapes the
+// stateful ALU catalog targets.
+func RandomScenario(c Chooser, opts GenOptions) Scenario {
+	if c.Intn(2) == 0 {
+		return randomStatelessScenario(c, opts)
+	}
+	return randomStatefulScenario(c, opts)
+}
+
+// randomExpr builds an expression over the given field names (and state s
+// when stateful), bounded by depth.
+func randomExpr(c Chooser, fields []string, withState bool, depth, maxConst int) ast.Expr {
+	atom := func() ast.Expr {
+		n := len(fields) + 1
+		if withState {
+			n++
+		}
+		switch k := c.Intn(n); {
+		case k < len(fields):
+			return &ast.Field{Name: fields[k]}
+		case k == len(fields):
+			return &ast.Num{Value: int64(c.Intn(maxConst))}
+		default:
+			return &ast.State{Name: "s"}
+		}
+	}
+	var build func(d int) ast.Expr
+	build = func(d int) ast.Expr {
+		if d == 0 || c.Intn(3) == 0 {
+			return atom()
+		}
+		switch c.Intn(8) {
+		case 0:
+			return &ast.Unary{Op: ast.OpNot, X: build(d - 1)}
+		case 1:
+			return &ast.Ternary{
+				Cond: &ast.Binary{Op: relOps[c.Intn(len(relOps))], X: build(d - 1), Y: atom()},
+				T:    build(d - 1),
+				F:    atom(),
+			}
+		default:
+			return &ast.Binary{Op: statelessOps[c.Intn(len(statelessOps))], X: build(d - 1), Y: build(d - 1)}
+		}
+	}
+	return build(depth)
+}
+
+// randomStatelessScenario produces field-to-field transforms, occasionally
+// under a packet-field guard.
+func randomStatelessScenario(c Chooser, opts GenOptions) Scenario {
+	nf := 1 + c.Intn(opts.maxFields())
+	fields := fieldNames[:nf]
+	n := 1 + c.Intn(opts.maxStmts())
+	stmts := make([]ast.Stmt, 0, n)
+	for i := 0; i < n; i++ {
+		asn := &ast.Assign{
+			LHS: ast.LValue{Name: fields[c.Intn(nf)], IsField: true},
+			RHS: randomExpr(c, fields, false, 1+c.Intn(opts.maxDepth()), opts.maxConst()),
+		}
+		if c.Intn(4) == 0 {
+			stmts = append(stmts, &ast.If{
+				Cond: &ast.Binary{
+					Op: relOps[c.Intn(len(relOps))],
+					X:  &ast.Field{Name: fields[c.Intn(nf)]},
+					Y:  &ast.Num{Value: int64(c.Intn(opts.maxConst()))},
+				},
+				Then: []ast.Stmt{asn},
+			})
+		} else {
+			stmts = append(stmts, asn)
+		}
+	}
+	return Scenario{
+		Prog:      &ast.Program{Name: "fuzz_stateless", Stmts: stmts, Init: map[string]int64{}},
+		Width:     nf,
+		MaxStages: 1 + c.Intn(2),
+		Stateful:  alu.Stateful{Kind: statefulKinds[c.Intn(len(statefulKinds))]},
+	}
+}
+
+// randomStatefulScenario produces guarded single-state updates: the shapes
+// the stateful ALU catalog exists for (counters, predicated raws,
+// if/else raws), with an occasional stateless postlude on a packet field.
+func randomStatefulScenario(c Chooser, opts GenOptions) Scenario {
+	fields := fieldNames[:1+c.Intn(2)]
+	mc := opts.maxConst()
+
+	operand := func() ast.Expr {
+		if c.Intn(2) == 0 {
+			return &ast.Field{Name: fields[c.Intn(len(fields))]}
+		}
+		return &ast.Num{Value: int64(c.Intn(mc))}
+	}
+	update := func() ast.Stmt {
+		var rhs ast.Expr
+		switch c.Intn(3) {
+		case 0: // s = s +/- u
+			op := ast.OpAdd
+			if c.Intn(2) == 0 {
+				op = ast.OpSub
+			}
+			rhs = &ast.Binary{Op: op, X: &ast.State{Name: "s"}, Y: operand()}
+		case 1: // s = u (reset / assignment)
+			rhs = operand()
+		default: // s = s + const
+			rhs = &ast.Binary{Op: ast.OpAdd, X: &ast.State{Name: "s"}, Y: &ast.Num{Value: int64(c.Intn(mc))}}
+		}
+		return &ast.Assign{LHS: ast.LValue{Name: "s"}, RHS: rhs}
+	}
+	guardLHS := func() ast.Expr {
+		if c.Intn(2) == 0 {
+			return &ast.State{Name: "s"}
+		}
+		return &ast.Field{Name: fields[c.Intn(len(fields))]}
+	}
+	guard := &ast.Binary{
+		Op: relOps[c.Intn(len(relOps))],
+		X:  guardLHS(),
+		Y:  &ast.Num{Value: int64(c.Intn(mc))},
+	}
+
+	var stmts []ast.Stmt
+	switch c.Intn(3) {
+	case 0: // unguarded update
+		stmts = append(stmts, update())
+	case 1: // if (g) upd
+		stmts = append(stmts, &ast.If{Cond: guard, Then: []ast.Stmt{update()}})
+	default: // if (g) upd else upd
+		stmts = append(stmts, &ast.If{Cond: guard, Then: []ast.Stmt{update()}, Else: []ast.Stmt{update()}})
+	}
+	if c.Intn(3) == 0 {
+		// Stateless postlude reading the packet, exercising mixed programs.
+		stmts = append(stmts, &ast.Assign{
+			LHS: ast.LValue{Name: fields[0], IsField: true},
+			RHS: randomExpr(c, fields, false, 1, mc),
+		})
+	}
+	return Scenario{
+		Prog: &ast.Program{
+			Name:  "fuzz_stateful",
+			Stmts: stmts,
+			Init:  map[string]int64{"s": int64(c.Intn(mc))},
+		},
+		Width:     len(fields),
+		MaxStages: 1 + c.Intn(2),
+		Stateful:  alu.Stateful{Kind: statefulKinds[c.Intn(len(statefulKinds))]},
+	}
+}

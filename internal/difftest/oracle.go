@@ -1,0 +1,184 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/pisa"
+	"repro/internal/word"
+)
+
+// Discrepancy is one oracle violation: concrete evidence that two layers
+// of the toolchain disagree. Kind names the oracle; Detail is
+// human-readable evidence including the offending input.
+type Discrepancy struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+func (d *Discrepancy) String() string { return d.Kind + ": " + d.Detail }
+
+// Oracle kinds.
+const (
+	KindConfigMismatch  = "config-mismatch"     // interpreter vs simulated config disagree
+	KindSolverMismatch  = "solver-mismatch"     // CDCL vs reference solver verdicts disagree
+	KindModelInvalid    = "model-invalid"       // CDCL SAT model does not satisfy the formula
+	KindDIMACSRoundTrip = "dimacs-roundtrip"    // emit/parse round trip lost the formula
+	KindMetamorphic     = "metamorphic"         // mutant compile outcome differs from source
+	KindMutantInequiv   = "mutant-inequivalent" // a "semantics-preserving" rewrite changed semantics
+	KindMissedSolution  = "missed-solution"     // infeasible claim, but sampling found a config
+	KindCompileError    = "compile-error"       // Compile returned a hard error
+	KindConfigInvalid   = "config-invalid"      // synthesized config fails validation
+)
+
+// exhaustiveCheckWidth is the small width used for exhaustive
+// interpreter-vs-simulator enumeration. It must be at least the sketch's
+// minimum sound width (the widest control hole — the 4-bit stateless
+// opcode), since Config.Exec truncates hole values to the datapath width.
+const exhaustiveCheckWidth = word.Width(5)
+
+// exhaustiveBitBudget caps the exhaustive input space (2^20 transactions).
+const exhaustiveBitBudget = 20
+
+// CheckConfigEquivalence is the brute-force reference oracle for feasible
+// compile results: the synthesized configuration must agree with the
+// reference interpreter input-for-input. It enumerates the full input
+// space at a small width when that is feasible, and samples random inputs
+// at the configuration's own (verification) width either way. CEGIS
+// already proved equivalence via SAT; this re-proves it end-to-end without
+// trusting internal/sat or internal/circuit.
+func CheckConfigEquivalence(prog *ast.Program, cfg *pisa.Config, seed int64) *Discrepancy {
+	nVars := len(cfg.Fields) + len(cfg.States)
+
+	// Exhaustive sweep at a small width, if the input space fits.
+	if int(exhaustiveCheckWidth)*nVars <= exhaustiveBitBudget {
+		small := *cfg
+		small.Grid.WordWidth = exhaustiveCheckWidth
+		if d := sweepExhaustive(prog, &small); d != nil {
+			return d
+		}
+	}
+
+	// Random probing at the configuration's run width (VerifyWidth).
+	rng := rand.New(rand.NewSource(seed))
+	return probeRandom(prog, cfg, rng, 512)
+}
+
+// compareAt runs one input through the interpreter and the simulator and
+// reports the first disagreement on the config's variables.
+func compareAt(in *interp.Interp, prog *ast.Program, cfg *pisa.Config, snap interp.Snapshot) *Discrepancy {
+	want, err := in.Run(prog, snap)
+	if err != nil {
+		return &Discrepancy{Kind: KindCompileError, Detail: fmt.Sprintf("interpreter rejected input %s: %v", snap, err)}
+	}
+	gotPkt, gotState := cfg.Exec(snap.Pkt, snap.State)
+	for _, f := range cfg.Fields {
+		if gotPkt[f] != want.Pkt[f] {
+			return &Discrepancy{
+				Kind: KindConfigMismatch,
+				Detail: fmt.Sprintf("width %d input %s: config pkt.%s = %d, interpreter says %d",
+					cfg.Grid.WordWidth, snap, f, gotPkt[f], want.Pkt[f]),
+			}
+		}
+	}
+	for _, s := range cfg.States {
+		if gotState[s] != want.State[s] {
+			return &Discrepancy{
+				Kind: KindConfigMismatch,
+				Detail: fmt.Sprintf("width %d input %s: config state %s = %d, interpreter says %d",
+					cfg.Grid.WordWidth, snap, s, gotState[s], want.State[s]),
+			}
+		}
+	}
+	return nil
+}
+
+// sweepExhaustive enumerates every (packet, state) input at the config's
+// width via an odometer over the config's variables.
+func sweepExhaustive(prog *ast.Program, cfg *pisa.Config) *Discrepancy {
+	w := cfg.Grid.WordWidth
+	in := interp.MustNew(w)
+	names := append(append([]string{}, cfg.Fields...), cfg.States...)
+	counts := make([]uint64, len(names))
+	size := w.Size()
+	for {
+		snap := interp.NewSnapshot()
+		for i, f := range cfg.Fields {
+			snap.Pkt[f] = counts[i]
+		}
+		for i, s := range cfg.States {
+			snap.State[s] = counts[len(cfg.Fields)+i]
+		}
+		if d := compareAt(in, prog, cfg, snap); d != nil {
+			return d
+		}
+		i := 0
+		for ; i < len(counts); i++ {
+			counts[i]++
+			if counts[i] < size {
+				break
+			}
+			counts[i] = 0
+		}
+		if i == len(counts) {
+			return nil
+		}
+	}
+}
+
+// randomEquivalent compares two programs on random inputs at the CEGIS
+// verification width, returning a mutant-inequivalence discrepancy on the
+// first disagreement.
+func randomEquivalent(a, b *ast.Program, seed int64) *Discrepancy {
+	const w = word.Width(10) // cegis.DefaultVerifyWidth without the import
+	va, vb := a.Variables(), b.Variables()
+	fields := append(append([]string{}, va.Fields...), vb.Fields...)
+	states := append(append([]string{}, va.States...), vb.States...)
+	in := interp.MustNew(w)
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 64; trial++ {
+		snap := interp.NewSnapshot()
+		for _, f := range fields {
+			snap.Pkt[f] = w.Trunc(rng.Uint64())
+		}
+		for _, s := range states {
+			snap.State[s] = w.Trunc(rng.Uint64())
+		}
+		ra, err := in.Run(a, snap)
+		if err != nil {
+			return &Discrepancy{Kind: KindMutantInequiv, Detail: err.Error()}
+		}
+		rb, err := in.Run(b, snap)
+		if err != nil {
+			return &Discrepancy{Kind: KindMutantInequiv, Detail: err.Error()}
+		}
+		if !ra.Equal(rb, va.Fields, va.States) {
+			return &Discrepancy{
+				Kind:   KindMutantInequiv,
+				Detail: fmt.Sprintf("programs differ at width %d input %s:\n%s\nvs\n%s", w, snap, a.Print(), b.Print()),
+			}
+		}
+	}
+	return nil
+}
+
+// probeRandom samples n random inputs at the config's width.
+func probeRandom(prog *ast.Program, cfg *pisa.Config, rng *rand.Rand, n int) *Discrepancy {
+	w := cfg.Grid.WordWidth
+	in := interp.MustNew(w)
+	for trial := 0; trial < n; trial++ {
+		snap := interp.NewSnapshot()
+		for _, f := range cfg.Fields {
+			snap.Pkt[f] = w.Trunc(rng.Uint64())
+		}
+		for _, s := range cfg.States {
+			snap.State[s] = w.Trunc(rng.Uint64())
+		}
+		if d := compareAt(in, prog, cfg, snap); d != nil {
+			return d
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+
+	"time"
+
+	"repro/internal/sat"
+)
+
+// SolveFunc abstracts "run the production solver on a formula" so tests
+// can substitute a deliberately broken implementation and prove the
+// differential oracle detects it. It returns the verdict and, on Sat, a
+// model indexed by variable.
+type SolveFunc func(*sat.Formula) (sat.Status, []bool)
+
+// cdclConflictBudget and cdclTimeLimit bound a differential solve. The
+// formulas RandomFormula emits need well under a thousand conflicts and a
+// few milliseconds on a healthy solver, so hitting either bound means the
+// search itself is broken (a wrong learnt clause, or a livelocking
+// propagation loop that never conflicts) — which CheckSolver reports as a
+// discrepancy rather than hanging the campaign on it.
+const (
+	cdclConflictBudget = 200_000
+	cdclTimeLimit      = 2 * time.Second
+)
+
+// CDCLSolve is the production SolveFunc: load the formula into a fresh
+// CDCL solver and solve. A search that exhausts its conflict budget or its
+// wall-clock limit returns Unknown, which never matches a reference
+// verdict.
+func CDCLSolve(f *sat.Formula) (sat.Status, []bool) {
+	// The stop hook goes in before loading: clause loading runs top-level
+	// unit propagation, which a broken solver can livelock too.
+	s := sat.New()
+	deadline := time.Now().Add(cdclTimeLimit)
+	s.SetStop(func() bool { return time.Now().After(deadline) })
+	if !f.LoadInto(s) {
+		return sat.Unsat, nil
+	}
+	st, err := s.SolveWithBudget(cdclConflictBudget)
+	if err != nil {
+		return sat.Unknown, nil
+	}
+	if st != sat.Sat {
+		return st, nil
+	}
+	model := make([]bool, f.NumVars)
+	for v := 0; v < f.NumVars; v++ {
+		model[v] = s.Value(sat.Var(v))
+	}
+	return sat.Sat, model
+}
+
+// RandomFormula draws a random CNF from the chooser: 3..14 variables and a
+// clause density straddling the 3-SAT phase transition, so both SAT and
+// UNSAT verdicts (and the learned-clause machinery behind the latter) are
+// exercised.
+func RandomFormula(c Chooser) *sat.Formula {
+	nVars := 3 + c.Intn(12)
+	// Density 2..6 clauses per variable: below, at, and above threshold.
+	nClauses := nVars*2 + c.Intn(nVars*4+1)
+	f := &sat.Formula{NumVars: nVars}
+	for i := 0; i < nClauses; i++ {
+		k := 2 + c.Intn(2)
+		cl := make([]sat.Lit, k)
+		for j := range cl {
+			cl[j] = sat.MkLit(sat.Var(c.Intn(nVars)), c.Intn(2) == 1)
+		}
+		f.AddClause(cl...)
+	}
+	return f
+}
+
+// CheckSolver differentially tests one solve: the given SolveFunc's
+// verdict must match both reference solvers (enumeration and DPLL), and a
+// Sat verdict must come with a model that satisfies the clause list. A nil
+// solve uses the production CDCL path.
+func CheckSolver(f *sat.Formula, solve SolveFunc) *Discrepancy {
+	if solve == nil {
+		solve = CDCLSolve
+	}
+	est, _, err := sat.EnumSolve(f)
+	if err != nil {
+		// Formula too large for the reference; not an oracle violation.
+		return nil
+	}
+	dst, _ := sat.DPLLSolve(f)
+	if est != dst {
+		return &Discrepancy{
+			Kind:   KindSolverMismatch,
+			Detail: fmt.Sprintf("reference solvers disagree: enumeration=%v dpll=%v on\n%s", est, dst, formulaDIMACS(f)),
+		}
+	}
+	got, model := solve(f)
+	if got != est {
+		return &Discrepancy{
+			Kind:   KindSolverMismatch,
+			Detail: fmt.Sprintf("solver=%v reference=%v on\n%s", got, est, formulaDIMACS(f)),
+		}
+	}
+	if got == sat.Sat && !modelSatisfies(model, f) {
+		return &Discrepancy{
+			Kind:   KindModelInvalid,
+			Detail: fmt.Sprintf("solver returned Sat with a non-model %v on\n%s", model, formulaDIMACS(f)),
+		}
+	}
+	return nil
+}
+
+// CheckDIMACSRoundTrip asserts that emitting a formula and re-parsing it
+// preserves the clause list exactly.
+func CheckDIMACSRoundTrip(f *sat.Formula) *Discrepancy {
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf); err != nil {
+		return &Discrepancy{Kind: KindDIMACSRoundTrip, Detail: fmt.Sprintf("write failed: %v", err)}
+	}
+	got, err := sat.ParseDIMACS(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return &Discrepancy{Kind: KindDIMACSRoundTrip, Detail: fmt.Sprintf("re-parse failed: %v on\n%s", err, buf.String())}
+	}
+	if got.NumVars != f.NumVars || len(got.Clauses) != len(f.Clauses) {
+		return &Discrepancy{
+			Kind:   KindDIMACSRoundTrip,
+			Detail: fmt.Sprintf("shape changed: %d vars %d clauses -> %d vars %d clauses", f.NumVars, len(f.Clauses), got.NumVars, len(got.Clauses)),
+		}
+	}
+	for i := range f.Clauses {
+		if len(got.Clauses[i]) != len(f.Clauses[i]) {
+			return &Discrepancy{Kind: KindDIMACSRoundTrip, Detail: fmt.Sprintf("clause %d length changed", i)}
+		}
+		for j := range f.Clauses[i] {
+			if got.Clauses[i][j] != f.Clauses[i][j] {
+				return &Discrepancy{Kind: KindDIMACSRoundTrip, Detail: fmt.Sprintf("clause %d literal %d changed: %v -> %v", i, j, f.Clauses[i][j], got.Clauses[i][j])}
+			}
+		}
+	}
+	return nil
+}
+
+// modelSatisfies checks a model against the clause list.
+func modelSatisfies(model []bool, f *sat.Formula) bool {
+	for _, cl := range f.Clauses {
+		ok := false
+		for _, l := range cl {
+			if int(l.Var()) < len(model) && model[l.Var()] != l.Neg() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// formulaDIMACS renders a formula for failure reports.
+func formulaDIMACS(f *sat.Formula) string {
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return buf.String()
+}

@@ -1,0 +1,210 @@
+package difftest
+
+import (
+	"repro/internal/ast"
+)
+
+// Shrink minimizes a failing program: it greedily applies
+// semantics-shrinking reductions (drop a statement, unwrap an if to one of
+// its branches, replace an expression by a subexpression or a constant)
+// and keeps any reduction on which the failure predicate still holds,
+// iterating to a fixpoint. The predicate receives candidate programs and
+// must be pure; it is called at most maxShrinkSteps times so shrinking a
+// compile-backed failure stays bounded.
+func Shrink(prog *ast.Program, failing func(*ast.Program) bool) *ast.Program {
+	const maxShrinkSteps = 400
+	steps := 0
+	check := func(cand *ast.Program) bool {
+		if steps >= maxShrinkSteps {
+			return false
+		}
+		steps++
+		return failing(cand)
+	}
+
+	cur := prog.Clone()
+	for {
+		reduced := false
+		for _, cand := range reductions(cur) {
+			if check(cand) {
+				cur = cand
+				reduced = true
+				break
+			}
+		}
+		if !reduced || steps >= maxShrinkSteps {
+			return cur
+		}
+	}
+}
+
+// reductions enumerates candidate one-step reductions of the program, most
+// aggressive first.
+func reductions(p *ast.Program) []*ast.Program {
+	var out []*ast.Program
+	emit := func(mutate func(c *ast.Program)) {
+		c := p.Clone()
+		mutate(c)
+		out = append(out, c)
+	}
+
+	// Drop each top-level statement (and statements inside if bodies).
+	dropAt := func(list []ast.Stmt, i int) []ast.Stmt {
+		cp := append([]ast.Stmt{}, list[:i]...)
+		return append(cp, list[i+1:]...)
+	}
+	for i := range p.Stmts {
+		i := i
+		emit(func(c *ast.Program) { c.Stmts = dropAt(c.Stmts, i) })
+	}
+
+	// Unwrap each if to its then-branch or its else-branch.
+	for i, s := range p.Stmts {
+		if _, ok := s.(*ast.If); !ok {
+			continue
+		}
+		i := i
+		emit(func(c *ast.Program) {
+			ifs := c.Stmts[i].(*ast.If)
+			repl := append([]ast.Stmt{}, c.Stmts[:i]...)
+			repl = append(repl, ifs.Then...)
+			c.Stmts = append(repl, c.Stmts[i+1:]...)
+		})
+		emit(func(c *ast.Program) {
+			ifs := c.Stmts[i].(*ast.If)
+			repl := append([]ast.Stmt{}, c.Stmts[:i]...)
+			repl = append(repl, ifs.Else...)
+			c.Stmts = append(repl, c.Stmts[i+1:]...)
+		})
+	}
+
+	// Drop statements nested inside if bodies.
+	forEachIf(p.Stmts, func(path []int) {
+		ifs := ifAt(p.Stmts, path)
+		for bi, body := range [][]ast.Stmt{ifs.Then, ifs.Else} {
+			for k := range body {
+				bi, k, path := bi, k, append([]int{}, path...)
+				emit(func(c *ast.Program) {
+					ci := ifAt(c.Stmts, path)
+					if bi == 0 {
+						ci.Then = dropAt(ci.Then, k)
+					} else {
+						ci.Else = dropAt(ci.Else, k)
+					}
+				})
+			}
+		}
+	})
+
+	// Replace each expression slot by one of its direct subexpressions, or
+	// by the constants 0 and 1.
+	slots := exprSlots(p)
+	for si := range slots {
+		si := si
+		sub := subExprs(*slots[si])
+		for _, repl := range sub {
+			repl := ast.CloneExpr(repl)
+			emit(func(c *ast.Program) { *exprSlots(c)[si] = repl })
+		}
+		if _, isNum := (*slots[si]).(*ast.Num); !isNum {
+			emit(func(c *ast.Program) { *exprSlots(c)[si] = &ast.Num{Value: 0} })
+			emit(func(c *ast.Program) { *exprSlots(c)[si] = &ast.Num{Value: 1} })
+		}
+	}
+
+	// Drop state initializers (shrinks Init toward zero values).
+	for name, v := range p.Init {
+		if v == 0 {
+			continue
+		}
+		name := name
+		emit(func(c *ast.Program) { c.Init[name] = 0 })
+	}
+
+	return out
+}
+
+// exprSlots collects pointers to every expression position, in a
+// deterministic order that is stable across clones of the same shape.
+func exprSlots(p *ast.Program) []*ast.Expr {
+	var slots []*ast.Expr
+	var walkExpr func(slot *ast.Expr)
+	walkExpr = func(slot *ast.Expr) {
+		slots = append(slots, slot)
+		switch e := (*slot).(type) {
+		case *ast.Unary:
+			walkExpr(&e.X)
+		case *ast.Binary:
+			walkExpr(&e.X)
+			walkExpr(&e.Y)
+		case *ast.Ternary:
+			walkExpr(&e.Cond)
+			walkExpr(&e.T)
+			walkExpr(&e.F)
+		}
+	}
+	var walkStmts func(ss []ast.Stmt)
+	walkStmts = func(ss []ast.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *ast.Assign:
+				walkExpr(&s.RHS)
+			case *ast.If:
+				walkExpr(&s.Cond)
+				walkStmts(s.Then)
+				walkStmts(s.Else)
+			}
+		}
+	}
+	walkStmts(p.Stmts)
+	return slots
+}
+
+// subExprs returns the direct subexpressions of e.
+func subExprs(e ast.Expr) []ast.Expr {
+	switch e := e.(type) {
+	case *ast.Unary:
+		return []ast.Expr{e.X}
+	case *ast.Binary:
+		return []ast.Expr{e.X, e.Y}
+	case *ast.Ternary:
+		return []ast.Expr{e.T, e.F, e.Cond}
+	}
+	return nil
+}
+
+// forEachIf visits every if statement by its path of statement indices.
+func forEachIf(stmts []ast.Stmt, fn func(path []int)) {
+	var walk func(ss []ast.Stmt, prefix []int)
+	walk = func(ss []ast.Stmt, prefix []int) {
+		for i, s := range ss {
+			ifs, ok := s.(*ast.If)
+			if !ok {
+				continue
+			}
+			path := append(append([]int{}, prefix...), i)
+			fn(path)
+			walk(ifs.Then, append(path, 0))
+			walk(ifs.Else, append(path, 1))
+		}
+	}
+	walk(stmts, nil)
+}
+
+// ifAt resolves an if-statement path produced by forEachIf: indices
+// alternate (stmt index, branch selector, stmt index, ...).
+func ifAt(stmts []ast.Stmt, path []int) *ast.If {
+	cur := stmts
+	var ifs *ast.If
+	for i := 0; i < len(path); i += 2 {
+		ifs = cur[path[i]].(*ast.If)
+		if i+1 < len(path) {
+			if path[i+1] == 0 {
+				cur = ifs.Then
+			} else {
+				cur = ifs.Else
+			}
+		}
+	}
+	return ifs
+}

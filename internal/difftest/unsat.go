@@ -1,0 +1,179 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/alu"
+	"repro/internal/ast"
+	"repro/internal/cegis"
+	"repro/internal/interp"
+	"repro/internal/pisa"
+	"repro/internal/word"
+)
+
+// SpotCheckInfeasible probes an UNSAT-at-depth claim: when core.Compile
+// reports a program infeasible on a grid, this samples random hole
+// assignments at that depth and checks whether any of them implements the
+// program — a configuration CEGIS should have found. A surviving sample
+// must match the specification exhaustively at the small check width, at
+// the effective synthesis width, and on a large random sample at the
+// verification width before it is reported, so a report means the solver
+// stack genuinely missed a solution (or mis-encoded the sketch).
+//
+// The check is probabilistic: it can only ever find false UNSATs, never
+// certify them, and its hit rate depends on how dense solutions are in the
+// hole space. For the tiny grids the fuzzing campaign uses, gross
+// unsoundness (e.g. broken unit propagation wrongly pruning the search)
+// makes almost every feasible program report infeasible, and those dense
+// solution spaces are exactly the ones random sampling hits.
+func SpotCheckInfeasible(sc Scenario, stages, samples int, seed int64) *Discrepancy {
+	vars := sc.Prog.Variables()
+	fields, states := vars.Fields, vars.States
+
+	grid := pisa.GridSpec{
+		Stages:       stages,
+		Width:        sc.Width,
+		WordWidth:    cegis.DefaultVerifyWidth,
+		StatelessALU: sc.Stateless,
+		StatefulALU:  sc.Stateful,
+	}
+	// Capacity rejections are legitimately infeasible with no config to
+	// find; nothing to probe.
+	if len(fields) > grid.Width || len(states) > grid.StateSlots() {
+		return nil
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	quick := quickProbes(sc.Prog, fields, states, grid.WordWidth, rng)
+	for i := 0; i < samples; i++ {
+		cfg := randomConfig(rng, grid, fields, states)
+		if cfg.Validate() != nil {
+			continue
+		}
+		// Cheap rejection first: almost every random config dies on the
+		// first probe, keeping the per-sample cost near one Exec call.
+		if !agreesOnProbes(sc.Prog, cfg, quick) {
+			continue
+		}
+		// Survivor: apply the full oracle battery before alleging a bug.
+		if d := CheckConfigEquivalence(sc.Prog, cfg, seed+int64(i)); d != nil {
+			continue
+		}
+		synthCfg := *cfg
+		synthCfg.Grid.WordWidth = effectiveSynthWidth(grid)
+		if len(fields)+len(states) > 0 &&
+			int(synthCfg.Grid.WordWidth)*(len(fields)+len(states)) <= exhaustiveBitBudget {
+			if d := sweepExhaustive(sc.Prog, &synthCfg); d != nil {
+				continue
+			}
+		}
+		return &Discrepancy{
+			Kind: KindMissedSolution,
+			Detail: fmt.Sprintf("claimed infeasible at %d stages (width %d, %s ALU), but random sample %d/%d implements the program; config:\n%s",
+				stages, grid.Width, sc.Stateful.Kind, i, samples, cfg),
+		}
+	}
+	return nil
+}
+
+// effectiveSynthWidth mirrors cegis's clamp of the synthesis width to the
+// sketch's minimum sound width: the widest control hole must not truncate.
+// The dominant control hole is the 4-bit stateless opcode, so the default
+// synthesis width already sits at the clamp for the campaign's grids.
+func effectiveSynthWidth(grid pisa.GridSpec) word.Width {
+	w := cegis.DefaultSynthWidth
+	min := word.Width(alu.OpcodeBits)
+	probe := func(bits int) {
+		if word.Width(bits) > min {
+			min = word.Width(bits)
+		}
+	}
+	probe(grid.InputMuxBits())
+	probe(grid.OutputMuxBits())
+	for _, d := range grid.StatefulALU.Holes() {
+		if !d.Data {
+			probe(d.Bits)
+		}
+	}
+	if min > w {
+		w = min
+	}
+	return w
+}
+
+// probe is one precomputed (input, expected output) pair.
+type probe struct {
+	in, want interp.Snapshot
+}
+
+// quickProbes draws a handful of random inputs used for fast candidate
+// rejection.
+func quickProbes(prog *ast.Program, fields, states []string, w word.Width, rng *rand.Rand) []probe {
+	in := interp.MustNew(w)
+	probes := make([]probe, 0, 8)
+	for i := 0; i < 8; i++ {
+		snap := interp.NewSnapshot()
+		for _, f := range fields {
+			snap.Pkt[f] = w.Trunc(rng.Uint64())
+		}
+		for _, s := range states {
+			snap.State[s] = w.Trunc(rng.Uint64())
+		}
+		want, err := in.Run(prog, snap)
+		if err != nil {
+			continue
+		}
+		probes = append(probes, probe{in: snap, want: want})
+	}
+	return probes
+}
+
+// agreesOnProbes runs the candidate config over the precomputed probes.
+func agreesOnProbes(prog *ast.Program, cfg *pisa.Config, probes []probe) bool {
+	for _, p := range probes {
+		gotPkt, gotState := cfg.Exec(p.in.Pkt, p.in.State)
+		for _, f := range cfg.Fields {
+			if gotPkt[f] != p.want.Pkt[f] {
+				return false
+			}
+		}
+		for _, s := range cfg.States {
+			if gotState[s] != p.want.State[s] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// randomConfig samples a uniformly random hole assignment for the grid and
+// fixes it up to satisfy the structural allocation constraints
+// (pisa.Config.Validate): used state slots active in exactly one stage,
+// unused slots inactive. Mux holes may draw out-of-range values; the
+// datapath clamps those to the last option, so each sample is still
+// equivalent to some in-domain configuration.
+func randomConfig(rng *rand.Rand, grid pisa.GridSpec, fields, states []string) *pisa.Config {
+	vals := pisa.NewHoles[uint64](grid, false, len(fields), func(name string, bits int, data bool) uint64 {
+		return rng.Uint64() & ((1 << uint(bits)) - 1)
+	})
+	ns := grid.StatefulALU.NumStates()
+	usedSlots := 0
+	if ns > 0 {
+		usedSlots = (len(states) + ns - 1) / ns
+	}
+	for j := 0; j < grid.Width; j++ {
+		active := -1
+		if j < usedSlots {
+			active = rng.Intn(grid.Stages)
+		}
+		for i := 0; i < grid.Stages; i++ {
+			if i == active {
+				vals.SaluActive[i][j] = 1
+			} else {
+				vals.SaluActive[i][j] = 0
+			}
+		}
+	}
+	return &pisa.Config{Grid: grid, Fields: fields, States: states, Values: vals}
+}

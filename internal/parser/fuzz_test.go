@@ -1,0 +1,44 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// FuzzParser feeds arbitrary source to the parser. The parser must never
+// panic, and any program it accepts must survive a Print → Parse round
+// trip with an identical AST — the invariant failure artifacts and the
+// mutation pipeline rely on.
+func FuzzParser(f *testing.F) {
+	f.Add("pkt.a = pkt.a + 1;")
+	f.Add("int s = 0;\ns = s + pkt.v;\npkt.r = s < 5;")
+	f.Add("if (count == 10) { count = 0; pkt.sample = 1; } else { count++; pkt.sample = 0; }")
+	f.Add("pkt.x = (pkt.a < pkt.b) ? pkt.a : pkt.b;")
+	f.Add("pkt.a = !(pkt.b - 3) ^ ~pkt.c;")
+	f.Add("if (s) { s = s + 1; }")
+	f.Add("int = ;;;")
+	f.Add("pkt.")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse("fuzz", src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		src2 := p.Print()
+		p2, err := Parse("fuzz2", src2)
+		if err != nil {
+			t.Fatalf("accepted program prints to unparseable source: %v\ninput: %q\nprinted:\n%s", err, src, src2)
+		}
+		if !ast.EqualStmts(p.Stmts, p2.Stmts) {
+			t.Fatalf("print/parse round trip changed the AST\ninput: %q\nprinted:\n%s", src, src2)
+		}
+		if len(p.Init) != len(p2.Init) {
+			t.Fatalf("round trip changed declarations: %v -> %v", p.Init, p2.Init)
+		}
+		for k, v := range p.Init {
+			if p2.Init[k] != v {
+				t.Fatalf("round trip changed Init[%s]: %d -> %d", k, v, p2.Init[k])
+			}
+		}
+	})
+}

@@ -34,6 +34,16 @@ func (f *Formula) AddClause(lits ...Lit) {
 // top-level simplification (false means trivially UNSAT).
 func (f *Formula) Load() (*Solver, bool) {
 	s := New()
+	return s, f.LoadInto(s)
+}
+
+// LoadInto transfers the formula into an existing (fresh) solver,
+// allocating its variables. Use this instead of Load when solver options —
+// notably a SetStop hook, which clause loading's top-level unit propagation
+// respects — must be in place before the first clause is added. It reports
+// whether the formula survived top-level simplification (false means
+// trivially UNSAT).
+func (f *Formula) LoadInto(s *Solver) bool {
 	for i := 0; i < f.NumVars; i++ {
 		s.NewVar()
 	}
@@ -43,7 +53,7 @@ func (f *Formula) Load() (*Solver, bool) {
 			ok = false
 		}
 	}
-	return s, ok
+	return ok
 }
 
 // WriteDIMACS renders the formula in the standard DIMACS CNF format.
@@ -78,20 +88,29 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 			continue
 		}
 		if strings.HasPrefix(line, "p") {
+			if declaredVars >= 0 {
+				return nil, fmt.Errorf("sat: duplicate problem line %q", line)
+			}
 			fields := strings.Fields(line)
 			if len(fields) != 4 || fields[1] != "cnf" {
 				return nil, fmt.Errorf("sat: malformed problem line %q", line)
 			}
 			var err error
 			declaredVars, err = strconv.Atoi(fields[2])
-			if err != nil {
+			if err != nil || declaredVars < 0 {
 				return nil, fmt.Errorf("sat: bad variable count in %q", line)
 			}
 			declaredClauses, err = strconv.Atoi(fields[3])
-			if err != nil {
+			if err != nil || declaredClauses < 0 {
 				return nil, fmt.Errorf("sat: bad clause count in %q", line)
 			}
 			continue
+		}
+		if declaredVars < 0 {
+			// Clause data before the problem line would dodge the literal
+			// range check below, letting out-of-range literals through to
+			// panic the solver's clause loader.
+			return nil, fmt.Errorf("sat: clause data before problem line: %q", line)
 		}
 		for _, tok := range strings.Fields(line) {
 			v, err := strconv.Atoi(tok)

@@ -109,13 +109,19 @@ func TestDIMACSRoundtrip(t *testing.T) {
 
 func TestParseDIMACSErrors(t *testing.T) {
 	cases := []string{
-		"",                       // no problem line
-		"p cnf x 1\n1 0\n",       // bad var count
-		"p cnf 2 nope\n1 0\n",    // bad clause count
-		"p dnf 2 1\n1 0\n",       // wrong format tag
-		"p cnf 2 1\n3 0\n",       // literal out of range
-		"p cnf 2 2\n1 0\n",       // clause count mismatch
-		"p cnf 2 1\n1 bogus 0\n", // bad literal token
+		"",                               // no problem line
+		"p cnf x 1\n1 0\n",               // bad var count
+		"p cnf 2 nope\n1 0\n",            // bad clause count
+		"p dnf 2 1\n1 0\n",               // wrong format tag
+		"p cnf 2 1\n3 0\n",               // literal out of range
+		"p cnf 2 2\n1 0\n",               // clause count mismatch
+		"p cnf 2 1\n1 bogus 0\n",         // bad literal token
+		"p cnf -3 1\n1 0\n",              // negative variable count
+		"p cnf 2 -1\n1 0\n",              // negative clause count
+		"1 0\np cnf 2 1\n",               // clause data before problem line
+		"p cnf 2 1\np cnf 2 1\n1 0\n",    // duplicate problem line
+		"c only a comment\n1 0\n",        // clause with no problem line at all
+		"p cnf 99999999999999999999 1\n", // overflowing variable count
 	}
 	for _, src := range cases {
 		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
@@ -140,5 +146,75 @@ func TestFormulaGrowsNumVars(t *testing.T) {
 	f.AddClause(PosLit(0), NegLit(6))
 	if f.NumVars != 7 {
 		t.Fatalf("NumVars = %d, want 7", f.NumVars)
+	}
+}
+
+// TestParseDIMACSRejectionsCannotPanicLoad pins the parser's contract with
+// the solver: any formula ParseDIMACS accepts must load without panicking,
+// because every literal was range-checked against the declared variable
+// count. The inputs here are shapes that used to slip through (negative
+// counts, clause data ahead of the problem line) and crash AddClause on an
+// unallocated variable.
+func TestParseDIMACSRejectionsCannotPanicLoad(t *testing.T) {
+	inputs := []string{
+		"p cnf -3 1\n1 0\n",
+		"p cnf -1 -1\n",
+		"5 0\np cnf 1 1\n",
+		"-7 3 0\np cnf 2 1\n",
+	}
+	for _, src := range inputs {
+		f, err := ParseDIMACS(strings.NewReader(src))
+		if err != nil {
+			continue // rejected: nothing to load
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("accepted %q but Load panicked: %v", src, r)
+				}
+			}()
+			f.Load()
+		}()
+	}
+}
+
+// TestDIMACSRoundtripRandomMany is the property-test form of the round
+// trip: many random CNFs — including empty clauses, unit clauses, repeated
+// literals, and wide clauses — must survive write+parse with the clause
+// list preserved exactly.
+func TestDIMACSRoundtripRandomMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		f := &Formula{NumVars: 1 + rng.Intn(20)}
+		nClauses := rng.Intn(30)
+		for i := 0; i < nClauses; i++ {
+			k := rng.Intn(8) // 0 permitted: empty clause
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(f.NumVars)), rng.Intn(2) == 1)
+			}
+			f.AddClause(cl...)
+		}
+		var buf bytes.Buffer
+		if err := f.WriteDIMACS(&buf); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		g, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: re-parse: %v\n%s", trial, err, buf.String())
+		}
+		if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+			t.Fatalf("trial %d: shape %d/%d -> %d/%d", trial, f.NumVars, len(f.Clauses), g.NumVars, len(g.Clauses))
+		}
+		for i := range f.Clauses {
+			if len(g.Clauses[i]) != len(f.Clauses[i]) {
+				t.Fatalf("trial %d: clause %d length changed", trial, i)
+			}
+			for j := range f.Clauses[i] {
+				if g.Clauses[i][j] != f.Clauses[i][j] {
+					t.Fatalf("trial %d: clause %d literal %d changed", trial, i, j)
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,47 @@
+package sat
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDIMACS feeds arbitrary bytes to the DIMACS parser. The parser must
+// never panic, and any formula it accepts must survive an emit → re-parse
+// round trip exactly.
+func FuzzDIMACS(f *testing.F) {
+	f.Add([]byte("p cnf 2 2\n1 -2 0\n-1 2 0\n"))
+	f.Add([]byte("c comment\np cnf 1 1\n1 0\n"))
+	f.Add([]byte("p cnf 3 1\n1 2 3 0"))
+	f.Add([]byte("p cnf 0 0\n"))
+	f.Add([]byte("p cnf 1 1\n2 0\n"))    // literal out of range
+	f.Add([]byte("p cnf 1 1\n1 0\n1 0")) // more clauses than declared
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		formula, err := ParseDIMACS(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := formula.WriteDIMACS(&buf); err != nil {
+			t.Fatalf("accepted formula fails to emit: %v\ninput: %q", err, data)
+		}
+		back, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("emitted DIMACS does not re-parse: %v\n%s", err, buf.String())
+		}
+		if back.NumVars != formula.NumVars || len(back.Clauses) != len(formula.Clauses) {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				formula.NumVars, len(formula.Clauses), back.NumVars, len(back.Clauses))
+		}
+		for i := range formula.Clauses {
+			if len(back.Clauses[i]) != len(formula.Clauses[i]) {
+				t.Fatalf("clause %d length changed", i)
+			}
+			for j, l := range formula.Clauses[i] {
+				if back.Clauses[i][j] != l {
+					t.Fatalf("clause %d literal %d changed: %v -> %v", i, j, l, back.Clauses[i][j])
+				}
+			}
+		}
+	})
+}

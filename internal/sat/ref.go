@@ -1,0 +1,160 @@
+// Reference solvers: deliberately naive decision procedures used only as
+// testing oracles for the CDCL solver. The whole repository's correctness
+// claim — synthesized configurations are *provably* equivalent to their
+// Domino source — ultimately rests on this package, so the differential
+// harness (internal/difftest, cmd/chipfuzz) and the package's own tests
+// cross-check every CDCL verdict on small instances against two
+// independent implementations that share no code with the optimized
+// solver: exhaustive model enumeration and a textbook DPLL procedure.
+//
+// Both operate on a Formula (the clause-list interchange form), not on a
+// Solver, so they cannot be perturbed by watch-list, clause-learning, or
+// restart bugs. They are exponential and must only be fed small instances.
+
+package sat
+
+import "fmt"
+
+// EnumMaxVars bounds EnumSolve: enumerating 2^24 models of a formula is
+// the practical ceiling for a test-time oracle.
+const EnumMaxVars = 24
+
+// assignmentSatisfies reports whether the model (bit i of m = variable i)
+// satisfies every clause of the formula.
+func assignmentSatisfies(m uint64, clauses [][]Lit) bool {
+	for _, cl := range clauses {
+		ok := false
+		for _, l := range cl {
+			if (m>>uint(l.Var()))&1 == 1 != l.Neg() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EnumSolve decides the formula by exhaustive enumeration of all 2^n
+// assignments. It returns Sat with a witness model (indexed by variable)
+// or Unsat. Formulas with more than EnumMaxVars variables are refused.
+func EnumSolve(f *Formula) (Status, []bool, error) {
+	if f.NumVars > EnumMaxVars {
+		return Unknown, nil, fmt.Errorf("sat: EnumSolve limited to %d variables, got %d", EnumMaxVars, f.NumVars)
+	}
+	for m := uint64(0); m < 1<<uint(f.NumVars); m++ {
+		if assignmentSatisfies(m, f.Clauses) {
+			model := make([]bool, f.NumVars)
+			for i := range model {
+				model[i] = (m>>uint(i))&1 == 1
+			}
+			return Sat, model, nil
+		}
+	}
+	return Unsat, nil, nil
+}
+
+// DPLLSolve decides the formula with the Davis–Putnam–Logemann–Loveland
+// procedure: unit propagation plus chronological backtracking on the first
+// unassigned variable. No watched literals, no learning, no heuristics —
+// an independent implementation whose only shared surface with the CDCL
+// solver is the Lit encoding. It returns Sat with a total witness model or
+// Unsat.
+func DPLLSolve(f *Formula) (Status, []bool) {
+	assign := make([]lbool, f.NumVars)
+	for i := range assign {
+		assign[i] = lUndef
+	}
+	if dpll(f.Clauses, assign) {
+		model := make([]bool, f.NumVars)
+		for i, a := range assign {
+			model[i] = a == lTrue
+		}
+		return Sat, model
+	}
+	return Unsat, nil
+}
+
+// dpllLitValue evaluates a literal under a partial assignment.
+func dpllLitValue(assign []lbool, l Lit) lbool {
+	a := assign[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	return a ^ lbool(l&1)
+}
+
+// dpll recursively decides the clause set under the partial assignment,
+// which it extends in place (and restores on backtrack).
+func dpll(clauses [][]Lit, assign []lbool) bool {
+	// Unit propagation to fixpoint, recording the trail for backtracking.
+	var trail []Var
+	undo := func() {
+		for _, v := range trail {
+			assign[v] = lUndef
+		}
+	}
+	for {
+		unitFound := false
+		for _, cl := range clauses {
+			var unit Lit = -1
+			satisfied, unassigned := false, 0
+			for _, l := range cl {
+				switch dpllLitValue(assign, l) {
+				case lTrue:
+					satisfied = true
+				case lUndef:
+					unassigned++
+					unit = l
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch unassigned {
+			case 0: // falsified clause
+				undo()
+				return false
+			case 1:
+				v := unit.Var()
+				if unit.Neg() {
+					assign[v] = lFalse
+				} else {
+					assign[v] = lTrue
+				}
+				trail = append(trail, v)
+				unitFound = true
+			}
+		}
+		if !unitFound {
+			break
+		}
+	}
+
+	// Find a branching variable.
+	branch := Var(-1)
+	for v := range assign {
+		if assign[v] == lUndef {
+			branch = Var(v)
+			break
+		}
+	}
+	if branch == -1 {
+		// Total assignment with no falsified clause: a model.
+		return true
+	}
+	for _, val := range []lbool{lTrue, lFalse} {
+		assign[branch] = val
+		if dpll(clauses, assign) {
+			return true
+		}
+	}
+	assign[branch] = lUndef
+	undo()
+	return false
+}

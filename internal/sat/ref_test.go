@@ -1,0 +1,211 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refTable is a table of small formulas with known status, shared by the
+// reference-solver tests.
+func refTable() []struct {
+	name    string
+	nVars   int
+	clauses [][]Lit
+	want    Status
+} {
+	p, n := func(v int) Lit { return PosLit(Var(v)) }, func(v int) Lit { return NegLit(Var(v)) }
+	return []struct {
+		name    string
+		nVars   int
+		clauses [][]Lit
+		want    Status
+	}{
+		{"empty formula", 0, nil, Sat},
+		{"single unit", 1, [][]Lit{{p(0)}}, Sat},
+		{"contradictory units", 1, [][]Lit{{p(0)}, {n(0)}}, Unsat},
+		{"implication chain", 4, [][]Lit{{n(0), p(1)}, {n(1), p(2)}, {n(2), p(3)}, {p(0)}}, Sat},
+		{"chain forced unsat", 3, [][]Lit{{n(0), p(1)}, {n(1), p(2)}, {p(0)}, {n(2)}}, Unsat},
+		{"xor pair sat", 2, [][]Lit{{p(0), p(1)}, {n(0), n(1)}}, Sat},
+		{"all four binary combos", 2, [][]Lit{{p(0), p(1)}, {p(0), n(1)}, {n(0), p(1)}, {n(0), n(1)}}, Unsat},
+		{"pigeonhole 2 into 1", 2, [][]Lit{{p(0)}, {p(1)}, {n(0), n(1)}}, Unsat},
+		{"3-clause sat", 5, [][]Lit{{p(0), p(1), p(2)}, {n(0), p(3)}, {n(3), p(4), n(1)}}, Sat},
+	}
+}
+
+func refFormula(nVars int, clauses [][]Lit) *Formula {
+	f := &Formula{NumVars: nVars}
+	for _, cl := range clauses {
+		f.Clauses = append(f.Clauses, append([]Lit{}, cl...))
+	}
+	return f
+}
+
+// modelSatisfiesFormula checks a reference model against the clause list.
+func modelSatisfiesFormula(model []bool, f *Formula) bool {
+	for _, cl := range f.Clauses {
+		ok := false
+		for _, l := range cl {
+			if model[l.Var()] != l.Neg() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReferenceSolversTable checks EnumSolve and DPLLSolve against known
+// verdicts, and that both return genuine witness models on SAT instances.
+func TestReferenceSolversTable(t *testing.T) {
+	for _, tc := range refTable() {
+		f := refFormula(tc.nVars, tc.clauses)
+		st, model, err := EnumSolve(f)
+		if err != nil {
+			t.Fatalf("%s: EnumSolve: %v", tc.name, err)
+		}
+		if st != tc.want {
+			t.Errorf("%s: EnumSolve = %v, want %v", tc.name, st, tc.want)
+		}
+		if st == Sat && !modelSatisfiesFormula(model, f) {
+			t.Errorf("%s: EnumSolve model does not satisfy formula", tc.name)
+		}
+		dst, dmodel := DPLLSolve(f)
+		if dst != tc.want {
+			t.Errorf("%s: DPLLSolve = %v, want %v", tc.name, dst, tc.want)
+		}
+		if dst == Sat && !modelSatisfiesFormula(dmodel, f) {
+			t.Errorf("%s: DPLLSolve model does not satisfy formula", tc.name)
+		}
+	}
+}
+
+func TestEnumSolveRefusesLargeFormulas(t *testing.T) {
+	f := &Formula{NumVars: EnumMaxVars + 1}
+	if _, _, err := EnumSolve(f); err == nil {
+		t.Fatal("EnumSolve accepted a formula above its enumeration bound")
+	}
+}
+
+// randomFormula builds a random k-SAT formula near the given
+// clause-to-variable density.
+func randomFormula(rng *rand.Rand, nVars, nClauses, k int) *Formula {
+	f := &Formula{NumVars: nVars}
+	for i := 0; i < nClauses; i++ {
+		cl := make([]Lit, k)
+		for j := range cl {
+			cl[j] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+		}
+		f.Clauses = append(f.Clauses, cl)
+	}
+	return f
+}
+
+// TestCDCLAgreesWithReferencesRandom is the satellite's core property: on
+// random instances up to 20 variables, every CDCL verdict — including
+// UNSAT results reached through clause learning — agrees with brute-force
+// enumeration and with DPLL, and SAT models check out against the clause
+// list.
+func TestCDCLAgreesWithReferencesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	trials := 400
+	if testing.Short() {
+		trials = 120
+	}
+	for trial := 0; trial < trials; trial++ {
+		nVars := 3 + rng.Intn(18) // 3..20 vars
+		k := 2 + rng.Intn(2)      // 2-SAT and 3-SAT mixes
+		density := 3.0 + rng.Float64()*2.0
+		nClauses := int(float64(nVars)*density) + rng.Intn(4)
+		f := randomFormula(rng, nVars, nClauses, k)
+
+		est, _, err := EnumSolve(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, _ := DPLLSolve(f)
+		if est != dst {
+			t.Fatalf("trial %d: EnumSolve=%v DPLLSolve=%v on the same formula — reference oracles disagree", trial, est, dst)
+		}
+
+		s, ok := f.Load()
+		got := Unsat
+		if ok {
+			got = s.Solve()
+		} else if est == Sat {
+			t.Fatalf("trial %d: AddClause reported top-level unsat but formula is sat", trial)
+		}
+		if got != est {
+			t.Fatalf("trial %d: CDCL=%v reference=%v (n=%d m=%d k=%d)\nlearnt clauses: %d",
+				trial, got, est, nVars, nClauses, k, s.Stats().Learnt)
+		}
+		if got == Sat {
+			model := make([]bool, f.NumVars)
+			for v := 0; v < f.NumVars; v++ {
+				model[v] = s.Value(Var(v))
+			}
+			if !modelSatisfiesFormula(model, f) {
+				t.Fatalf("trial %d: CDCL model does not satisfy formula", trial)
+			}
+		}
+	}
+}
+
+// TestCDCLLearnedUnsatAgainstEnumeration drives the solver into instances
+// dense enough that UNSAT verdicts come from learned-clause conflicts at
+// decision level 0, then cross-checks every one against enumeration.
+func TestCDCLLearnedUnsatAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	unsatSeen := 0
+	for trial := 0; trial < 200; trial++ {
+		nVars := 4 + rng.Intn(9) // 4..12
+		nClauses := nVars * 6    // well above the 3-SAT threshold: mostly UNSAT
+		f := randomFormula(rng, nVars, nClauses, 3)
+		s, ok := f.Load()
+		got := Unsat
+		if ok {
+			got = s.Solve()
+		}
+		est, _, err := EnumSolve(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != est {
+			t.Fatalf("trial %d: CDCL=%v enumeration=%v (n=%d m=%d)", trial, got, est, nVars, nClauses)
+		}
+		if got == Unsat {
+			unsatSeen++
+		}
+	}
+	if unsatSeen < 100 {
+		t.Fatalf("only %d/200 dense instances were UNSAT; generator no longer stresses the learned-clause path", unsatSeen)
+	}
+}
+
+// TestDPLLAgreesUnderAssumptions mirrors the incremental-solve usage: the
+// CDCL solver under assumptions must agree with DPLL on the formula with
+// the assumptions appended as unit clauses.
+func TestDPLLAgreesUnderAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 100; trial++ {
+		nVars := 4 + rng.Intn(8)
+		f := randomFormula(rng, nVars, nVars*3, 3)
+		s, ok := f.Load()
+		assume := []Lit{MkLit(0, rng.Intn(2) == 1), MkLit(1, rng.Intn(2) == 1)}
+		withUnits := refFormula(f.NumVars, f.Clauses)
+		withUnits.AddClause(assume[0])
+		withUnits.AddClause(assume[1])
+		want, _ := DPLLSolve(withUnits)
+		if !ok {
+			if base, _ := DPLLSolve(f); base == Sat {
+				t.Fatalf("trial %d: top-level unsat on a satisfiable formula", trial)
+			}
+			continue
+		}
+		if got := s.Solve(assume...); got != want {
+			t.Fatalf("trial %d: CDCL under assumptions=%v, DPLL with units=%v", trial, got, want)
+		}
+	}
+}

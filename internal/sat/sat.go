@@ -380,7 +380,21 @@ func (s *Solver) uncheckedEnqueue(l Lit, from clauseRef) {
 // propagate performs unit propagation over the two-watched-literal scheme.
 // It returns the conflicting clause reference, or refUndef if no conflict.
 func (s *Solver) propagate() clauseRef {
+	var pops int
 	for s.qhead < len(s.trail) {
+		// Poll the stop hook here as well as on conflicts: if propagation
+		// itself is the runaway loop (which a corrupted clause database or
+		// a broken watcher scheme can produce without ever conflicting),
+		// the conflict-path poll in search never runs and the solve would
+		// be uncancellable. A healthy propagate call drains a bounded
+		// queue, so counting pops within this call polls only when
+		// something is wrong. Aborting between trail pops leaves the
+		// assignment and queue consistent.
+		pops++
+		if s.stopFn != nil && pops&0x1fff == 0 && s.stopFn() {
+			s.stopped = true
+			return refUndef
+		}
 		p := s.trail[s.qhead]
 		s.qhead++
 		ws := s.watches[p]
@@ -720,6 +734,9 @@ func (s *Solver) search(maxConfl int64, budget *int64) Status {
 	var conflicts int64
 	for {
 		confl := s.propagate()
+		if s.stopped {
+			return Unknown
+		}
 		if confl != refUndef {
 			conflicts++
 			s.stats.Conflicts++

@@ -12,12 +12,11 @@ package chipmunk_test
 
 import (
 	"context"
-	"encoding/json"
-	"os"
 	"testing"
 	"time"
 
 	chipmunk "repro"
+	"repro/internal/perfhist"
 )
 
 // cacheBenchPrograms are corpus members fast enough for a CI smoke run;
@@ -32,9 +31,30 @@ type cacheBenchRow struct {
 	Speedup  float64 `json:"speedup"`
 	Feasible bool    `json:"feasible"`
 	Stages   int     `json:"stages"`
+	// Deterministic solver effort of the cold compile: unlike the
+	// wall-clock columns these are identical across machines at a fixed
+	// seed, so the regression gate anchors on them.
+	ColdIters        int   `json:"cold_iters"`
+	ColdConflicts    int64 `json:"cold_conflicts"`
+	ColdDecisions    int64 `json:"cold_decisions"`
+	ColdPropagations int64 `json:"cold_propagations"`
+}
+
+func (r cacheBenchRow) samples() map[string]float64 {
+	return map[string]float64{
+		"cold_ms":           r.ColdMS,
+		"warm_ms":           r.WarmMS,
+		"speedup":           r.Speedup,
+		"cold_iters":        float64(r.ColdIters),
+		"cold_conflicts":    float64(r.ColdConflicts),
+		"cold_decisions":    float64(r.ColdDecisions),
+		"cold_propagations": float64(r.ColdPropagations),
+	}
 }
 
 func BenchmarkCache(b *testing.B) {
+	hist := perfhist.OpenFromEnv("BenchmarkCache")
+	defer hist.Close()
 	var rows []cacheBenchRow
 	for _, name := range cacheBenchPrograms {
 		bench, err := chipmunk.BenchmarkByName(name)
@@ -67,16 +87,22 @@ func BenchmarkCache(b *testing.B) {
 				if !warm.Cached {
 					b.Fatalf("%s: second compile missed the cache", name)
 				}
+				effort := cold.Effort()
 				row = cacheBenchRow{
-					Program:  name,
-					ColdMS:   float64(coldDur.Microseconds()) / 1000,
-					WarmMS:   float64(warmDur.Microseconds()) / 1000,
-					Feasible: cold.Feasible,
-					Stages:   cold.Usage.Stages,
+					Program:          name,
+					ColdMS:           float64(coldDur.Microseconds()) / 1000,
+					WarmMS:           float64(warmDur.Microseconds()) / 1000,
+					Feasible:         cold.Feasible,
+					Stages:           cold.Usage.Stages,
+					ColdIters:        effort.Iters,
+					ColdConflicts:    effort.Conflicts,
+					ColdDecisions:    effort.Decisions,
+					ColdPropagations: effort.Propagations,
 				}
 				if row.WarmMS > 0 {
 					row.Speedup = row.ColdMS / row.WarmMS
 				}
+				hist.AppendSamples(name, row.samples())
 			}
 			b.ReportMetric(row.ColdMS, "cold-ms")
 			b.ReportMetric(row.WarmMS, "warm-ms")
@@ -86,18 +112,8 @@ func BenchmarkCache(b *testing.B) {
 	if len(rows) == 0 {
 		return
 	}
-	out := os.Getenv("CHIPMUNK_BENCH_OUT")
-	if out == "" {
-		out = "BENCH_cache.json"
-	}
-	data, err := json.MarshalIndent(struct {
-		Bench string          `json:"bench"`
-		Rows  []cacheBenchRow `json:"rows"`
-	}{Bench: "BenchmarkCache", Rows: rows}, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+	out := benchOutPath("BENCH_cache.json")
+	if err := perfhist.WriteBenchFile(out, "BenchmarkCache", rows); err != nil {
 		b.Fatal(err)
 	}
 	b.Logf("wrote %s", out)

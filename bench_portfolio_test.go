@@ -15,8 +15,6 @@ package chipmunk_test
 
 import (
 	"context"
-	"encoding/json"
-	"os"
 	"runtime"
 	"runtime/debug"
 	"testing"
@@ -25,6 +23,7 @@ import (
 	chipmunk "repro"
 	"repro/internal/alu"
 	"repro/internal/parser"
+	"repro/internal/perfhist"
 )
 
 // portfolioBenchCase is one example program: a corpus member (Source
@@ -92,6 +91,17 @@ type portfolioBenchRow struct {
 	IdenticalWork bool `json:"identical_work"`
 }
 
+func (r portfolioBenchRow) samples() map[string]float64 {
+	return map[string]float64{
+		"sequential_ms":        r.SequentialMS,
+		"portfolio_ms":         r.PortfolioMS,
+		"speedup":              r.Speedup,
+		"sequential_conflicts": float64(r.SequentialConflicts),
+		"portfolio_conflicts":  float64(r.PortfolioConflicts),
+		"wasted_conflicts":     float64(r.WastedConflicts),
+	}
+}
+
 func (c portfolioBenchCase) options() (*chipmunk.Program, chipmunk.Options, error) {
 	if c.Source == "" {
 		bench, err := chipmunk.BenchmarkByName(c.Name)
@@ -114,6 +124,8 @@ func (c portfolioBenchCase) options() (*chipmunk.Program, chipmunk.Options, erro
 }
 
 func BenchmarkPortfolio(b *testing.B) {
+	hist := perfhist.OpenFromEnv("BenchmarkPortfolio")
+	defer hist.Close()
 	var rows []portfolioBenchRow
 	for _, c := range portfolioBenchCases {
 		c := c
@@ -191,6 +203,7 @@ func BenchmarkPortfolio(b *testing.B) {
 				}
 				row.IdenticalWork = row.PortfolioConflicts == row.SequentialConflicts &&
 					row.WastedConflicts == 0
+				hist.AppendSamples(c.Name, row.samples())
 			}
 			b.ReportMetric(row.SequentialMS, "seq-ms")
 			b.ReportMetric(row.PortfolioMS, "portfolio-ms")
@@ -201,18 +214,8 @@ func BenchmarkPortfolio(b *testing.B) {
 	if len(rows) == 0 {
 		return
 	}
-	out := os.Getenv("CHIPMUNK_BENCH_OUT")
-	if out == "" {
-		out = "BENCH_portfolio.json"
-	}
-	data, err := json.MarshalIndent(struct {
-		Bench string              `json:"bench"`
-		Rows  []portfolioBenchRow `json:"rows"`
-	}{Bench: "BenchmarkPortfolio", Rows: rows}, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+	out := benchOutPath("BENCH_portfolio.json")
+	if err := perfhist.WriteBenchFile(out, "BenchmarkPortfolio", rows); err != nil {
 		b.Fatal(err)
 	}
 	b.Logf("wrote %s", out)

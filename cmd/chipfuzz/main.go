@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/difftest"
+	"repro/internal/perfhist"
 )
 
 func main() {
@@ -50,6 +51,8 @@ func run() error {
 		mutantsEach = flag.Int("mutants-every", 8, "run the metamorphic oracle every n-th iteration (0 disables)")
 		unsatSamp   = flag.Int("unsat-samples", 64, "random hole assignments sampled per infeasible verdict")
 		verbose     = flag.Bool("v", false, "log per-failure details and the final summary")
+		perfHistory = flag.String("perf-history", os.Getenv(perfhist.EnvVar),
+			"append campaign effort (iterations/sec, per-oracle time split) to this JSONL performance history")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -95,6 +98,18 @@ func run() error {
 		sum.Iters, time.Since(start).Round(time.Millisecond),
 		sum.Compiles, sum.Feasible, sum.Infeasible, sum.TimedOut,
 		sum.SolverChecks, sum.Mutants, sum.UnsatProbes, sum.Failures)
+	if *perfHistory != "" {
+		hist, err := perfhist.Open(*perfHistory, "chipfuzz")
+		if err != nil {
+			return fmt.Errorf("perf history: %w", err)
+		}
+		if err := hist.AppendSamples("campaign", sum.Samples()); err != nil {
+			return fmt.Errorf("perf history: %w", err)
+		}
+		if err := hist.Close(); err != nil {
+			return fmt.Errorf("perf history: %w", err)
+		}
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d discrepancies found", len(failures))
 	}

@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/perfhist"
 	"repro/internal/server"
 	"repro/internal/solcache"
 )
@@ -84,6 +85,8 @@ func run() error {
 		slowJob    = flag.Duration("slow-job", 30*time.Second, "capture a CPU profile for jobs still running after this long (requires -trace-dir; 0 disables)")
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
+		perfPath   = flag.String("perf-history", os.Getenv(perfhist.EnvVar),
+			"append a per-phase compile profile for every job to this JSONL performance history")
 	)
 	flag.Parse()
 
@@ -98,8 +101,18 @@ func run() error {
 	}
 	cache := solcache.New(*cacheSize, copts...)
 
+	var hist *perfhist.Store
+	if *perfPath != "" {
+		hist, err = perfhist.Open(*perfPath, "chipmunkd")
+		if err != nil {
+			return fmt.Errorf("perf history: %w", err)
+		}
+		defer hist.Close()
+	}
+
 	reg := obs.NewRegistry()
 	cfg := server.Config{
+		History:          hist,
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
 		JobTimeout:       *jobTimeout,

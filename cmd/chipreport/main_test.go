@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/perfhist"
+)
+
+// writeHistory writes n records per program with scale applied to the
+// deterministic effort metrics — scale 2 is the "deliberately injected 2×
+// slowdown" acceptance fixture.
+func writeHistory(t *testing.T, path string, n int, scale float64) {
+	t.Helper()
+	s, err := perfhist.Open(path, "BenchmarkFixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prog := range []string{"sampling", "stateful_fw"} {
+		for i := 0; i < n; i++ {
+			if err := s.AppendSamples(prog, map[string]float64{
+				"conflicts":    scale * (100 + float64(i)),
+				"decisions":    scale * (1000 + float64(i)),
+				"propagations": scale * (15000 + float64(i)),
+				"iters":        scale * 3,
+				"total_ms":     8 + float64(i), // wall clock held flat: not the signal
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegressCommand(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.jsonl")
+	same := filepath.Join(dir, "same.jsonl")
+	slow := filepath.Join(dir, "slow.jsonl")
+	writeHistory(t, baseline, 4, 1)
+	writeHistory(t, same, 4, 1)
+	writeHistory(t, slow, 4, 2)
+
+	if code := run([]string{"regress", "-baseline", baseline, "-current", same}); code != 0 {
+		t.Errorf("identical baselines: exit %d, want 0", code)
+	}
+	if code := run([]string{"regress", "-baseline", baseline, "-current", slow}); code != 1 {
+		t.Errorf("2x slowdown: exit %d, want 1", code)
+	}
+	// A looser threshold waves the same slowdown through.
+	if code := run([]string{"regress", "-baseline", baseline, "-current", slow, "-threshold", "3"}); code != 0 {
+		t.Errorf("threshold 3 vs 2x: exit %d, want 0", code)
+	}
+	// Narrowed to an unaffected metric, nothing fires.
+	if code := run([]string{"regress", "-baseline", baseline, "-current", same, "-metrics", "conflicts"}); code != 0 {
+		t.Errorf("allowlist on identical data: exit %d, want 0", code)
+	}
+}
+
+// The gate must also work against a directory of committed baselines —
+// the CI shape (testdata/baselines/).
+func TestRegressAgainstBaselineDir(t *testing.T) {
+	dir := t.TempDir()
+	baseDir := filepath.Join(dir, "baselines")
+	if err := os.MkdirAll(baseDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeHistory(t, filepath.Join(baseDir, "fixture.jsonl"), 4, 1)
+	current := filepath.Join(dir, "current.jsonl")
+	writeHistory(t, current, 4, 2)
+
+	if code := run([]string{"regress", "-baseline", baseDir, "-current", current}); code != 1 {
+		t.Errorf("dir baseline vs 2x: exit %d, want 1", code)
+	}
+	if code := run([]string{"regress", "-baseline", baseDir, "-current", filepath.Join(baseDir, "fixture.jsonl")}); code != 0 {
+		t.Errorf("dir baseline vs itself: exit %d, want 0", code)
+	}
+}
+
+func TestCompareAndTrendCommands(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "hist.jsonl")
+	writeHistory(t, hist, 4, 1)
+
+	if code := run([]string{"compare", "-baseline", hist, "-current", hist}); code != 0 {
+		t.Errorf("compare: exit %d, want 0", code)
+	}
+	if code := run([]string{"trend", "-history", hist, "-metric", "conflicts"}); code != 0 {
+		t.Errorf("trend: exit %d, want 0", code)
+	}
+	if code := run([]string{"trend", "-history", hist}); code != 0 {
+		t.Errorf("trend metric listing: exit %d, want 0", code)
+	}
+	if code := run([]string{"trend", "-history", hist, "-bench", "NoSuchBench"}); code != 2 {
+		t.Errorf("trend with empty filter: exit %d, want 2", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"regress"}, // missing -baseline/-current
+		{"regress", "-baseline", "/nonexistent", "-current", "/nonexistent"},
+		{"trend"}, // missing -history
+		{"trend", "-history", "/nonexistent"},
+	}
+	for _, args := range cases {
+		if code := run(args); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+	if code := run([]string{"help"}); code != 0 {
+		t.Error("help must exit 0")
+	}
+}

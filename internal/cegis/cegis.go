@@ -209,6 +209,8 @@ func solveTraced(ctx context.Context, s *sat.Solver, phase string, progress func
 		obs.Int64("conflicts", delta.Conflicts),
 		obs.Int64("decisions", delta.Decisions),
 		obs.Int64("propagations", delta.Propagations),
+		obs.Int64("restarts", delta.Restarts),
+		obs.Int64("solve_ns", delta.SolveNS),
 		obs.Int("cnf_vars", delta.MaxVar),
 	)
 	return st, delta, timedOut
@@ -223,6 +225,7 @@ func publishSolve(reg *obs.Registry, d sat.Stats) {
 	reg.Counter("sat.propagations").Add(d.Propagations)
 	reg.Counter("sat.restarts").Add(d.Restarts)
 	reg.Counter("sat.learnt").Add(d.Learnt)
+	reg.Counter("sat.solve_ns").Add(d.SolveNS)
 	reg.Gauge("cnf.vars").SetMax(int64(d.MaxVar))
 	reg.Gauge("cnf.clauses").SetMax(int64(d.Clauses))
 }

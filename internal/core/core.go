@@ -31,6 +31,7 @@ import (
 	"repro/internal/cegis"
 	"repro/internal/interp"
 	"repro/internal/obs"
+	"repro/internal/perfhist"
 	"repro/internal/pisa"
 	"repro/internal/portfolio"
 	"repro/internal/sat"
@@ -91,6 +92,12 @@ type Options struct {
 	// same canonical problem share one synthesis run. Timed-out runs are
 	// never stored.
 	Cache *solcache.Cache
+	// History, when non-nil, appends one performance-history record per
+	// compile: the CompileProfile rolled up from this compile's span tree
+	// (internal/perfhist). When the context carries no tracer, Compile
+	// installs a private one so the profile exists; history capture never
+	// fails a compile — append errors are dropped.
+	History *perfhist.Store
 }
 
 func (o *Options) maxStages() int {
@@ -206,11 +213,29 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 	start := time.Now()
 	rep := &Report{Program: prog.Name}
 
+	// History capture needs a span tree to roll up; give the compile a
+	// private tracer when the caller installed none.
+	if opts.History != nil && obs.TracerFrom(ctx) == nil {
+		ctx = obs.ContextWithTracer(ctx, obs.NewTracer())
+	}
+
 	ctx, span := obs.StartSpan(ctx, "compile",
 		obs.String("program", prog.Name), obs.Int("width", opts.Width))
 	defer func() {
+		pruned := 0
+		for _, d := range rep.Depths {
+			if d.Pruned {
+				pruned++
+			}
+		}
 		span.End(obs.Bool("feasible", rep.Feasible), obs.Bool("timedout", rep.TimedOut),
-			obs.Bool("cached", rep.Cached), obs.Int("attempts", len(rep.Depths)))
+			obs.Bool("cached", rep.Cached), obs.Int("attempts", len(rep.Depths)),
+			obs.Int("pruned", pruned))
+		if opts.History != nil {
+			if p, perr := obs.TracerFrom(ctx).Profile(); perr == nil {
+				opts.History.AppendProfile(prog.Name, p)
+			}
+		}
 	}()
 
 	// Parallelism >= 2 swaps the sequential iterative-deepening loop for

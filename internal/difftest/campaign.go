@@ -104,6 +104,38 @@ type Summary struct {
 	Mutants      int `json:"mutants"`
 	UnsatProbes  int `json:"unsat_probes"`
 	Failures     int `json:"failures"`
+	// Campaign effort: total wall clock, throughput, and the per-oracle
+	// time split (summed across workers, so the *_ms fields can exceed
+	// ElapsedMS under parallelism). These feed the performance history so
+	// nightly fuzz throughput regressions are visible.
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	ItersPerSec float64 `json:"iters_per_sec"`
+	SolverMS    float64 `json:"solver_ms"`
+	CompileMS   float64 `json:"compile_ms"`
+	OracleMS    float64 `json:"oracle_ms"`
+	MutantMS    float64 `json:"mutant_ms"`
+}
+
+// Samples flattens the summary for the performance history
+// (internal/perfhist). iters_per_sec is the gate-worthy throughput
+// metric; the rest give the trend tables their context.
+func (s Summary) Samples() map[string]float64 {
+	return map[string]float64{
+		"iters":         float64(s.Iters),
+		"compiles":      float64(s.Compiles),
+		"feasible":      float64(s.Feasible),
+		"infeasible":    float64(s.Infeasible),
+		"timed_out":     float64(s.TimedOut),
+		"solver_checks": float64(s.SolverChecks),
+		"mutants":       float64(s.Mutants),
+		"failures":      float64(s.Failures),
+		"elapsed_ms":    s.ElapsedMS,
+		"iters_per_sec": s.ItersPerSec,
+		"solver_ms":     s.SolverMS,
+		"compile_ms":    s.CompileMS,
+		"oracle_ms":     s.OracleMS,
+		"mutant_ms":     s.MutantMS,
+	}
 }
 
 // Run executes a campaign: every iteration differentially tests the SAT
@@ -118,6 +150,7 @@ func Run(ctx context.Context, opts CampaignOptions) (Summary, []Failure, error) 
 		sum      Summary
 		failures []Failure
 	)
+	start := time.Now()
 	deadline := time.Time{}
 	if opts.Duration > 0 {
 		deadline = time.Now().Add(opts.Duration)
@@ -165,6 +198,12 @@ feed:
 	close(iterCh)
 	wg.Wait()
 
+	elapsed := time.Since(start)
+	sum.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	if elapsed > 0 {
+		sum.ItersPerSec = float64(sum.Iters) / elapsed.Seconds()
+	}
+
 	if opts.Log != nil {
 		b, _ := json.Marshal(sum)
 		fmt.Fprintf(opts.Log, "campaign summary: %s\n", string(b))
@@ -183,10 +222,12 @@ func runIteration(ctx context.Context, i int, opts CampaignOptions, mu *sync.Mut
 		mu.Unlock()
 	}
 	count(func(s *Summary) { s.Iters++ })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 	// Stage 1: solver differential + DIMACS round trip. Cheap, every
 	// iteration; this is what catches solver mutations within a few
 	// hundred iterations regardless of how compiles behave.
+	t0 := time.Now()
 	f := RandomFormula(rng)
 	count(func(s *Summary) { s.SolverChecks++ })
 	if d := CheckSolver(f, nil); d != nil {
@@ -195,13 +236,18 @@ func runIteration(ctx context.Context, i int, opts CampaignOptions, mu *sync.Mut
 	if d := CheckDIMACSRoundTrip(f); d != nil {
 		record(Failure{Iter: i, Seed: seed, Kind: d.Kind, Detail: d.Detail})
 	}
+	solverDur := time.Since(t0)
+	count(func(s *Summary) { s.SolverMS += ms(solverDur) })
 
 	// Stage 2: compile a random program and re-validate the outcome.
 	sc := RandomScenario(rng, opts.Gen)
 	cctx, cancel := context.WithTimeout(ctx, opts.compileTimeout())
+	t0 = time.Now()
 	rep, err := core.Compile(cctx, sc.Prog, compileOptions(sc, seed))
+	compileDur := time.Since(t0)
 	cancel()
-	count(func(s *Summary) { s.Compiles++ })
+	count(func(s *Summary) { s.Compiles++; s.CompileMS += ms(compileDur) })
+	t0 = time.Now()
 	fail := func(kind, detail string, prog string, shrunken bool) {
 		record(Failure{
 			Iter: i, Seed: seed, Kind: kind, Detail: detail,
@@ -227,13 +273,17 @@ func runIteration(ctx context.Context, i int, opts CampaignOptions, mu *sync.Mut
 			fail(d.Kind, d.Detail, sc.Prog.Print(), false)
 		}
 	}
+	oracleDur := time.Since(t0)
+	count(func(s *Summary) { s.OracleMS += ms(oracleDur) })
 
 	// Stage 3: metamorphic oracle on a subsample of iterations.
 	if opts.mutantsEvery() > 0 && i%opts.mutantsEvery() == 0 && err == nil && rep != nil && !rep.TimedOut {
+		t0 = time.Now()
 		mctx, mcancel := context.WithTimeout(ctx, 4*opts.compileTimeout())
 		ds, merr := CheckMetamorphic(mctx, sc, 2, seed)
 		mcancel()
-		count(func(s *Summary) { s.Mutants += 2 })
+		mutantDur := time.Since(t0)
+		count(func(s *Summary) { s.Mutants += 2; s.MutantMS += ms(mutantDur) })
 		if merr != nil {
 			fail(KindCompileError, merr.Error(), sc.Prog.Print(), false)
 		}

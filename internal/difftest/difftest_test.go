@@ -257,6 +257,23 @@ func TestCampaignSmoke(t *testing.T) {
 	if artifacts.Len() != 0 {
 		t.Fatalf("artifacts written with no failures:\n%s", artifacts.String())
 	}
+	// Campaign effort must be accounted: elapsed time, throughput, and a
+	// nonzero per-oracle split for the stages that always run.
+	if sum.ElapsedMS <= 0 || sum.ItersPerSec <= 0 {
+		t.Errorf("effort totals: elapsed=%v iters/sec=%v", sum.ElapsedMS, sum.ItersPerSec)
+	}
+	if sum.SolverMS <= 0 || sum.CompileMS <= 0 {
+		t.Errorf("per-oracle split: solver=%v compile=%v", sum.SolverMS, sum.CompileMS)
+	}
+	samples := sum.Samples()
+	for _, name := range []string{"iters", "compiles", "iters_per_sec", "solver_ms", "compile_ms", "oracle_ms", "mutant_ms", "failures"} {
+		if _, ok := samples[name]; !ok {
+			t.Errorf("Samples missing %q", name)
+		}
+	}
+	if samples["iters"] != 8 || samples["failures"] != 0 {
+		t.Errorf("sample values: %v", samples)
+	}
 }
 
 // TestCampaignSurfacesInjectedDiscrepancy routes the campaign's failure

@@ -27,6 +27,7 @@ import (
 	"repro/internal/domino"
 	"repro/internal/mutate"
 	"repro/internal/obs"
+	"repro/internal/perfhist"
 	"repro/internal/pisa"
 	"repro/internal/programs"
 	"repro/internal/solcache"
@@ -64,6 +65,11 @@ type Options struct {
 	// repeat sweeps over the same corpus) share one CEGIS run. Workers
 	// share the cache; it is race-safe.
 	Cache *solcache.Cache
+	// History, when non-nil, appends one performance-history record per
+	// mutant compilation (internal/perfhist): the full corpus sweep
+	// becomes a per-program sample pool the regression sentinel can test.
+	// Workers share the store; it is race-safe.
+	History *perfhist.Store
 }
 
 func (o *Options) mutants() int {
@@ -220,6 +226,7 @@ func compileBoth(ctx context.Context, b programs.Benchmark, m mutate.Mutant, idx
 		Parallelism:  opts.IntraParallelism,
 		SeedFanout:   opts.SeedFanout,
 		Cache:        opts.Cache,
+		History:      opts.History,
 	})
 	if err == nil {
 		out.ChipmunkOK = rep.Feasible

@@ -168,6 +168,75 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bits.Len64(uint64(v))]++
 }
 
+// Quantiles estimates the given quantiles (each in [0, 1]) from the
+// power-of-two buckets, one estimate per requested q, in order. Within a
+// bucket the distribution is assumed uniform, so estimates are exact only
+// at bucket boundaries and otherwise carry up-to-2x bucket resolution —
+// plenty for the p50/p95/p99 operational summaries they feed (/healthz),
+// which care about orders of magnitude, not microseconds. The overall
+// min/max clamp the extreme buckets so a single-value histogram reports
+// that value at every quantile. An empty (or nil) histogram reports 0s.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if h == nil {
+		return out
+	}
+	h.mu.Lock()
+	count, min, max := h.count, h.min, h.max
+	var buckets [65]int64
+	buckets = h.buckets
+	h.mu.Unlock()
+	if count == 0 {
+		return out
+	}
+	for qi, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		// rank is the 1-based index of the target observation in sorted
+		// order (nearest-rank definition).
+		rank := int64(q*float64(count) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > count {
+			rank = count
+		}
+		cum := int64(0)
+		for i, n := range buckets {
+			if n == 0 {
+				continue
+			}
+			if cum+n < rank {
+				cum += n
+				continue
+			}
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(int64(1) << uint(i-1))
+			}
+			hi := float64(bucketUpper(i))
+			// Clamp the extreme buckets to the observed range.
+			if float64(min) > lo {
+				lo = float64(min)
+			}
+			if float64(max) < hi {
+				hi = float64(max)
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (float64(rank-cum) - 0.5) / float64(n)
+			out[qi] = lo + frac*(hi-lo)
+			break
+		}
+	}
+	return out
+}
+
 // raw copies the histogram's internal state for exposition formats that
 // need the power-of-two buckets directly (see WritePrometheus).
 func (h *Histogram) raw() (count, sum int64, buckets [65]int64) {

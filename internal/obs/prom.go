@@ -16,7 +16,10 @@ import (
 //   - histograms become cumulative series: one name_bucket sample per
 //     occupied power-of-two bucket (upper bound 2^i-1, the top of the
 //     [2^(i-1), 2^i) range Histogram tracks), a closing le="+Inf"
-//     bucket, plus name_sum and name_count.
+//     bucket, plus name_sum and name_count — and three derived gauges
+//     name_p50 / name_p95 / name_p99 (estimates from the power-of-two
+//     buckets, see Histogram.Quantiles) so dashboards get operational
+//     percentiles without PromQL bucket arithmetic.
 //
 // Metric names use dots as separators internally ("server.jobs.accepted");
 // they are sanitized to the [a-zA-Z0-9_:] grammar here. Output is sorted
@@ -28,6 +31,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	type hist struct {
 		count, sum int64
 		buckets    [65]int64
+		quantiles  []float64 // p50, p95, p99
 	}
 	r.mu.Lock()
 	counters := make(map[string]int64, len(r.counters))
@@ -42,6 +46,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name, h := range r.hists {
 		var s hist
 		s.count, s.sum, s.buckets = h.raw()
+		s.quantiles = h.Quantiles(0.5, 0.95, 0.99)
 		hists[name] = s
 	}
 	r.mu.Unlock()
@@ -93,6 +98,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.count)
 		fmt.Fprintf(&sb, "%s_sum %d\n", pn, h.sum)
 		fmt.Fprintf(&sb, "%s_count %d\n", pn, h.count)
+		for qi, q := range []string{"p50", "p95", "p99"} {
+			qn := pn + "_" + q
+			if emitted[qn] {
+				continue
+			}
+			emitted[qn] = true
+			fmt.Fprintf(&sb, "# HELP %s Estimated %s of %s.\n# TYPE %s gauge\n%s %g\n", qn, q, name, qn, qn, h.quantiles[qi])
+		}
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err

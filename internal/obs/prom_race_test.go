@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusConcurrent hammers a registry from writer goroutines
+// (new and existing counters, gauges, histograms) while scraper goroutines
+// render it — the daemon's steady state, where /metrics/prom races every
+// in-flight job's metric updates. Run under -race this pins down the
+// snapshot locking in WritePrometheus (and the derived percentile gauges
+// it computes from live histograms).
+func TestWritePrometheusConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		writers  = 4
+		scrapers = 4
+		rounds   = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				reg.Counter("race.jobs").Add(1)
+				reg.Counter(fmt.Sprintf("race.ctr.%d", i%7)).Add(int64(w))
+				reg.Gauge("race.inflight").Set(int64(i))
+				reg.Histogram("race.latency_ms").Observe(int64(i % 1000))
+				reg.Histogram(fmt.Sprintf("race.hist.%d", i%3)).Observe(int64(w * i))
+			}
+		}(w)
+	}
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds/4; i++ {
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The final quiescent scrape must carry all writer-created series and
+	// the derived percentile gauges.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"race_jobs", "race_inflight", "race_latency_ms_count", "race_latency_ms_p50", "race_latency_ms_p95", "race_latency_ms_p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("final scrape missing %q", want)
+		}
+	}
+}

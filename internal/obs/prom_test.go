@@ -9,7 +9,7 @@ import (
 
 var (
 	promComment = regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)( .*)?$`)
-	promSample  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="(\+Inf|[0-9]+)"\})? (-?[0-9]+)$`)
+	promSample  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="(\+Inf|[0-9]+)"\})? (-?[0-9]+(?:\.[0-9]+)?(?:[eE][-+]?[0-9]+)?)$`)
 )
 
 // TestWritePrometheusGrammar scrapes a populated registry and checks the
@@ -54,7 +54,8 @@ func TestWritePrometheusGrammar(t *testing.T) {
 			t.Fatalf("line %d violates the text-format grammar: %q", i+1, line)
 		}
 		name, le := m[1], m[3]
-		val, _ := strconv.ParseInt(m[4], 10, 64)
+		fval, _ := strconv.ParseFloat(m[4], 64)
+		val := int64(fval)
 		base := name
 		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
 			base = strings.TrimSuffix(base, suffix)

@@ -1,0 +1,73 @@
+package perfhist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) must be NaN")
+	}
+}
+
+func TestMannWhitneyUSeparated(t *testing.T) {
+	// Full separation at 4v4: U = 0, two-sided p ≈ 0.0304 under the
+	// normal approximation with continuity correction — significant at
+	// α=0.05, which is why CI runs benches with -count 4.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{10, 11, 12, 13}
+	u, p := MannWhitneyU(x, y)
+	if u != 0 {
+		t.Errorf("U = %v, want 0", u)
+	}
+	if p >= 0.05 || p < 0.01 {
+		t.Errorf("p = %v, want ≈0.03", p)
+	}
+	// Symmetry: swapping sides must not change the two-sided p.
+	_, p2 := MannWhitneyU(y, x)
+	if math.Abs(p-p2) > 1e-12 {
+		t.Errorf("asymmetric p: %v vs %v", p, p2)
+	}
+}
+
+func TestMannWhitneyUIdentical(t *testing.T) {
+	// All-ties: zero variance, no evidence of a shift — p must be 1 so
+	// deterministic metrics at an unchanged SHA never trip the gate.
+	x := []float64{5, 5, 5, 5}
+	_, p := MannWhitneyU(x, x)
+	if p != 1 {
+		t.Errorf("all-ties p = %v, want 1", p)
+	}
+	// Same distribution, interleaved values: p must be large.
+	a := []float64{1, 3, 5, 7}
+	b := []float64{2, 4, 6, 8}
+	if _, p := MannWhitneyU(a, b); p < 0.3 {
+		t.Errorf("interleaved p = %v, want large", p)
+	}
+}
+
+func TestMannWhitneyUSmallShift(t *testing.T) {
+	// 3v3 cannot reach p<0.05 under the normal approximation even at
+	// full separation — the reason the gate falls back to the median
+	// ratio below MinSamples.
+	x := []float64{1, 2, 3}
+	y := []float64{10, 11, 12}
+	if _, p := MannWhitneyU(x, y); p < 0.05 {
+		t.Errorf("3v3 p = %v; must stay above 0.05", p)
+	}
+}

@@ -232,8 +232,9 @@ type sched[T any] struct {
 	members []Member
 	run     RunFunc[T]
 	reg     *obs.Registry
-	depths  []int // sorted unique raced depths
-	cores   int   // spare-capacity gate for deeper-than-frontier members
+	depths  []int     // sorted unique raced depths
+	cores   int       // spare-capacity gate for deeper-than-frontier members
+	start   time.Time // when Run began, for the member-wait histogram
 
 	mu            sync.Mutex
 	wake          chan struct{} // closed and replaced on every state change
@@ -286,6 +287,7 @@ func Run[T any](ctx context.Context, members []Member, workers int, run RunFunc[
 		feasibleAt:    map[int]int{},
 		minFeasible:   int(^uint(0) >> 1),
 		winner:        -1,
+		start:         time.Now(),
 		frontierStart: time.Now(),
 	}
 	seen := map[int]bool{}
@@ -420,6 +422,10 @@ func (s *sched[T]) next() (int, time.Duration) {
 		}
 		s.claimed[i] = true
 		s.running++
+		// How long the member sat waiting for a slot after Run began —
+		// large waits mean hedges matured or the pool was saturated, i.e.
+		// the portfolio is CPU-bound rather than frontier-bound.
+		s.reg.Histogram("portfolio.member_wait_ms").Observe(time.Since(s.start).Milliseconds())
 		return i, 0
 	}
 	if minWait > 0 {

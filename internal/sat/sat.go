@@ -20,6 +20,7 @@ package sat
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Var is a boolean variable index. Variables are allocated densely from 0.
@@ -140,8 +141,14 @@ type Stats struct {
 	Restarts      int64
 	Learnt        int64
 	DeletedLearnt int64
-	MaxVar        int
-	Clauses       int
+	// SolveNS is cumulative wall-clock nanoseconds spent inside Solve /
+	// SolveWithBudget — the in-solver share of a compilation, as opposed
+	// to encoding time spent building circuits and loading clauses. The
+	// performance observatory uses the delta to attribute each phase's
+	// time to "solve" vs "encode" even when no tracer is installed.
+	SolveNS int64
+	MaxVar  int
+	Clauses int
 }
 
 // Sub returns the counter-wise difference s - o. MaxVar and Clauses are
@@ -154,6 +161,7 @@ func (s Stats) Sub(o Stats) Stats {
 		Restarts:      s.Restarts - o.Restarts,
 		Learnt:        s.Learnt - o.Learnt,
 		DeletedLearnt: s.DeletedLearnt - o.DeletedLearnt,
+		SolveNS:       s.SolveNS - o.SolveNS,
 		MaxVar:        s.MaxVar,
 		Clauses:       s.Clauses,
 	}
@@ -702,6 +710,8 @@ func (s *Solver) SolveWithBudget(budget int64, assumptions ...Lit) (Status, erro
 	if s.stopFn != nil && s.stopFn() {
 		return Unknown, ErrStopped
 	}
+	start := time.Now()
+	defer func() { s.stats.SolveNS += time.Since(start).Nanoseconds() }()
 	s.assumptions = assumptions
 	defer s.cancelUntil(0)
 

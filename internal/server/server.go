@@ -61,6 +61,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/parser"
+	"repro/internal/perfhist"
 	"repro/internal/sat"
 	"repro/internal/solcache"
 	"repro/internal/word"
@@ -87,6 +88,10 @@ type Config struct {
 	JobParallelism int
 	// Cache, when non-nil, memoizes results across jobs.
 	Cache *solcache.Cache
+	// History, when non-nil, appends one performance-history record per
+	// compiled job (internal/perfhist) — the daemon's contribution to the
+	// compile-effort trajectory cmd/chipreport trends.
+	History *perfhist.Store
 	// Metrics receives queue/in-flight gauges and compilation counters.
 	// Nil allocates a private registry.
 	Metrics *obs.Registry
@@ -457,6 +462,7 @@ func (s *Server) run(j *job) {
 	j.started = s.now()
 	waited := j.started.Sub(j.queued)
 	j.mu.Unlock()
+	s.metrics.Histogram("server.queue_wait_ms").Observe(waited.Milliseconds())
 	j.feed.publish("state", StateRunning, 0, s.now().UnixNano(), nil)
 	s.logger.Info("job started", "job_id", j.id, "program", j.prog.Name,
 		"fingerprint", shortFP(j.fp), "queue_wait_ms", durMS(waited))
@@ -519,6 +525,7 @@ func (s *Server) run(j *job) {
 		s.metrics.Counter("server.jobs.completed").Add(1)
 	}
 	j.mu.Unlock()
+	s.metrics.Histogram("server.job_runtime_ms").Observe(elapsed.Milliseconds())
 	close(j.done)
 	j.feed.close(j.status())
 	s.logJobFinished(j, rep, err, elapsed)
@@ -774,6 +781,7 @@ func (s *Server) newJob(req CompileRequest) (*job, error) {
 			Parallelism:  parallel,
 			SeedFanout:   fanout,
 			Cache:        s.cfg.Cache,
+			History:      s.cfg.History,
 		},
 		state:  StateQueued,
 		queued: s.now(),
@@ -794,6 +802,23 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+// LatencySummary is the percentile digest of one server-side latency
+// histogram (estimates from power-of-two buckets, see
+// obs.Histogram.Quantiles).
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS int64   `json:"max_ms"`
+}
+
+func summarize(h *obs.Histogram) LatencySummary {
+	snap := h.Snapshot()
+	qs := h.Quantiles(0.5, 0.95, 0.99)
+	return LatencySummary{Count: snap.Count, P50MS: qs[0], P95MS: qs[1], P99MS: qs[2], MaxMS: snap.Max}
+}
+
 // Health is the JSON body of GET /healthz: the same drain/load signal
 // for load balancers (via the status code) and humans (via the fields).
 type Health struct {
@@ -805,6 +830,10 @@ type Health struct {
 	JobsAccepted  int64   `json:"jobs_accepted"`
 	JobsCompleted int64   `json:"jobs_completed"`
 	JobsFailed    int64   `json:"jobs_failed"`
+	// QueueWait and JobRuntime digest the queue-wait and job-runtime
+	// distributions since process start.
+	QueueWait  LatencySummary `json:"queue_wait"`
+	JobRuntime LatencySummary `json:"job_runtime"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -820,6 +849,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		JobsAccepted:  s.metrics.Counter("server.jobs.accepted").Value(),
 		JobsCompleted: s.metrics.Counter("server.jobs.completed").Value(),
 		JobsFailed:    s.metrics.Counter("server.jobs.failed").Value(),
+		QueueWait:     summarize(s.metrics.Histogram("server.queue_wait_ms")),
+		JobRuntime:    summarize(s.metrics.Histogram("server.job_runtime_ms")),
 	}
 	code := http.StatusOK
 	if draining {

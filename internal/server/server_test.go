@@ -375,6 +375,16 @@ func TestHealthzBody(t *testing.T) {
 	if h.Inflight != 0 || h.QueueDepth != 0 {
 		t.Errorf("idle daemon reports inflight=%d queue_depth=%d", h.Inflight, h.QueueDepth)
 	}
+	// One completed job: the latency digests must each hold one sample
+	// with ordered percentiles.
+	for name, ls := range map[string]LatencySummary{"queue_wait": h.QueueWait, "job_runtime": h.JobRuntime} {
+		if ls.Count != 1 {
+			t.Errorf("%s count = %d, want 1", name, ls.Count)
+		}
+		if ls.P50MS > ls.P95MS || ls.P95MS > ls.P99MS || ls.P99MS > float64(ls.MaxMS) {
+			t.Errorf("%s percentiles out of order: %+v", name, ls)
+		}
+	}
 }
 
 // TestMetricsPrometheus: /metrics/prom and content-negotiated /metrics

@@ -368,13 +368,18 @@ func (c *Cache) Publish(reg *obs.Registry) {
 // error.
 //
 // Do records solcache.hits / solcache.misses / solcache.shared counters
-// into the context's obs registry, if one is installed.
+// into the context's obs registry, if one is installed, and wraps the
+// lookup portion — everything up to the hit/shared/miss decision,
+// including a follower's wait on the shared flight — in a
+// "solcache.lookup" span so CompileProfile can attribute cache-layer time
+// separately from synthesis.
 func (c *Cache) Do(ctx context.Context, key Key, run func(ctx context.Context) (sol Solution, cacheable bool, err error)) (Solution, error) {
 	if c == nil {
 		sol, _, err := run(ctx)
 		return sol, err
 	}
 	m := obs.MetricsFrom(ctx)
+	_, span := obs.StartSpan(ctx, "solcache.lookup")
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(e)
@@ -382,6 +387,7 @@ func (c *Cache) Do(ctx context.Context, key Key, run func(ctx context.Context) (
 		c.hits++
 		c.mu.Unlock()
 		m.Counter("solcache.hits").Add(1)
+		span.End(obs.String("outcome", "hit"))
 		return sol, nil
 	}
 	if f, ok := c.flights[key]; ok {
@@ -390,8 +396,10 @@ func (c *Cache) Do(ctx context.Context, key Key, run func(ctx context.Context) (
 		m.Counter("solcache.shared").Add(1)
 		select {
 		case <-f.done:
+			span.End(obs.String("outcome", "shared"))
 			return f.sol, f.err
 		case <-ctx.Done():
+			span.End(obs.String("outcome", "shared_timeout"))
 			return Solution{TimedOut: true}, nil
 		}
 	}
@@ -400,6 +408,7 @@ func (c *Cache) Do(ctx context.Context, key Key, run func(ctx context.Context) (
 	c.misses++
 	c.mu.Unlock()
 	m.Counter("solcache.misses").Add(1)
+	span.End(obs.String("outcome", "miss"))
 
 	sol, cacheable, err := run(ctx)
 	f.sol, f.err = sol, err

@@ -1,0 +1,186 @@
+// BenchmarkPPS measures packet-replay throughput per execution engine and
+// emits BENCH_pps.json so chipreport tracks the line-rate engine's
+// headroom over the interpreter as a higher-is-better trajectory.
+//
+// Smoke-run it the way CI does:
+//
+//	go test -run '^$' -bench BenchmarkPPS -benchtime 1x .
+//
+// Engines, slowest to fastest: the map-based interpreter (Config.Exec via
+// workload.PerFlow), the allocation-free interpreter (Config.ExecInto),
+// the compiled line-rate engine (internal/linerate, one worker), and the
+// sharded compiled replay (flows partitioned across workers).
+package chipmunk_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	chipmunk "repro"
+	"repro/internal/linerate"
+	"repro/internal/perfhist"
+	"repro/internal/pisa"
+	"repro/internal/workload"
+)
+
+// ppsBenchPrograms: one stateful-heavy program (flowlet drives the Pair
+// ALU) and one control-flow program — both compile in well under a second.
+var ppsBenchPrograms = []string{"sampling", "flowlet"}
+
+const ppsPackets = 200_000
+const ppsFlows = 64
+
+type ppsBenchRow struct {
+	Program string `json:"program"`
+	Packets int    `json:"packets"`
+	Shards  int    `json:"shards"`
+	// Packets per second, per engine.
+	InterpPPS     float64 `json:"interp_pps"`
+	InterpIntoPPS float64 `json:"interp_into_pps"`
+	CompiledPPS   float64 `json:"compiled_pps"`
+	ShardedPPS    float64 `json:"sharded_pps"`
+	// CompiledSpeedup is compiled (one worker) over the map interpreter —
+	// the acceptance headroom. ShardScale is sharded over compiled.
+	CompiledSpeedup float64 `json:"compiled_speedup"`
+	ShardScale      float64 `json:"shard_scale"`
+}
+
+func (r ppsBenchRow) samples() map[string]float64 {
+	return map[string]float64{
+		"interp_pps":       r.InterpPPS,
+		"interp_into_pps":  r.InterpIntoPPS,
+		"compiled_pps":     r.CompiledPPS,
+		"sharded_pps":      r.ShardedPPS,
+		"compiled_speedup": r.CompiledSpeedup,
+		"shard_scale":      r.ShardScale,
+	}
+}
+
+// replayInterpInto is the single-threaded allocation-free interpreter
+// replay, structured exactly like linerate's shard loop for a fair race.
+func replayInterpInto(cfg *pisa.Config, flowIDs []int, vals []uint64, nFlows int) {
+	nf := len(cfg.Fields)
+	scratch := cfg.NewScratch()
+	states := make([][]uint64, nFlows)
+	pkt := make([]uint64, nf)
+	for i, flow := range flowIDs {
+		st := states[flow]
+		if st == nil {
+			st = make([]uint64, len(cfg.States))
+			states[flow] = st
+		}
+		copy(pkt, vals[i*nf:(i+1)*nf])
+		cfg.ExecInto(scratch, pkt, st)
+	}
+}
+
+func BenchmarkPPS(b *testing.B) {
+	hist := perfhist.OpenFromEnv("BenchmarkPPS")
+	defer hist.Close()
+	shards := runtime.GOMAXPROCS(0)
+	if shards > 8 {
+		shards = 8
+	}
+	if shards < 2 {
+		shards = 2
+	}
+	var rows []ppsBenchRow
+	for _, name := range ppsBenchPrograms {
+		bench, err := chipmunk.BenchmarkByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := bench.Parse()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		rep, err := chipmunk.Compile(ctx, prog, benchOptions(bench))
+		cancel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Feasible {
+			b.Fatalf("%s: infeasible", name)
+		}
+		cfg := rep.Config
+		eng, err := linerate.Compile(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		// One trace for all engines, with generator fields mapped onto the
+		// config's field names so packets carry real variety.
+		trace := workload.Generate(workload.Spec{
+			Flows: ppsFlows, Packets: ppsPackets, ZipfS: 1.0, Seed: 7,
+		})
+		src := []string{"now", "size", "seq", "rtt"}
+		var vbuf [4]uint64
+		for _, p := range trace {
+			for i := range src {
+				vbuf[i] = p.Fields[src[i]]
+			}
+			for i, f := range cfg.Fields {
+				if i < len(src) {
+					p.Fields[f] = vbuf[i]
+				}
+			}
+		}
+		flowIDs, vals, nFlows := workload.Flatten(trace, cfg.Fields)
+
+		b.Run(name, func(b *testing.B) {
+			var row ppsBenchRow
+			for i := 0; i < b.N; i++ {
+				// Map-based interpreter (the pre-linerate status quo).
+				pf := workload.NewPerFlow(cfg)
+				t0 := time.Now()
+				for _, p := range trace {
+					pf.Process(p)
+				}
+				interpDur := time.Since(t0)
+
+				// Allocation-free interpreter.
+				t0 = time.Now()
+				replayInterpInto(cfg, flowIDs, vals, nFlows)
+				intoDur := time.Since(t0)
+
+				// Compiled engine, one worker.
+				t0 = time.Now()
+				single := linerate.Replay(eng, flowIDs, vals, nFlows)
+				compiledDur := time.Since(t0)
+
+				// Compiled engine, sharded.
+				t0 = time.Now()
+				sharded := linerate.ReplaySharded(eng, flowIDs, vals, nFlows, shards)
+				shardedDur := time.Since(t0)
+
+				if single.Checksum != sharded.Checksum {
+					b.Fatalf("%s: sharded checksum %#x != single %#x", name, sharded.Checksum, single.Checksum)
+				}
+				n := float64(len(trace))
+				row = ppsBenchRow{
+					Program:       name,
+					Packets:       len(trace),
+					Shards:        shards,
+					InterpPPS:     n / interpDur.Seconds(),
+					InterpIntoPPS: n / intoDur.Seconds(),
+					CompiledPPS:   n / compiledDur.Seconds(),
+					ShardedPPS:    n / shardedDur.Seconds(),
+				}
+				row.CompiledSpeedup = row.CompiledPPS / row.InterpPPS
+				row.ShardScale = row.ShardedPPS / row.CompiledPPS
+				hist.AppendSamples(name, row.samples())
+			}
+			b.ReportMetric(row.CompiledPPS, "compiled-pps")
+			b.ReportMetric(row.CompiledSpeedup, "speedup")
+			rows = append(rows, row)
+		})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	out := benchOutPath("BENCH_pps.json")
+	if err := perfhist.WriteBenchFile(out, "BenchmarkPPS", rows); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s", out)
+}

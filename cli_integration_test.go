@@ -233,6 +233,71 @@ func TestCLIPisasimWorkload(t *testing.T) {
 	}
 }
 
+// TestCLIPisasimEngines runs the same config through every -engine mode:
+// lockstep cross-check against the spec, pure compiled single-flow, and
+// sharded compiled workload replay, all of which must report throughput.
+func TestCLIPisasimEngines(t *testing.T) {
+	chip := buildTool(t, "chipmunk")
+	sim := buildTool(t, "pisasim")
+	cfgJSON, err := exec.Command(chip, "-width", "2", "-alu", "if_else_raw", "-json", samplingPath(t)).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(t.TempDir(), "cfg.json")
+	os.WriteFile(cfgPath, cfgJSON, 0o644)
+
+	// Lockstep interp-vs-compiled with the spec oracle riding along.
+	out, err := exec.Command(sim,
+		"-config", cfgPath, "-program", samplingPath(t),
+		"-engine", "both", "-packets", "2000",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pisasim -engine both failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"0 divergences", "throughput:", "engine=both"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Pure compiled single flow.
+	out, err = exec.Command(sim,
+		"-config", cfgPath, "-engine", "compiled", "-packets", "2000",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pisasim -engine compiled failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "engine=compiled") {
+		t.Fatalf("output missing compiled throughput line:\n%s", out)
+	}
+
+	// Sharded compiled replay: checksum must match the single-shard run.
+	single, err := exec.Command(sim,
+		"-config", cfgPath, "-engine", "compiled", "-flows", "8", "-packets", "5000",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pisasim compiled replay failed: %v\n%s", err, single)
+	}
+	sharded, err := exec.Command(sim,
+		"-config", cfgPath, "-engine", "compiled", "-flows", "8", "-packets", "5000", "-shards", "4",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pisasim sharded replay failed: %v\n%s", err, sharded)
+	}
+	pick := func(out []byte) string {
+		for _, line := range strings.Split(string(out), "\n") {
+			if strings.Contains(line, "checksum") {
+				return line[strings.Index(line, "checksum"):strings.Index(line, ",")]
+			}
+		}
+		t.Fatalf("no checksum line in:\n%s", out)
+		return ""
+	}
+	if a, b := pick(single), pick(sharded); a != b {
+		t.Fatalf("sharded checksum diverged: %q vs %q", b, a)
+	}
+}
+
 // TestCLIChipmunkTraceAndStats checks that -trace-out writes a well-formed
 // JSONL span trace and -stats prints a metrics block whose SAT conflict
 // total is the sum of the per-solve deltas recorded in the trace's

@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	pisasim -config cfg.json [-program prog.domino] [-packets 100] [-trace]
+//	pisasim -config cfg.json [-engine interp|compiled|both] [-packets N]
+//	        [-program prog.domino] [-flows N] [-shards N] [-trace]
 //
 // The configuration comes from `chipmunk -json`. Packets are generated
-// with uniformly random field values (deterministic under -seed); with
-// -program, every packet's pipeline output is compared against the
-// reference interpreter and any divergence aborts with a non-zero exit.
+// with uniformly random field values (deterministic under -seed), or as a
+// bursty multi-flow workload with -flows. Two execution engines are
+// available: the interpreted datapath (allocation-free Config.ExecInto)
+// and the compiled line-rate engine (internal/linerate); -engine both
+// runs them in lockstep and aborts with a minimized reproducer packet on
+// the first divergence. Every run ends with a throughput summary. With
+// -program, every packet's pipeline output is additionally compared
+// against the reference interpreter and any divergence aborts with a
+// non-zero exit.
 package main
 
 import (
@@ -19,9 +26,11 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/interp"
+	"repro/internal/linerate"
 	"repro/internal/parser"
 	"repro/internal/pisa"
 	"repro/internal/workload"
@@ -34,19 +43,39 @@ func main() {
 	}
 }
 
+// sim bundles everything one simulation run needs.
+type sim struct {
+	cfg     *pisa.Config
+	engine  string
+	shards  int
+	trace   bool
+	scratch *pisa.ExecScratch // interp side
+	eng     *linerate.Engine  // compiled side, nil for -engine interp
+	buf     *linerate.Buf
+	ref     *interp.Interp // spec oracle, nil without -program
+	prog    *ast.Program
+}
+
 func run() error {
 	var (
 		cfgPath  = flag.String("config", "", "configuration JSON from `chipmunk -json` (required)")
 		progPath = flag.String("program", "", "Domino source to differential-test against")
 		packets  = flag.Int("packets", 100, "number of packets to simulate")
 		seed     = flag.Int64("seed", 1, "random packet generator seed")
-		trace    = flag.Bool("trace", false, "print every packet's output")
+		traceOut = flag.Bool("trace", false, "print every packet's output")
 		flows    = flag.Int("flows", 0, "simulate a multi-flow workload with per-flow state (0 = single flow, uniform random fields)")
 		zipf     = flag.Float64("zipf", 1.0, "flow-popularity skew for -flows")
+		engine   = flag.String("engine", "interp", "execution engine: interp, compiled, or both (lockstep cross-check)")
+		shards   = flag.Int("shards", 1, "parallel replay workers for -engine compiled with -flows (flows are partitioned across workers)")
 	)
 	flag.Parse()
 	if *cfgPath == "" {
 		return fmt.Errorf("-config is required")
+	}
+	switch *engine {
+	case "interp", "compiled", "both":
+	default:
+		return fmt.Errorf("-engine must be interp, compiled, or both (got %q)", *engine)
 	}
 	data, err := os.ReadFile(*cfgPath)
 	if err != nil {
@@ -60,81 +89,146 @@ func run() error {
 		return err
 	}
 
-	var ref *interp.Interp
-	var prog *ast.Program
+	s := &sim{cfg: &cfg, engine: *engine, shards: *shards, trace: *traceOut, scratch: cfg.NewScratch()}
+	if *engine != "interp" {
+		s.eng, err = linerate.Compile(&cfg)
+		if err != nil {
+			return err
+		}
+		s.buf = s.eng.NewBuf()
+	}
 	if *progPath != "" {
 		src, err := os.ReadFile(*progPath)
 		if err != nil {
 			return err
 		}
-		prog, err = parser.Parse(*progPath, string(src))
+		s.prog, err = parser.Parse(*progPath, string(src))
 		if err != nil {
 			return err
 		}
-		ref, err = interp.New(cfg.Grid.WordWidth)
+		s.ref, err = interp.New(cfg.Grid.WordWidth)
 		if err != nil {
 			return err
 		}
 	}
 
 	if *flows > 0 {
-		return runWorkload(&cfg, prog, ref, *flows, *zipf, *packets, *seed, *trace)
+		return s.runWorkload(*flows, *zipf, *packets, *seed)
 	}
+	return s.runSingleFlow(*packets, *seed)
+}
 
-	rng := rand.New(rand.NewSource(*seed))
+// throughput prints the uniform summary line every run ends with.
+func throughput(packets int, elapsed time.Duration, engine string) {
+	pps := float64(packets) / elapsed.Seconds()
+	fmt.Printf("throughput: %d packets in %s (%.4g pps, engine=%s)\n", packets, elapsed, pps, engine)
+}
+
+// runSingleFlow drives uniformly random packets through one flow's state.
+func (s *sim) runSingleFlow(packets int, seed int64) error {
+	cfg := s.cfg
+	rng := rand.New(rand.NewSource(seed))
 	w := cfg.Grid.WordWidth
-	state := map[string]uint64{}
+	nf, ns := len(cfg.Fields), len(cfg.States)
+	in := make([]uint64, nf)
+	interpPkt := make([]uint64, nf)
+	engPkt := make([]uint64, nf)
+	interpSt := make([]uint64, ns)
+	engSt := make([]uint64, ns)
 	refState := map[string]uint64{}
-	for _, s := range cfg.States {
-		state[s] = 0
-		refState[s] = 0
-	}
 	divergences := 0
-	for i := 0; i < *packets; i++ {
-		pkt := map[string]uint64{}
-		for _, f := range cfg.Fields {
-			pkt[f] = w.Trunc(rng.Uint64())
+	start := time.Now()
+	for i := 0; i < packets; i++ {
+		for k := range in {
+			in[k] = w.Trunc(rng.Uint64())
 		}
-		outPkt, outState := cfg.Exec(pkt, state)
-		if *trace {
-			fmt.Printf("pkt %3d: in=%s out=%s state=%s\n", i, renderMap(pkt), renderMap(outPkt), renderMap(outState))
+		var outPkt, outSt []uint64
+		if s.engine != "compiled" {
+			copy(interpPkt, in)
+			cfg.ExecInto(s.scratch, interpPkt, interpSt)
+			outPkt, outSt = interpPkt, interpSt
 		}
-		if ref != nil {
-			snap := interp.Snapshot{Pkt: pkt, State: refState}
-			want, err := ref.Run(prog, snap)
+		if s.engine != "interp" {
+			copy(engPkt, in)
+			s.eng.ExecInto(s.buf, engPkt, engSt)
+			if outPkt == nil {
+				outPkt, outSt = engPkt, engSt
+			}
+		}
+		if s.engine == "both" {
+			if d := firstDiff(interpPkt, engPkt, interpSt, engSt); d != "" {
+				// The reproducer needs the state *before* this packet
+				// (both sides already advanced past it); re-derive it by
+				// replaying the first i packets.
+				preSt := s.replayPreState(seed, i)
+				return s.reportEngineDivergence(in, preSt, i, d)
+			}
+		}
+		if s.trace {
+			fmt.Printf("pkt %3d: in=%s out=%s state=%s\n", i,
+				renderVec(cfg.Fields, in), renderVec(cfg.Fields, outPkt), renderVec(cfg.States, outSt))
+		}
+		if s.ref != nil {
+			snap := interp.NewSnapshot()
+			for k, f := range cfg.Fields {
+				snap.Pkt[f] = in[k]
+			}
+			for name, v := range refState {
+				snap.State[name] = v
+			}
+			want, err := s.ref.Run(s.prog, snap)
 			if err != nil {
 				return err
 			}
-			for _, f := range cfg.Fields {
-				if outPkt[f] != want.Pkt[f] {
+			for k, f := range cfg.Fields {
+				if outPkt[k] != want.Pkt[f] {
 					divergences++
-					fmt.Printf("DIVERGENCE pkt %d field %s: pipeline=%d spec=%d\n", i, f, outPkt[f], want.Pkt[f])
+					fmt.Printf("DIVERGENCE pkt %d field %s: pipeline=%d spec=%d\n", i, f, outPkt[k], want.Pkt[f])
 				}
 			}
-			for _, s := range cfg.States {
-				if outState[s] != want.State[s] {
+			for k, st := range cfg.States {
+				if outSt[k] != want.State[st] {
 					divergences++
-					fmt.Printf("DIVERGENCE pkt %d state %s: pipeline=%d spec=%d\n", i, s, outState[s], want.State[s])
+					fmt.Printf("DIVERGENCE pkt %d state %s: pipeline=%d spec=%d\n", i, st, outSt[k], want.State[st])
 				}
 			}
 			refState = want.State
 		}
-		state = outState
 	}
-	fmt.Printf("simulated %d packets through %d-stage pipeline", *packets, cfg.Grid.Stages)
-	if ref != nil {
+	elapsed := time.Since(start)
+	fmt.Printf("simulated %d packets through %d-stage pipeline", packets, cfg.Grid.Stages)
+	if s.ref != nil {
 		fmt.Printf("; %d divergences from specification", divergences)
 	}
 	fmt.Println()
+	throughput(packets, elapsed, s.engine)
 	if divergences > 0 {
 		os.Exit(4)
 	}
 	return nil
 }
 
-// runWorkload replays a generated multi-flow trace with per-flow state,
-// differential-testing per flow when a program is supplied.
-func runWorkload(cfg *pisa.Config, prog *ast.Program, ref *interp.Interp, flows int, zipf float64, packets int, seed int64, traceOut bool) error {
+// replayPreState re-derives the interpreter-side state vector as it stood
+// before packet index n (both engines agreed up to there).
+func (s *sim) replayPreState(seed int64, n int) []uint64 {
+	cfg := s.cfg
+	rng := rand.New(rand.NewSource(seed))
+	w := cfg.Grid.WordWidth
+	pkt := make([]uint64, len(cfg.Fields))
+	st := make([]uint64, len(cfg.States))
+	scratch := cfg.NewScratch()
+	for i := 0; i < n; i++ {
+		for k := range pkt {
+			pkt[k] = w.Trunc(rng.Uint64())
+		}
+		cfg.ExecInto(scratch, pkt, st)
+	}
+	return st
+}
+
+// runWorkload replays a generated multi-flow trace with per-flow state.
+func (s *sim) runWorkload(flows int, zipf float64, packets int, seed int64) error {
+	cfg := s.cfg
 	trace := workload.Generate(workload.Spec{
 		Flows:   flows,
 		Packets: packets,
@@ -142,58 +236,192 @@ func runWorkload(cfg *pisa.Config, prog *ast.Program, ref *interp.Interp, flows 
 		Seed:    seed,
 	})
 	fmt.Printf("workload: %s\n", workload.Summarize(trace))
-	pf := workload.NewPerFlow(cfg)
-	w := cfg.Grid.WordWidth
+	flowIDs, vals, nFlows := workload.Flatten(trace, cfg.Fields)
+
+	// Pure compiled replay: the batch path, optionally sharded.
+	if s.engine == "compiled" {
+		if s.ref != nil {
+			return fmt.Errorf("-program needs a per-packet engine: use -engine interp or both")
+		}
+		start := time.Now()
+		res := linerate.ReplaySharded(s.eng, flowIDs, vals, nFlows, s.shards)
+		elapsed := time.Since(start)
+		fmt.Printf("simulated %d packets across %d flows (checksum %#016x, %d shards)\n",
+			res.Packets, flows, res.Checksum, s.shards)
+		throughput(res.Packets, elapsed, s.engine)
+		return nil
+	}
+
+	nf, ns := len(cfg.Fields), len(cfg.States)
+	interpStates := make([][]uint64, nFlows)
+	engStates := make([][]uint64, nFlows)
+	in := make([]uint64, nf)
+	interpPkt := make([]uint64, nf)
+	engPkt := make([]uint64, nf)
 	refState := map[int]map[string]uint64{}
 	divergences := 0
+	start := time.Now()
 	for i, p := range trace {
-		// Ensure every config field exists on the packet.
-		for _, f := range cfg.Fields {
-			if _, ok := p.Fields[f]; !ok {
-				p.Fields[f] = 0
+		flow := flowIDs[i]
+		copy(in, vals[i*nf:(i+1)*nf])
+		if interpStates[flow] == nil {
+			interpStates[flow] = make([]uint64, ns)
+			engStates[flow] = make([]uint64, ns)
+		}
+		copy(interpPkt, in)
+		cfg.ExecInto(s.scratch, interpPkt, interpStates[flow])
+		if s.engine == "both" {
+			copy(engPkt, in)
+			s.eng.ExecInto(s.buf, engPkt, engStates[flow])
+			if d := firstDiff(interpPkt, engPkt, interpStates[flow], engStates[flow]); d != "" {
+				preSt := replayFlowPreState(cfg, flowIDs, vals, flow, i)
+				return s.reportEngineDivergence(in, preSt, i, d)
 			}
 		}
-		out := pf.Process(p)
-		if traceOut {
-			fmt.Printf("pkt %4d flow %2d out=%s\n", i, p.Flow, renderMap(out))
+		if s.trace {
+			fmt.Printf("pkt %4d flow %2d out=%s\n", i, flow, renderVec(cfg.Fields, interpPkt))
 		}
-		if ref != nil {
+		if s.ref != nil {
 			snap := interp.NewSnapshot()
 			for k, v := range p.Fields {
-				snap.Pkt[k] = w.Trunc(v)
+				snap.Pkt[k] = cfg.Grid.WordWidth.Trunc(v)
 			}
-			if st := refState[p.Flow]; st != nil {
+			for _, f := range cfg.Fields {
+				if _, ok := snap.Pkt[f]; !ok {
+					snap.Pkt[f] = 0
+				}
+			}
+			if st := refState[flow]; st != nil {
 				snap.State = st
 			}
-			want, err := ref.Run(prog, snap)
+			want, err := s.ref.Run(s.prog, snap)
 			if err != nil {
 				return err
 			}
-			refState[p.Flow] = want.State
-			for _, f := range cfg.Fields {
-				if out[f] != want.Pkt[f] {
+			refState[flow] = want.State
+			for k, f := range cfg.Fields {
+				if interpPkt[k] != want.Pkt[f] {
 					divergences++
 					fmt.Printf("DIVERGENCE pkt %d flow %d field %s: pipeline=%d spec=%d\n",
-						i, p.Flow, f, out[f], want.Pkt[f])
+						i, flow, f, interpPkt[k], want.Pkt[f])
 				}
 			}
 		}
 	}
-	fmt.Printf("simulated %d packets across %d flows", packets, flows)
-	if ref != nil {
+	elapsed := time.Since(start)
+	fmt.Printf("simulated %d packets across %d flows", len(trace), flows)
+	if s.ref != nil {
 		fmt.Printf("; %d divergences from specification", divergences)
 	}
 	fmt.Println()
+	engine := s.engine
+	if engine == "both" {
+		engine = "both (lockstep)"
+	}
+	throughput(len(trace), elapsed, engine)
 	if divergences > 0 {
 		os.Exit(4)
 	}
 	return nil
 }
 
-func renderMap(m map[string]uint64) string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// replayFlowPreState re-derives one flow's interpreter-side state before
+// packet index n of a flattened trace.
+func replayFlowPreState(cfg *pisa.Config, flowIDs []int, vals []uint64, flow, n int) []uint64 {
+	nf := len(cfg.Fields)
+	pkt := make([]uint64, nf)
+	st := make([]uint64, len(cfg.States))
+	scratch := cfg.NewScratch()
+	for i := 0; i < n; i++ {
+		if flowIDs[i] != flow {
+			continue
+		}
+		copy(pkt, vals[i*nf:(i+1)*nf])
+		cfg.ExecInto(scratch, pkt, st)
+	}
+	return st
+}
+
+// firstDiff names the first slot where the two engines' outputs differ.
+func firstDiff(aPkt, bPkt, aSt, bSt []uint64) string {
+	for i := range aPkt {
+		if aPkt[i] != bPkt[i] {
+			return fmt.Sprintf("field %d: interp=%d compiled=%d", i, aPkt[i], bPkt[i])
+		}
+	}
+	for i := range aSt {
+		if aSt[i] != bSt[i] {
+			return fmt.Sprintf("state %d: interp=%d compiled=%d", i, aSt[i], bSt[i])
+		}
+	}
+	return ""
+}
+
+// reportEngineDivergence minimizes the diverging input and exits 4. The
+// reproducer it prints is a standalone (packet, pre-state) pair: feeding
+// it to both engines reproduces the disagreement without the trace.
+func (s *sim) reportEngineDivergence(fields, states []uint64, pktIdx int, detail string) error {
+	cfg := s.cfg
+	fmt.Printf("ENGINE DIVERGENCE at pkt %d: %s\n", pktIdx, detail)
+	minF, minS := shrinkReproducer(cfg, s.eng, fields, states)
+	fmt.Printf("minimized reproducer: pkt=%s state=%s\n",
+		renderVec(cfg.Fields, minF), renderVec(cfg.States, minS))
+	os.Exit(4)
+	return nil
+}
+
+// shrinkReproducer greedily minimizes a (packet, pre-state) input on which
+// the interpreted and compiled engines disagree, trying 0 then halvings
+// for every value until a fixpoint.
+func shrinkReproducer(cfg *pisa.Config, eng *linerate.Engine, fields, states []uint64) ([]uint64, []uint64) {
+	scratch := cfg.NewScratch()
+	buf := eng.NewBuf()
+	nf := len(fields)
+	cur := append(append([]uint64{}, fields...), states...)
+	a := make([]uint64, len(cur))
+	b := make([]uint64, len(cur))
+	diverges := func(in []uint64) bool {
+		copy(a, in)
+		copy(b, in)
+		cfg.ExecInto(scratch, a[:nf], a[nf:])
+		eng.ExecInto(buf, b[:nf], b[nf:])
+		for i := range a {
+			if a[i] != b[i] {
+				return true
+			}
+		}
+		return false
+	}
+	if !diverges(cur) {
+		// Divergence was state-history dependent in a way the standalone
+		// pair does not capture; report the unshrunk input.
+		return cur[:nf], cur[nf:]
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range cur {
+			orig := cur[i]
+			for _, cand := range []uint64{0, orig >> 1, orig - 1} {
+				if cand >= orig {
+					continue
+				}
+				cur[i] = cand
+				if diverges(cur) {
+					changed = true
+					break
+				}
+				cur[i] = orig
+			}
+		}
+	}
+	return cur[:nf], cur[nf:]
+}
+
+func renderVec(names []string, vals []uint64) string {
+	keys := append([]string{}, names...)
+	idx := map[string]int{}
+	for i, n := range names {
+		idx[n] = i
 	}
 	sort.Strings(keys)
 	out := "{"
@@ -201,7 +429,7 @@ func renderMap(m map[string]uint64) string {
 		if i > 0 {
 			out += " "
 		}
-		out += fmt.Sprintf("%s=%d", k, m[k])
+		out += fmt.Sprintf("%s=%d", k, vals[idx[k]])
 	}
 	return out + "}"
 }

@@ -369,9 +369,19 @@ func update[V any](a arith.Arith[V], mode, base, u V) V {
 // grid's stateful input muxes). It returns the new state vector and the
 // ALU's output wire value.
 func EvalStateful[V any](a arith.Arith[V], s Stateful, holes map[string]V, state, pkt []V) ([]V, V) {
-	if len(state) != s.NumStates() || len(pkt) != s.NumPacketOperands() {
-		panic(fmt.Sprintf("alu: %s expects %d states and %d operands, got %d and %d",
-			s.Kind, s.NumStates(), s.NumPacketOperands(), len(state), len(pkt)))
+	newSt := make([]V, s.NumStates())
+	out := EvalStatefulInto(a, s, holes, state, pkt, newSt)
+	return newSt, out
+}
+
+// EvalStatefulInto is EvalStateful writing the new state vector into newSt
+// (length NumStates) instead of allocating one — the variant the
+// allocation-free execution paths (pisa.Config.ExecInto, internal/linerate)
+// use. newSt may not alias state.
+func EvalStatefulInto[V any](a arith.Arith[V], s Stateful, holes map[string]V, state, pkt, newSt []V) V {
+	if len(state) != s.NumStates() || len(pkt) != s.NumPacketOperands() || len(newSt) != s.NumStates() {
+		panic(fmt.Sprintf("alu: %s expects %d states and %d operands, got %d, %d and %d new-state slots",
+			s.Kind, s.NumStates(), s.NumPacketOperands(), len(state), len(pkt), len(newSt)))
 	}
 	h := func(name string) V {
 		v, ok := holes[name]
@@ -395,22 +405,24 @@ func EvalStateful[V any](a arith.Arith[V], s Stateful, holes map[string]V, state
 	switch s.Kind {
 	case Counter:
 		oldS := state[0]
-		newS := a.Mux(h("mode"), pkt[0], a.Add(oldS, h("const")))
-		return []V{newS}, oldS
+		newSt[0] = a.Mux(h("mode"), pkt[0], a.Add(oldS, h("const")))
+		return oldS
 
 	case PredRaw:
 		oldS := state[0]
 		pred := predicate("", oldS)
 		newS := a.Mux(pred, updGroup("upd", oldS), oldS)
 		out := selectBy(a, h("out_sel"), oldS, newS, pred, h("cmp_const"))
-		return []V{newS}, out
+		newSt[0] = newS
+		return out
 
 	case IfElseRaw:
 		oldS := state[0]
 		pred := predicate("", oldS)
 		newS := a.Mux(pred, updGroup("then", oldS), updGroup("else", oldS))
 		out := selectBy(a, h("out_sel"), oldS, newS, pred, h("cmp_const"))
-		return []V{newS}, out
+		newSt[0] = newS
+		return out
 
 	case Sub:
 		oldS := state[0]
@@ -419,7 +431,8 @@ func EvalStateful[V any](a arith.Arith[V], s Stateful, holes map[string]V, state
 		pred := relop(a, h("rel"), a.Sub(cmpL, cmpR), h("cmp_const2"))
 		newS := a.Mux(pred, updGroup("then", oldS), updGroup("else", oldS))
 		out := selectBy(a, h("out_sel"), oldS, newS, pred, h("cmp_const"))
-		return []V{newS}, out
+		newSt[0] = newS
+		return out
 
 	case NestedIfs:
 		oldS := state[0]
@@ -429,7 +442,8 @@ func EvalStateful[V any](a arith.Arith[V], s Stateful, holes map[string]V, state
 			a.Mux(pred2, updGroup("upd00", oldS), updGroup("upd01", oldS)),
 			a.Mux(pred2, updGroup("upd10", oldS), updGroup("upd11", oldS)))
 		out := selectBy(a, h("out_sel"), oldS, newS, pred1, pred2)
-		return []V{newS}, out
+		newSt[0] = newS
+		return out
 
 	case Pair:
 		oldS0, oldS1 := state[0], state[1]
@@ -445,7 +459,8 @@ func EvalStateful[V any](a arith.Arith[V], s Stateful, holes map[string]V, state
 		newS0 := a.Mux(pred, upd("s0_then_sel", "s0_then_mode"), upd("s0_else_sel", "s0_else_mode"))
 		newS1 := a.Mux(pred, upd("s1_then_sel", "s1_then_mode"), upd("s1_else_sel", "s1_else_mode"))
 		out := selectBy(a, h("out_sel"), oldS0, oldS1, newS0, newS1, pred, c2)
-		return []V{newS0, newS1}, out
+		newSt[0], newSt[1] = newS0, newS1
+		return out
 
 	default:
 		panic("alu: unknown stateful kind")

@@ -103,6 +103,10 @@ type Summary struct {
 	SolverChecks int `json:"solver_checks"`
 	Mutants      int `json:"mutants"`
 	UnsatProbes  int `json:"unsat_probes"`
+	// EngineProbes counts random compiled-engine-vs-interpreter probe
+	// inputs fired by the line-rate differential oracle (the exhaustive
+	// small-width sweeps it also runs are not counted here).
+	EngineProbes int `json:"engine_probes"`
 	Failures     int `json:"failures"`
 	// Campaign effort: total wall clock, throughput, and the per-oracle
 	// time split (summed across workers, so the *_ms fields can exceed
@@ -128,6 +132,7 @@ func (s Summary) Samples() map[string]float64 {
 		"timed_out":     float64(s.TimedOut),
 		"solver_checks": float64(s.SolverChecks),
 		"mutants":       float64(s.Mutants),
+		"engine_probes": float64(s.EngineProbes),
 		"failures":      float64(s.Failures),
 		"elapsed_ms":    s.ElapsedMS,
 		"iters_per_sec": s.ItersPerSec,
@@ -265,6 +270,14 @@ func runIteration(ctx context.Context, i int, opts CampaignOptions, mu *sync.Mut
 		if d := CheckConfigEquivalence(sc.Prog, rep.Config, seed); d != nil {
 			min := shrinkCompileFailure(ctx, sc, seed, opts.compileTimeout())
 			fail(d.Kind, d.Detail, min.Print(), min != sc.Prog)
+		}
+		// The compiled engine must track the interpreted datapath too.
+		// Both sides are allocation-free, so these probes are nearly free
+		// next to the compile that produced the config.
+		const engineProbes = 4096
+		count(func(s *Summary) { s.EngineProbes += engineProbes })
+		if d := CheckEngineEquivalence(rep.Config, seed, engineProbes); d != nil {
+			fail(d.Kind, d.Detail, sc.Prog.Print(), false)
 		}
 	default:
 		count(func(s *Summary) { s.Infeasible++ })

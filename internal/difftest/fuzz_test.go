@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"context"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -51,6 +52,69 @@ func FuzzCompileEquivalence(f *testing.F) {
 		}
 		if d := CheckConfigEquivalence(sc.Prog, rep.Config, 1); d != nil {
 			t.Fatalf("%s\nprogram:\n%s", d, sc.Prog.Print())
+		}
+	})
+}
+
+// FuzzCompiledExec derives a random configuration from fuzz bytes — no
+// synthesis in the loop, so iterations are cheap — and differentially
+// tests the three execution paths against each other: the map-based
+// Config.Exec, the allocation-free Config.ExecInto, and the compiled
+// line-rate engine, including an exhaustive small-space sweep when the
+// input space fits a fuzz-friendly budget.
+func FuzzCompiledExec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9})
+	f.Add([]byte{0, 255, 0, 255, 8, 8, 8, 8})
+	f.Add([]byte{42, 17, 99, 1, 2, 3, 250, 128, 64, 32, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := RandomConfig(NewByteChooser(data))
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("RandomConfig built an invalid config: %v", err)
+		}
+		// Budgets are deliberately small: under fuzz instrumentation each
+		// transaction costs microseconds, and throughput matters more than
+		// per-input depth (the campaign and linerate tests go deep).
+		nVars := len(cfg.Fields) + len(cfg.States)
+		if 5*nVars <= 10 {
+			small := *cfg
+			small.Grid.WordWidth = 5
+			if d := engineSweep(&small, nil, 0); d != nil {
+				t.Fatalf("%s\nconfig:\n%s", d, cfg)
+			}
+		}
+		rng := rand.New(rand.NewSource(1))
+		if d := engineSweep(cfg, rng, 512); d != nil {
+			t.Fatalf("%s\nconfig:\n%s", d, cfg)
+		}
+		// Triangulate the map-based path against the flat path.
+		w := cfg.Grid.WordWidth
+		scratch := cfg.NewScratch()
+		fv := make([]uint64, len(cfg.Fields))
+		sv := make([]uint64, len(cfg.States))
+		for trial := 0; trial < 32; trial++ {
+			pkt := map[string]uint64{}
+			st := map[string]uint64{}
+			for i, name := range cfg.Fields {
+				fv[i] = w.Trunc(rng.Uint64())
+				pkt[name] = fv[i]
+			}
+			for i, name := range cfg.States {
+				sv[i] = w.Trunc(rng.Uint64())
+				st[name] = sv[i]
+			}
+			outPkt, outSt := cfg.Exec(pkt, st)
+			cfg.ExecInto(scratch, fv, sv)
+			for i, name := range cfg.Fields {
+				if fv[i] != outPkt[name] {
+					t.Fatalf("pkt.%s: ExecInto=%d Exec=%d\nconfig:\n%s", name, fv[i], outPkt[name], cfg)
+				}
+			}
+			for i, name := range cfg.States {
+				if sv[i] != outSt[name] {
+					t.Fatalf("state %s: ExecInto=%d Exec=%d\nconfig:\n%s", name, sv[i], outSt[name], cfg)
+				}
+			}
 		}
 	})
 }

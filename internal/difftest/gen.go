@@ -23,10 +23,13 @@
 package difftest
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/alu"
 	"repro/internal/ast"
+	"repro/internal/pisa"
+	"repro/internal/word"
 )
 
 // Chooser is the decision source for the random generators. *rand.Rand
@@ -283,4 +286,70 @@ func randomStatefulScenario(c Chooser, opts GenOptions) Scenario {
 		MaxStages: 1 + c.Intn(2),
 		Stateful:  alu.Stateful{Kind: statefulKinds[c.Intn(len(statefulKinds))]},
 	}
+}
+
+// allStatefulKinds covers every template, for layers that pay no synthesis
+// cost per draw (the execution-engine fuzzer).
+var allStatefulKinds = []alu.Kind{
+	alu.Counter, alu.PredRaw, alu.IfElseRaw, alu.Sub, alu.NestedIfs, alu.Pair,
+}
+
+// RandomConfig draws a random valid configuration directly — no synthesis
+// involved — for fuzzing the execution layers (Config.Exec, ExecInto, and
+// the compiled line-rate engine) on grid shapes, hole values, and word
+// widths the synthesizer would rarely emit. The word width deliberately
+// ranges below the control-hole widths so mux-selector truncation
+// aliasing is in scope.
+func RandomConfig(c Chooser) *pisa.Config {
+	g := pisa.GridSpec{
+		Stages:       1 + c.Intn(3),
+		Width:        1 + c.Intn(3),
+		WordWidth:    word.Width(2 + c.Intn(7)),
+		StatelessALU: alu.Stateless{ConstBits: 1 + c.Intn(6)},
+		StatefulALU: alu.Stateful{
+			Kind:      allStatefulKinds[c.Intn(len(allStatefulKinds))],
+			ConstBits: 1 + c.Intn(6),
+		},
+	}
+	nf := c.Intn(min(len(fieldNames), g.Width) + 1)
+	fields := fieldNames[:nf]
+	states := make([]string, c.Intn(g.StateSlots()+1))
+	for i := range states {
+		states[i] = fmt.Sprintf("s%d", i)
+	}
+	h := pisa.NewHoles[uint64](g, false, nf, func(name string, bits int, data bool) uint64 {
+		if bits > 12 {
+			bits = 12
+		}
+		return uint64(c.Intn(1 << bits))
+	})
+	// Exactly one active stage per used state column (Validate's rule).
+	ns := g.StatefulALU.NumStates()
+	used := (len(states) + ns - 1) / ns
+	for j := 0; j < g.Width; j++ {
+		for i := 0; i < g.Stages; i++ {
+			h.SaluActive[i][j] = 0
+		}
+		if j < used {
+			h.SaluActive[c.Intn(g.Stages)][j] = 1
+		}
+	}
+	cfg := &pisa.Config{Grid: g, Fields: fields, States: states, Values: h}
+	if nf > 0 && c.Intn(2) == 0 {
+		// Indicator allocation: a random partial permutation, drawn from a
+		// shrinking free list so any Chooser terminates.
+		free := make([]int, g.Width)
+		for j := range free {
+			free[j] = j
+		}
+		alloc := make([][]uint64, nf)
+		for f := range alloc {
+			alloc[f] = make([]uint64, g.Width)
+			idx := c.Intn(len(free))
+			alloc[f][free[idx]] = 1
+			free = append(free[:idx], free[idx+1:]...)
+		}
+		cfg.Values.FieldAlloc = alloc
+	}
+	return cfg
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/interp"
+	"repro/internal/linerate"
 	"repro/internal/pisa"
 	"repro/internal/word"
 )
@@ -31,6 +32,7 @@ const (
 	KindMissedSolution  = "missed-solution"     // infeasible claim, but sampling found a config
 	KindCompileError    = "compile-error"       // Compile returned a hard error
 	KindConfigInvalid   = "config-invalid"      // synthesized config fails validation
+	KindEngineMismatch  = "engine-mismatch"     // compiled line-rate engine vs interpreted datapath disagree
 )
 
 // exhaustiveCheckWidth is the small width used for exhaustive
@@ -66,29 +68,55 @@ func CheckConfigEquivalence(prog *ast.Program, cfg *pisa.Config, seed int64) *Di
 	return probeRandom(prog, cfg, rng, 512)
 }
 
+// configProbe bundles a configuration with the reusable buffers of its
+// allocation-free execution path, so the probe loops below run the config
+// side without per-input allocation (the interpreter side still builds
+// snapshots — it is the reference, not the bottleneck we control).
+type configProbe struct {
+	cfg     *pisa.Config
+	scratch *pisa.ExecScratch
+	fv, sv  []uint64
+}
+
+func newConfigProbe(cfg *pisa.Config) *configProbe {
+	return &configProbe{
+		cfg:     cfg,
+		scratch: cfg.NewScratch(),
+		fv:      make([]uint64, len(cfg.Fields)),
+		sv:      make([]uint64, len(cfg.States)),
+	}
+}
+
 // compareAt runs one input through the interpreter and the simulator and
 // reports the first disagreement on the config's variables.
-func compareAt(in *interp.Interp, prog *ast.Program, cfg *pisa.Config, snap interp.Snapshot) *Discrepancy {
+func (cp *configProbe) compareAt(in *interp.Interp, prog *ast.Program, snap interp.Snapshot) *Discrepancy {
+	cfg := cp.cfg
 	want, err := in.Run(prog, snap)
 	if err != nil {
 		return &Discrepancy{Kind: KindCompileError, Detail: fmt.Sprintf("interpreter rejected input %s: %v", snap, err)}
 	}
-	gotPkt, gotState := cfg.Exec(snap.Pkt, snap.State)
-	for _, f := range cfg.Fields {
-		if gotPkt[f] != want.Pkt[f] {
+	for i, f := range cfg.Fields {
+		cp.fv[i] = snap.Pkt[f]
+	}
+	for i, s := range cfg.States {
+		cp.sv[i] = snap.State[s]
+	}
+	cfg.ExecInto(cp.scratch, cp.fv, cp.sv)
+	for i, f := range cfg.Fields {
+		if cp.fv[i] != want.Pkt[f] {
 			return &Discrepancy{
 				Kind: KindConfigMismatch,
 				Detail: fmt.Sprintf("width %d input %s: config pkt.%s = %d, interpreter says %d",
-					cfg.Grid.WordWidth, snap, f, gotPkt[f], want.Pkt[f]),
+					cfg.Grid.WordWidth, snap, f, cp.fv[i], want.Pkt[f]),
 			}
 		}
 	}
-	for _, s := range cfg.States {
-		if gotState[s] != want.State[s] {
+	for i, s := range cfg.States {
+		if cp.sv[i] != want.State[s] {
 			return &Discrepancy{
 				Kind: KindConfigMismatch,
 				Detail: fmt.Sprintf("width %d input %s: config state %s = %d, interpreter says %d",
-					cfg.Grid.WordWidth, snap, s, gotState[s], want.State[s]),
+					cfg.Grid.WordWidth, snap, s, cp.sv[i], want.State[s]),
 			}
 		}
 	}
@@ -100,6 +128,7 @@ func compareAt(in *interp.Interp, prog *ast.Program, cfg *pisa.Config, snap inte
 func sweepExhaustive(prog *ast.Program, cfg *pisa.Config) *Discrepancy {
 	w := cfg.Grid.WordWidth
 	in := interp.MustNew(w)
+	cp := newConfigProbe(cfg)
 	names := append(append([]string{}, cfg.Fields...), cfg.States...)
 	counts := make([]uint64, len(names))
 	size := w.Size()
@@ -111,7 +140,7 @@ func sweepExhaustive(prog *ast.Program, cfg *pisa.Config) *Discrepancy {
 		for i, s := range cfg.States {
 			snap.State[s] = counts[len(cfg.Fields)+i]
 		}
-		if d := compareAt(in, prog, cfg, snap); d != nil {
+		if d := cp.compareAt(in, prog, snap); d != nil {
 			return d
 		}
 		i := 0
@@ -168,6 +197,7 @@ func randomEquivalent(a, b *ast.Program, seed int64) *Discrepancy {
 func probeRandom(prog *ast.Program, cfg *pisa.Config, rng *rand.Rand, n int) *Discrepancy {
 	w := cfg.Grid.WordWidth
 	in := interp.MustNew(w)
+	cp := newConfigProbe(cfg)
 	for trial := 0; trial < n; trial++ {
 		snap := interp.NewSnapshot()
 		for _, f := range cfg.Fields {
@@ -176,9 +206,89 @@ func probeRandom(prog *ast.Program, cfg *pisa.Config, rng *rand.Rand, n int) *Di
 		for _, s := range cfg.States {
 			snap.State[s] = w.Trunc(rng.Uint64())
 		}
-		if d := compareAt(in, prog, cfg, snap); d != nil {
+		if d := cp.compareAt(in, prog, snap); d != nil {
 			return d
 		}
 	}
 	return nil
+}
+
+// CheckEngineEquivalence is the differential oracle for the line-rate
+// subsystem: the compiled engine (internal/linerate) must agree with the
+// interpreted datapath (Config.ExecInto) input-for-input. Like
+// CheckConfigEquivalence it enumerates the full input space at a small
+// width when the space fits the bit budget, then fires random probes at
+// the configuration's own width — but both sides here are allocation-free,
+// so the probe count can be orders of magnitude higher at the same time
+// budget.
+func CheckEngineEquivalence(cfg *pisa.Config, seed int64, probes int) *Discrepancy {
+	nVars := len(cfg.Fields) + len(cfg.States)
+	if int(exhaustiveCheckWidth)*nVars <= exhaustiveBitBudget {
+		small := *cfg
+		small.Grid.WordWidth = exhaustiveCheckWidth
+		if d := engineSweep(&small, nil, 0); d != nil {
+			return d
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return engineSweep(cfg, rng, probes)
+}
+
+// engineSweep drives both execution paths over the same inputs: an
+// exhaustive odometer when rng is nil, otherwise n random probes.
+func engineSweep(cfg *pisa.Config, rng *rand.Rand, n int) *Discrepancy {
+	eng, err := linerate.Compile(cfg)
+	if err != nil {
+		return &Discrepancy{Kind: KindEngineMismatch, Detail: fmt.Sprintf("engine compile failed: %v", err)}
+	}
+	w := cfg.Grid.WordWidth
+	scratch := cfg.NewScratch()
+	buf := eng.NewBuf()
+	nf, ns := len(cfg.Fields), len(cfg.States)
+	in := make([]uint64, nf+ns)
+	ref := make([]uint64, nf+ns)
+	got := make([]uint64, nf+ns)
+	size := w.Size()
+	for trial := 0; ; trial++ {
+		if rng != nil {
+			if trial == n {
+				return nil
+			}
+			for i := range in {
+				in[i] = w.Trunc(rng.Uint64())
+			}
+		}
+		copy(ref, in)
+		copy(got, in)
+		cfg.ExecInto(scratch, ref[:nf], ref[nf:])
+		eng.ExecInto(buf, got[:nf], got[nf:])
+		for i := range ref {
+			if got[i] != ref[i] {
+				var name string
+				if i < nf {
+					name = "pkt." + cfg.Fields[i]
+				} else {
+					name = "state " + cfg.States[i-nf]
+				}
+				return &Discrepancy{
+					Kind: KindEngineMismatch,
+					Detail: fmt.Sprintf("width %d input %v: engine %s = %d, interpreter says %d",
+						w, in, name, got[i], ref[i]),
+				}
+			}
+		}
+		if rng == nil {
+			i := 0
+			for ; i < len(in); i++ {
+				in[i]++
+				if in[i] < size {
+					break
+				}
+				in[i] = 0
+			}
+			if i == len(in) {
+				return nil
+			}
+		}
+	}
 }

@@ -1,0 +1,351 @@
+package linerate_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/alu"
+	"repro/internal/core"
+	"repro/internal/linerate"
+	"repro/internal/parser"
+	"repro/internal/pisa"
+	"repro/internal/programs"
+	"repro/internal/word"
+	"repro/internal/workload"
+)
+
+// The corpus fixture: every benchmark program synthesized once (seed 7,
+// the same settings the benchmarks use) and shared across tests. Compiling
+// live keeps the fixture honest — the engine is tested against exactly
+// what the synthesizer emits today, not a checked-in snapshot.
+var (
+	corpusOnce sync.Once
+	corpusCfgs map[string]*pisa.Config
+)
+
+func corpusConfigs(t *testing.T) map[string]*pisa.Config {
+	t.Helper()
+	corpusOnce.Do(func() {
+		corpusCfgs = map[string]*pisa.Config{}
+		for _, b := range programs.Corpus() {
+			prog, err := parser.Parse(b.Name, b.Source)
+			if err != nil {
+				t.Errorf("parse %s: %v", b.Name, err)
+				continue
+			}
+			rep, err := core.Compile(context.Background(), prog, core.Options{
+				Width:        b.Width,
+				MaxStages:    b.MaxStages,
+				StatelessALU: alu.Stateless{ConstBits: b.ConstBits},
+				StatefulALU:  alu.Stateful{Kind: b.StatefulALU, ConstBits: b.ConstBits},
+				Seed:         7,
+			})
+			if err != nil {
+				t.Errorf("compile %s: %v", b.Name, err)
+				continue
+			}
+			if !rep.Feasible {
+				t.Errorf("compile %s: infeasible", b.Name)
+				continue
+			}
+			corpusCfgs[b.Name] = rep.Config
+		}
+	})
+	if len(corpusCfgs) == 0 {
+		t.Fatal("corpus fixture failed to build")
+	}
+	return corpusCfgs
+}
+
+// diffAt reports the first slot where engine and interpreter disagree on
+// one input, or -1.
+func diffAt(cfg *pisa.Config, eng *linerate.Engine, scratch *pisa.ExecScratch, buf *linerate.Buf, in, ref, got []uint64) int {
+	nf := len(cfg.Fields)
+	copy(ref, in)
+	copy(got, in)
+	cfg.ExecInto(scratch, ref[:nf], ref[nf:])
+	eng.ExecInto(buf, got[:nf], got[nf:])
+	for i := range ref {
+		if ref[i] != got[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestCompiledMatchesInterpExhaustive sweeps the complete input space of
+// every corpus config at small width (the difftest bit-budget rule: the
+// largest width w <= 5 with w*(fields+states) within budget), proving the
+// compiled engine bit-identical to Config.Exec everywhere — including the
+// narrow-width selector-aliasing corners.
+func TestCompiledMatchesInterpExhaustive(t *testing.T) {
+	budget := 20
+	if testing.Short() {
+		budget = 16
+	}
+	for name, cfg := range corpusConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			nVars := len(cfg.Fields) + len(cfg.States)
+			w := word.Width(5)
+			for w > 1 && int(w)*nVars > budget {
+				w--
+			}
+			if int(w)*nVars > budget {
+				t.Skipf("%d variables exceed the exhaustive bit budget even at width 1", nVars)
+			}
+			small := *cfg
+			small.Grid.WordWidth = w
+			eng, err := linerate.Compile(&small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch, buf := small.NewScratch(), eng.NewBuf()
+			in := make([]uint64, nVars)
+			ref := make([]uint64, nVars)
+			got := make([]uint64, nVars)
+			size := w.Size()
+			for {
+				if i := diffAt(&small, eng, scratch, buf, in, ref, got); i >= 0 {
+					t.Fatalf("width %d input %v: slot %d engine=%d interp=%d", w, in, i, got[i], ref[i])
+				}
+				i := 0
+				for ; i < len(in); i++ {
+					in[i]++
+					if in[i] < size {
+						break
+					}
+					in[i] = 0
+				}
+				if i == len(in) {
+					return
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledMatchesInterpRandom fires randomized probes at each config's
+// full verification width. The default count is the acceptance bar; -short
+// (CI's race run) trims it but keeps the race coverage of the shared
+// immutable Engine.
+func TestCompiledMatchesInterpRandom(t *testing.T) {
+	probes := 100_000
+	if testing.Short() {
+		probes = 20_000
+	}
+	for name, cfg := range corpusConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			eng, err := linerate.Compile(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch, buf := cfg.NewScratch(), eng.NewBuf()
+			nVars := len(cfg.Fields) + len(cfg.States)
+			in := make([]uint64, nVars)
+			ref := make([]uint64, nVars)
+			got := make([]uint64, nVars)
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < probes; trial++ {
+				for i := range in {
+					// Full 64-bit values: input truncation is part of the
+					// contract under test.
+					in[i] = rng.Uint64()
+				}
+				if i := diffAt(cfg, eng, scratch, buf, in, ref, got); i >= 0 {
+					t.Fatalf("trial %d input %v: slot %d engine=%d interp=%d", trial, in, i, got[i], ref[i])
+				}
+			}
+		})
+	}
+}
+
+// TestExecBatchChainsState pins ExecBatch to the packet-at-a-time chain:
+// one flow, state carried across packets, outputs written in place.
+func TestExecBatchChainsState(t *testing.T) {
+	cfgs := corpusConfigs(t)
+	for _, name := range []string{"flowlet", "sampling"} {
+		cfg, ok := cfgs[name]
+		if !ok {
+			t.Fatalf("corpus missing %s", name)
+		}
+		eng, err := linerate.Compile(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nf := len(cfg.Fields)
+		const n = 257
+		rng := rand.New(rand.NewSource(9))
+		batch := make([]uint64, n*nf)
+		for i := range batch {
+			batch[i] = rng.Uint64()
+		}
+		refPkts := append([]uint64(nil), batch...)
+		refSt := make([]uint64, len(cfg.States))
+		scratch := cfg.NewScratch()
+		for i := 0; i < n; i++ {
+			cfg.ExecInto(scratch, refPkts[i*nf:(i+1)*nf], refSt)
+		}
+
+		gotSt := make([]uint64, len(cfg.States))
+		eng.ExecBatch(eng.NewBuf(), batch, n, gotSt)
+		for i := range batch {
+			if batch[i] != refPkts[i] {
+				t.Fatalf("%s: batch output %d: engine=%d interp=%d", name, i, batch[i], refPkts[i])
+			}
+		}
+		for i := range gotSt {
+			if gotSt[i] != refSt[i] {
+				t.Fatalf("%s: final state %d: engine=%d interp=%d", name, i, gotSt[i], refSt[i])
+			}
+		}
+	}
+}
+
+// remapTraceFields copies the generator's field values onto the config's
+// field names positionally, so replays exercise real per-packet variety
+// even when the synthesized program names its fields differently.
+func remapTraceFields(trace []workload.Packet, names []string) {
+	src := []string{"now", "size", "seq", "rtt"}
+	for _, p := range trace {
+		for i, name := range names {
+			if i < len(src) {
+				p.Fields[name] = p.Fields[src[i]]
+			}
+		}
+	}
+}
+
+// TestReplayMatchesPerFlow pins the flattened replay path to the map-based
+// reference wrapper: same trace, same per-flow outputs and final states.
+func TestReplayMatchesPerFlow(t *testing.T) {
+	cfg, ok := corpusConfigs(t)["flowlet"]
+	if !ok {
+		t.Fatal("corpus missing flowlet")
+	}
+	eng, err := linerate.Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.Generate(workload.Spec{
+		Flows: 13, Packets: 4000, ZipfS: 1.1, MeanGap: 3, BurstLen: 4, Seed: 21,
+	})
+	remapTraceFields(trace, cfg.Fields)
+	flows, vals, nFlows := workload.Flatten(trace, cfg.Fields)
+
+	// Reference: map-based per-flow wrapper over Config.Exec.
+	pf := workload.NewPerFlow(cfg)
+	var refSums []uint64
+	refSums = make([]uint64, nFlows)
+	for _, p := range trace {
+		out := pf.Process(p)
+		c := refSums[p.Flow]
+		for _, f := range cfg.Fields {
+			c = c*0x9E3779B97F4A7C15 + (out[f] + 1)
+		}
+		refSums[p.Flow] = c
+	}
+
+	res := linerate.Replay(eng, flows, vals, nFlows)
+	if res.Packets != len(trace) {
+		t.Fatalf("replayed %d packets, want %d", res.Packets, len(trace))
+	}
+	// The replay checksum folds final states after the packet stream; fold
+	// the reference the same way and compare.
+	var want uint64
+	for flow := 0; flow < nFlows; flow++ {
+		c := refSums[flow]
+		if res.FlowStates[flow] != nil {
+			st := pf.StateOf(flow)
+			for _, sname := range cfg.States {
+				c = c*0x9E3779B97F4A7C15 + (st[sname] + 1)
+			}
+			for i, sname := range cfg.States {
+				if res.FlowStates[flow][i] != st[sname] {
+					t.Fatalf("flow %d state %s: engine=%d interp=%d", flow, sname, res.FlowStates[flow][i], st[sname])
+				}
+			}
+		}
+		want ^= c
+	}
+	if res.Checksum != want {
+		t.Fatalf("replay checksum %#x, want %#x", res.Checksum, want)
+	}
+}
+
+// TestShardedReplayMatchesSingle is the sharding invariant: partitioning
+// flows across workers must not change any flow's final state or the
+// order-sensitive per-flow checksums. Run under -race in CI, it also
+// checks the workers share the engine and trace safely.
+func TestShardedReplayMatchesSingle(t *testing.T) {
+	cfgs := corpusConfigs(t)
+	for _, name := range []string{"flowlet", "sampling", "marple_new_flow"} {
+		cfg, ok := cfgs[name]
+		if !ok {
+			t.Fatalf("corpus missing %s", name)
+		}
+		eng, err := linerate.Compile(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := workload.Generate(workload.Spec{
+			Flows: 17, Packets: 6000, ZipfS: 0.9, MeanGap: 2, BurstLen: 3, Seed: 5,
+		})
+		remapTraceFields(trace, cfg.Fields)
+		flows, vals, nFlows := workload.Flatten(trace, cfg.Fields)
+		single := linerate.Replay(eng, flows, vals, nFlows)
+		for _, workers := range []int{2, 3, 4, 7, 32} {
+			sharded := linerate.ReplaySharded(eng, flows, vals, nFlows, workers)
+			if sharded.Packets != single.Packets {
+				t.Fatalf("%s/%d workers: %d packets, want %d", name, workers, sharded.Packets, single.Packets)
+			}
+			if sharded.Checksum != single.Checksum {
+				t.Fatalf("%s/%d workers: checksum %#x, want %#x", name, workers, sharded.Checksum, single.Checksum)
+			}
+			for flow := range single.FlowStates {
+				a, b := single.FlowStates[flow], sharded.FlowStates[flow]
+				if (a == nil) != (b == nil) || len(a) != len(b) {
+					t.Fatalf("%s/%d workers: flow %d state shape mismatch", name, workers, flow)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("%s/%d workers: flow %d state %d: %d vs %d", name, workers, flow, i, b[i], a[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExecIntoDoesNotAllocate is the engine-side zero-allocation contract.
+func TestExecIntoDoesNotAllocate(t *testing.T) {
+	cfg, ok := corpusConfigs(t)["sampling"]
+	if !ok {
+		t.Fatal("corpus missing sampling")
+	}
+	eng, err := linerate.Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := eng.NewBuf()
+	fields := make([]uint64, len(cfg.Fields))
+	states := make([]uint64, len(cfg.States))
+	allocs := testing.AllocsPerRun(500, func() { eng.ExecInto(buf, fields, states) })
+	if allocs != 0 {
+		t.Fatalf("ExecInto allocates %.1f objects per packet, want 0", allocs)
+	}
+}
+
+// TestCompileRejectsInvalid: an unvalidatable config must not compile.
+func TestCompileRejectsInvalid(t *testing.T) {
+	cfg, ok := corpusConfigs(t)["sampling"]
+	if !ok {
+		t.Fatal("corpus missing sampling")
+	}
+	bad := *cfg
+	bad.Grid.WordWidth = 0
+	if _, err := linerate.Compile(&bad); err == nil {
+		t.Fatal("Compile accepted an invalid config")
+	}
+}

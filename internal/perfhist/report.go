@@ -84,9 +84,12 @@ func (o GateOptions) gated(name string) bool {
 }
 
 // higherBetter reports metrics where a drop, not a rise, is the
-// regression (cache speedup, fuzz throughput).
+// regression (cache speedup, fuzz throughput, replay packet rates).
 func higherBetter(name string) bool {
-	return name == "speedup" || strings.HasSuffix(name, "_per_sec")
+	return name == "speedup" || name == "shard_scale" ||
+		strings.HasSuffix(name, "_per_sec") ||
+		strings.HasSuffix(name, "_pps") ||
+		strings.HasSuffix(name, "_speedup")
 }
 
 // Comparison is one (bench, program, metric) cell of a baseline-vs-current

@@ -107,6 +107,25 @@ func TestCompareHigherIsBetter(t *testing.T) {
 	}
 }
 
+// Replay-throughput metrics (pps, per-engine speedups) are
+// higher-is-better: a rate collapse regresses, a rate gain passes.
+func TestComparePPSHigherIsBetter(t *testing.T) {
+	base := mkrecs("BenchmarkPPS", "sampling", 4, func(i int) map[string]float64 {
+		return map[string]float64{"compiled_pps": 2e7 + float64(i), "compiled_speedup": 60, "shard_scale": 3}
+	})
+	cur := mkrecs("BenchmarkPPS", "sampling", 4, func(i int) map[string]float64 {
+		return map[string]float64{"compiled_pps": 5e6 + float64(i), "compiled_speedup": 15, "shard_scale": 1}
+	})
+	for _, m := range []string{"compiled_pps", "compiled_speedup", "shard_scale"} {
+		if c := find(Compare(base, cur, GateOptions{}), m); c == nil || !c.Regressed {
+			t.Errorf("collapsed %s must regress: %+v", m, c)
+		}
+		if c := find(Compare(cur, base, GateOptions{}), m); c == nil || c.Regressed {
+			t.Errorf("improved %s flagged: %+v", m, c)
+		}
+	}
+}
+
 // Below MinSamples the gate decides on the median ratio alone (the
 // deterministic metrics make that safe), with P reported as NaN.
 func TestCompareRatioFallback(t *testing.T) {

@@ -2,6 +2,7 @@ package pisa
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -354,5 +355,89 @@ func TestExecDoesNotMutateInputs(t *testing.T) {
 	cfg.Exec(pkt, st)
 	if pkt["x"] != 5 {
 		t.Fatal("Exec mutated the input packet")
+	}
+}
+
+// TestExecIntoMatchesExec pins the allocation-free concrete path to the
+// generic Datapath across every stateful ALU template, canonical and
+// indicator field allocation, and word widths both wider and narrower than
+// the control holes (narrow widths exercise the truncating mux-selector
+// aliasing ExecInto must reproduce bit for bit).
+func TestExecIntoMatchesExec(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	allFields := []string{"a", "b", "c", "d"}
+	kinds := []alu.Kind{alu.Counter, alu.PredRaw, alu.IfElseRaw, alu.Sub, alu.NestedIfs, alu.Pair}
+	for _, kind := range kinds {
+		for _, ww := range []int{2, 3, 5, 8} {
+			for trial := 0; trial < 25; trial++ {
+				g := testGrid(1+rng.Intn(3), 1+rng.Intn(3), kind)
+				g.WordWidth = word.Width(ww)
+				nf := rng.Intn(min(len(allFields), g.Width) + 1)
+				fields := allFields[:nf]
+				states := make([]string, rng.Intn(g.StateSlots()+1))
+				for i := range states {
+					states[i] = fmt.Sprintf("s%d", i)
+				}
+				cfg := randomConfig(rng, g, fields, states)
+				if rng.Intn(2) == 0 && nf > 0 {
+					// Indicator allocation: a random partial permutation.
+					perm := rng.Perm(g.Width)
+					cfg.Values.FieldAlloc = make([][]uint64, nf)
+					for f := range cfg.Values.FieldAlloc {
+						cfg.Values.FieldAlloc[f] = make([]uint64, g.Width)
+						cfg.Values.FieldAlloc[f][perm[f]] = 1
+					}
+				}
+				if err := cfg.Validate(); err != nil {
+					t.Fatalf("%v/w%d: invalid fixture: %v", kind, ww, err)
+				}
+				scratch := cfg.NewScratch()
+				fv := make([]uint64, len(fields))
+				sv := make([]uint64, len(states))
+				for probe := 0; probe < 20; probe++ {
+					pkt := map[string]uint64{}
+					st := map[string]uint64{}
+					for i, f := range fields {
+						fv[i] = rng.Uint64()
+						pkt[f] = fv[i]
+					}
+					for i, s := range states {
+						sv[i] = rng.Uint64()
+						st[s] = sv[i]
+					}
+					outPkt, outSt := cfg.Exec(pkt, st)
+					cfg.ExecInto(scratch, fv, sv)
+					for i, f := range fields {
+						if fv[i] != outPkt[f] {
+							t.Fatalf("%v/w%d trial %d: field %s: ExecInto=%d Exec=%d\n%s",
+								kind, ww, trial, f, fv[i], outPkt[f], cfg)
+						}
+					}
+					for i, s := range states {
+						if sv[i] != outSt[s] {
+							t.Fatalf("%v/w%d trial %d: state %s: ExecInto=%d Exec=%d\n%s",
+								kind, ww, trial, s, sv[i], outSt[s], cfg)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExecIntoDoesNotAllocate is the contract the hot loops depend on.
+func TestExecIntoDoesNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := testGrid(3, 2, alu.Pair)
+	cfg := randomConfig(rng, g, []string{"a", "b"}, []string{"s0", "s1", "s2"})
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	scratch := cfg.NewScratch()
+	fv := []uint64{5, 9}
+	sv := []uint64{1, 2, 3}
+	allocs := testing.AllocsPerRun(200, func() { cfg.ExecInto(scratch, fv, sv) })
+	if allocs != 0 {
+		t.Fatalf("ExecInto allocates %.1f objects per packet, want 0", allocs)
 	}
 }

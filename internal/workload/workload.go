@@ -259,3 +259,24 @@ func (s Stats) String() string {
 	return fmt.Sprintf("%d packets, %d flows, top flow %.0f%%, %d reordered",
 		s.Packets, s.Flows, s.TopFlowShare*100, s.Reordered)
 }
+
+// Flatten serializes a trace into the flat layout the line-rate engine
+// replays: per-packet flow ids plus a row-major packets × len(fields)
+// value matrix in the given field order. Fields a packet doesn't carry
+// read zero, mirroring how the simulators treat absent map keys. nFlows
+// is one past the highest flow id seen (0 for an empty trace).
+func Flatten(trace []Packet, fields []string) (flows []int, vals []uint64, nFlows int) {
+	flows = make([]int, len(trace))
+	vals = make([]uint64, len(trace)*len(fields))
+	for i, p := range trace {
+		flows[i] = p.Flow
+		if p.Flow >= nFlows {
+			nFlows = p.Flow + 1
+		}
+		row := vals[i*len(fields) : (i+1)*len(fields)]
+		for k, name := range fields {
+			row[k] = p.Fields[name]
+		}
+	}
+	return flows, vals, nFlows
+}

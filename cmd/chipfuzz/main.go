@@ -50,6 +50,7 @@ func run() error {
 		out         = flag.String("out", "", "write failure artifacts (JSONL) to this file instead of stderr")
 		mutantsEach = flag.Int("mutants-every", 8, "run the metamorphic oracle every n-th iteration (0 disables)")
 		unsatSamp   = flag.Int("unsat-samples", 64, "random hole assignments sampled per infeasible verdict")
+		bpfEach     = flag.Int("bpf-every", 0, "also compile every n-th iteration for the bpf register-machine target and oracle-check it (0 disables; meant for the nightly run)")
 		verbose     = flag.Bool("v", false, "log per-failure details and the final summary")
 		perfHistory = flag.String("perf-history", os.Getenv(perfhist.EnvVar),
 			"append campaign effort (iterations/sec, per-oracle time split) to this JSONL performance history")
@@ -80,6 +81,7 @@ func run() error {
 		CompileTimeout: *timeout,
 		MutantsEvery:   *mutantsEach,
 		UnsatSamples:   *unsatSamp,
+		BPFEvery:       *bpfEach,
 		Artifacts:      artifacts,
 	}
 	if *mutantsEach == 0 {
@@ -94,10 +96,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("chipfuzz: %d iters in %s: %d compiles (%d feasible, %d infeasible, %d timed out), %d solver checks, %d mutants, %d unsat probes — %d failure(s)\n",
+	fmt.Printf("chipfuzz: %d iters in %s: %d compiles (%d feasible, %d infeasible, %d timed out), %d solver checks, %d mutants, %d unsat probes, %d bpf compiles (%d feasible) — %d failure(s)\n",
 		sum.Iters, time.Since(start).Round(time.Millisecond),
 		sum.Compiles, sum.Feasible, sum.Infeasible, sum.TimedOut,
-		sum.SolverChecks, sum.Mutants, sum.UnsatProbes, sum.Failures)
+		sum.SolverChecks, sum.Mutants, sum.UnsatProbes,
+		sum.BPFCompiles, sum.BPFFeasible, sum.Failures)
 	if *perfHistory != "" {
 		hist, err := perfhist.Open(*perfHistory, "chipfuzz")
 		if err != nil {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/alu"
+	"repro/internal/bpf"
 	"repro/internal/cegis"
 	"repro/internal/core"
 	"repro/internal/emit"
@@ -51,8 +52,10 @@ func main() {
 
 func run() error {
 	var (
-		width       = flag.Int("width", 2, "pipeline width (PHV containers / ALUs per stage)")
-		maxStages   = flag.Int("max-stages", 4, "maximum pipeline stages for iterative deepening")
+		target      = flag.String("target", "pisa", "compile target: pisa (grid pipeline) or bpf (register machine)")
+		width       = flag.Int("width", 2, "pipeline width (PHV containers / ALUs per stage); pisa only")
+		maxStages   = flag.Int("max-stages", 4, "maximum pipeline stages (pisa) or instruction slots (bpf) for iterative deepening")
+		opcodeMask  = flag.Uint64("bpf-opcode-mask", 0, "bpf only: bitmask over bpf.Opcode restricting the machine's opcode vocabulary (0 = full ISA)")
 		aluKind     = flag.String("alu", "if_else_raw", "stateful ALU template: counter, pred_raw, if_else_raw, sub, nested_ifs, pair")
 		constBits   = flag.Int("const-bits", alu.DefaultConstBits, "immediate-operand hole width in bits")
 		synthWidth  = flag.Int("synth-width", 4, "datapath bit width for the synthesis phase")
@@ -65,7 +68,7 @@ func run() error {
 		seedFanout  = flag.Int("seed-fanout", 1, "diversified CEGIS seeds raced per stage depth in portfolio mode")
 		raceAllocs  = flag.Bool("race-allocs", false, "also race the opposite field-allocation mode in portfolio mode")
 		asJSON      = flag.Bool("json", false, "emit the configuration as JSON")
-		emitLang    = flag.String("emit", "", "translate the configuration to low-level code: \"go\" or \"p4\"")
+		emitLang    = flag.String("emit", "", "translate the configuration to low-level code: \"go\" or \"p4\" (pisa), \"bpfc\" (bpf)")
 		verbose     = flag.Bool("v", false, "trace CEGIS phases")
 		traceOut    = flag.String("trace-out", "", "write a JSONL span trace of the synthesis run to this file")
 		stats       = flag.Bool("stats", false, "print solver metrics and a span summary tree to stderr")
@@ -78,6 +81,9 @@ func run() error {
 
 	if *watch && *remote == "" {
 		return fmt.Errorf("-watch requires -remote (live events stream from a chipmunkd daemon)")
+	}
+	if *remote != "" && *opcodeMask != 0 {
+		return fmt.Errorf("-bpf-opcode-mask is local-only (the daemon API does not expose a machine mask)")
 	}
 
 	src, name, err := readSource(flag.Arg(0))
@@ -93,6 +99,7 @@ func run() error {
 		return runRemote(*remote, server.CompileRequest{
 			Name:        prog.Name,
 			Source:      src,
+			Target:      *target,
 			Width:       *width,
 			MaxStages:   *maxStages,
 			ALU:         *aluKind,
@@ -110,8 +117,10 @@ func run() error {
 		return err
 	}
 	opts := core.Options{
+		Target:         *target,
 		Width:          *width,
 		MaxStages:      *maxStages,
+		BPFOpcodeMask:  uint32(*opcodeMask),
 		StatelessALU:   alu.Stateless{ConstBits: *constBits},
 		StatefulALU:    alu.Stateful{Kind: kind, ConstBits: *constBits},
 		SynthWidth:     word.Width(*synthWidth),
@@ -192,6 +201,9 @@ func run() error {
 	case rep.TimedOut:
 		fmt.Printf("TIMEOUT after %v (depths probed: %s)\n", rep.Elapsed.Round(time.Millisecond), depthSummary(rep))
 		os.Exit(2)
+	case !rep.Feasible && rep.Target == "bpf":
+		fmt.Printf("INFEASIBLE on the bpf register machine up to %d slots (%v)\n", *maxStages, rep.Elapsed.Round(time.Millisecond))
+		os.Exit(3)
 	case !rep.Feasible:
 		fmt.Printf("INFEASIBLE on a %d-wide grid up to %d stages (%v)\n", *width, *maxStages, rep.Elapsed.Round(time.Millisecond))
 		os.Exit(3)
@@ -200,11 +212,14 @@ func run() error {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rep.Config)
+		return enc.Encode(rep.Artifact)
 	}
 	switch *emitLang {
 	case "":
 	case "go":
+		if rep.Config == nil {
+			return fmt.Errorf("-emit go requires -target pisa")
+		}
 		src, err := emit.Go(rep.Config, 100, 1)
 		if err != nil {
 			return err
@@ -212,23 +227,42 @@ func run() error {
 		fmt.Print(src)
 		return nil
 	case "p4":
+		if rep.Config == nil {
+			return fmt.Errorf("-emit p4 requires -target pisa")
+		}
 		src, err := emit.P4(rep.Config)
 		if err != nil {
 			return err
 		}
 		fmt.Print(src)
 		return nil
+	case "bpfc":
+		bc, ok := rep.Artifact.(*bpf.Config)
+		if !ok {
+			return fmt.Errorf("-emit bpfc requires -target bpf")
+		}
+		src, err := emit.BPFC(bc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(src)
+		return nil
 	default:
-		return fmt.Errorf("unknown -emit language %q (want go or p4)", *emitLang)
+		return fmt.Errorf("unknown -emit language %q (want go, p4, or bpfc)", *emitLang)
 	}
 	how := depthSummary(rep)
 	if rep.Cached {
 		how = "solution cache hit"
 	}
 	fmt.Printf("compiled %q in %v (%s)\n", prog.Name, rep.Elapsed.Round(time.Millisecond), how)
-	fmt.Printf("resources: %d stage(s), max %d ALU(s)/stage, %d total\n\n",
-		rep.Usage.Stages, rep.Usage.MaxALUsPerStage, rep.Usage.TotalALUs)
-	fmt.Print(rep.Config.String())
+	if bc, ok := rep.Artifact.(*bpf.Config); ok {
+		fmt.Printf("resources: %d slot(s), %d live instruction(s), %d register(s)\n\n",
+			bc.Spec.Slots, bc.LiveInstrs(), bc.Spec.RegsFor(len(bc.Fields)))
+	} else {
+		fmt.Printf("resources: %d stage(s), max %d ALU(s)/stage, %d total\n\n",
+			rep.Usage.Stages, rep.Usage.MaxALUsPerStage, rep.Usage.TotalALUs)
+	}
+	fmt.Print(rep.Artifact.String())
 	return nil
 }
 
@@ -355,7 +389,11 @@ func depthSummary(rep *core.Report) string {
 		case d.TimedOut:
 			verdict = "timeout"
 		}
-		label := fmt.Sprintf("%d stage(s)", d.Stages)
+		unit := "stage(s)"
+		if rep.Target == "bpf" {
+			unit = "slot(s)"
+		}
+		label := fmt.Sprintf("%d %s", d.Stages, unit)
 		if d.Member != "" {
 			label = d.Member
 		}

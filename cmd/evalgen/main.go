@@ -46,6 +46,7 @@ func run() error {
 		traceDir  = flag.String("trace-dir", "", "write one JSONL span trace per mutant compilation into this directory")
 		stats     = flag.Bool("stats", false, "print aggregate solver metrics after the run")
 		cachePath = flag.String("cache-path", "", "persist the solution cache to this JSON file; repeat sweeps skip already-solved mutants")
+		withBPF   = flag.Bool("bpf", false, "also compile each mutant for the bpf register-machine target (hand-worked slot budgets) and add per-target columns")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func run() error {
 		Parallel:         *parallel,
 		IntraParallelism: *intraPar,
 		SeedFanout:       *fanout,
+		BPF:              *withBPF,
 	}
 	if *progs != "" {
 		opts.Programs = strings.Split(*progs, ",")

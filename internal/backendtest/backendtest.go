@@ -1,0 +1,223 @@
+// Package backendtest is the conformance suite for backend.Backend
+// implementations: a shared battery of properties every compile target
+// must satisfy for the CEGIS core to be sound on it. New backends get
+// these checks for free by adding one test that calls Run — the same
+// pattern the standard library uses for filesystem and hash conformance.
+//
+// The properties are exactly the seams cegis.SynthesizeOn trusts:
+//
+//   - the hole inventory is consistent (HoleCount equals the inventory's
+//     totals, names are unique, widths positive);
+//   - a synthesized configuration decodes into something valid whose
+//     variables echo the program's (decode(encode) identity at the
+//     interface level);
+//   - the decoded config's concrete interpreter agrees with its own
+//     symbolic re-encoding on random inputs — the exact coherence the
+//     verification phase relies on when it re-encodes an extracted
+//     config instead of the sketch;
+//   - the interpreter is deterministic and does not mutate its inputs,
+//     which the difftest oracles and the solution cache assume.
+package backendtest
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/backend"
+	"repro/internal/cegis"
+	"repro/internal/circuit"
+)
+
+// Run executes the full conformance battery: be must synthesize prog at
+// the given program size (known-feasible by construction of the caller's
+// fixture) and the resulting configuration must satisfy every interface
+// contract. seed feeds both CEGIS and the random probing.
+func Run(t *testing.T, be backend.Backend, prog *ast.Program, size int, seed int64) {
+	t.Helper()
+	vars := prog.Variables()
+	nf, ns := len(vars.Fields), len(vars.States)
+
+	checkInventory(t, be, size, nf, ns)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	res, err := cegis.SynthesizeOn(ctx, prog, be, size, cegis.Options{Seed: seed})
+	if err != nil {
+		t.Fatalf("%s: synthesize: %v", be.Target(), err)
+	}
+	if !res.Feasible {
+		t.Fatalf("%s: conformance fixture must be feasible at size %d (timedout=%v)", be.Target(), size, res.TimedOut)
+	}
+	cfg := res.TargetConfig
+	if cfg == nil {
+		t.Fatalf("%s: feasible result carries no TargetConfig", be.Target())
+	}
+	if cfg.Target() != be.Target() {
+		t.Errorf("config target = %q, backend = %q", cfg.Target(), be.Target())
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("%s: synthesized config invalid: %v", be.Target(), err)
+	}
+	gotF, gotS := cfg.Vars()
+	if !sameStrings(gotF, vars.Fields) || !sameStrings(gotS, vars.States) {
+		t.Errorf("%s: Vars() = (%v, %v), want (%v, %v)", be.Target(), gotF, gotS, vars.Fields, vars.States)
+	}
+	if err := cfg.RunWidth().Validate(); err != nil {
+		t.Errorf("%s: RunWidth invalid: %v", be.Target(), err)
+	}
+
+	checkDeterminism(t, cfg, seed)
+	checkSymbolicAgreement(t, cfg, seed)
+}
+
+// checkInventory verifies HoleCount against HoleInventory and basic
+// sanity of names and widths.
+func checkInventory(t *testing.T, be backend.Backend, size, nf, ns int) {
+	t.Helper()
+	b := circuit.New()
+	sk, err := be.NewSketch(b, size, nf, ns)
+	if err != nil {
+		t.Fatalf("%s: NewSketch: %v", be.Target(), err)
+	}
+	holes, bits := sk.HoleCount()
+	names, widths := sk.HoleInventory()
+	if len(names) != len(widths) {
+		t.Fatalf("%s: inventory lengths differ: %d names, %d widths", be.Target(), len(names), len(widths))
+	}
+	if len(names) != holes {
+		t.Errorf("%s: HoleCount holes = %d, inventory has %d", be.Target(), holes, len(names))
+	}
+	sum := 0
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" {
+			t.Errorf("%s: hole %d has empty name", be.Target(), i)
+		}
+		if seen[n] {
+			t.Errorf("%s: duplicate hole name %q", be.Target(), n)
+		}
+		seen[n] = true
+		if widths[i] < 1 {
+			t.Errorf("%s: hole %q has width %d", be.Target(), n, widths[i])
+		}
+		sum += widths[i]
+	}
+	if sum != bits {
+		t.Errorf("%s: HoleCount bits = %d, inventory sums to %d", be.Target(), bits, sum)
+	}
+	if err := sk.MinWidth().Validate(); err != nil {
+		t.Errorf("%s: MinWidth invalid: %v", be.Target(), err)
+	}
+}
+
+// checkDeterminism runs the concrete interpreter twice on the same input
+// and verifies identical outputs and untouched input maps.
+func checkDeterminism(t *testing.T, cfg backend.Config, seed int64) {
+	t.Helper()
+	fields, states := cfg.Vars()
+	w := cfg.RunWidth()
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 64; trial++ {
+		pkt := map[string]uint64{}
+		st := map[string]uint64{}
+		for _, f := range fields {
+			pkt[f] = w.Trunc(rng.Uint64())
+		}
+		for _, s := range states {
+			st[s] = w.Trunc(rng.Uint64())
+		}
+		inPkt, inSt := cloneMap(pkt), cloneMap(st)
+		p1, s1 := cfg.Exec(pkt, st)
+		p2, s2 := cfg.Exec(pkt, st)
+		if !sameMap(p1, p2) || !sameMap(s1, s2) {
+			t.Fatalf("%s: Exec nondeterministic on pkt=%v state=%v", cfg.Target(), inPkt, inSt)
+		}
+		if !sameMap(pkt, inPkt) || !sameMap(st, inSt) {
+			t.Fatalf("%s: Exec mutated its inputs: %v/%v -> %v/%v", cfg.Target(), inPkt, inSt, pkt, st)
+		}
+	}
+}
+
+// checkSymbolicAgreement evaluates the config's symbolic re-encoding as a
+// concrete circuit and compares it with Exec on random inputs at the run
+// width — the width verification re-encoded the extracted config at, so
+// this is exactly the coherence CEGIS trusted.
+func checkSymbolicAgreement(t *testing.T, cfg backend.Config, seed int64) {
+	t.Helper()
+	fields, states := cfg.Vars()
+	ww := cfg.RunWidth()
+	b := circuit.New()
+	fw := make([]circuit.Word, len(fields))
+	for i, f := range fields {
+		fw[i] = b.InputWord("pkt_"+f, ww)
+	}
+	sw := make([]circuit.Word, len(states))
+	for i, s := range states {
+		sw[i] = b.InputWord("state_"+s, ww)
+	}
+	outF, outS := cfg.Symbolic(b, ww, fw, sw)
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 64; trial++ {
+		pkt := map[string]uint64{}
+		st := map[string]uint64{}
+		inputs := map[circuit.Bit]bool{}
+		for i, f := range fields {
+			v := ww.Trunc(rng.Uint64())
+			pkt[f] = v
+			circuit.SetWordInputs(inputs, fw[i], v)
+		}
+		for i, s := range states {
+			v := ww.Trunc(rng.Uint64())
+			st[s] = v
+			circuit.SetWordInputs(inputs, sw[i], v)
+		}
+		wantP, wantS := cfg.Exec(pkt, st)
+		for i, f := range fields {
+			if got := b.EvalWord(inputs, outF[i]); got != wantP[f] {
+				t.Fatalf("%s: width %d pkt.%s: symbolic=%d concrete=%d (input %v/%v)",
+					cfg.Target(), ww, f, got, wantP[f], pkt, st)
+			}
+		}
+		for i, s := range states {
+			if got := b.EvalWord(inputs, outS[i]); got != wantS[s] {
+				t.Fatalf("%s: width %d state %s: symbolic=%d concrete=%d (input %v/%v)",
+					cfg.Target(), ww, s, got, wantS[s], pkt, st)
+			}
+		}
+	}
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMap(a, b map[string]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneMap(m map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

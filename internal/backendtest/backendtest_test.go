@@ -1,0 +1,42 @@
+package backendtest
+
+import (
+	"testing"
+
+	"repro/internal/alu"
+	"repro/internal/bpf"
+	"repro/internal/pisa"
+	"repro/internal/programs"
+	"repro/internal/sketch"
+)
+
+// conformanceFixture is marple_new_flow: the cheapest stateful corpus
+// program, feasible on both targets at small sizes (1 pipeline stage,
+// 5 register slots).
+func fixture(t *testing.T) (prog *programs.Benchmark, constBits int) {
+	t.Helper()
+	b, err := programs.ByName("marple_new_flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &b, b.ConstBits
+}
+
+func TestPISAConformance(t *testing.T) {
+	b, constBits := fixture(t)
+	be := sketch.PISABackend{
+		Grid: pisa.GridSpec{
+			Width:        b.Width,
+			WordWidth:    10, // placeholder; CEGIS manages widths
+			StatelessALU: alu.Stateless{ConstBits: constBits},
+			StatefulALU:  alu.Stateful{Kind: b.StatefulALU, ConstBits: constBits},
+		},
+	}
+	Run(t, be, b.Parse(), 1, 7)
+}
+
+func TestBPFConformance(t *testing.T) {
+	b, constBits := fixture(t)
+	be := bpf.Backend{Spec: bpf.MachineSpec{ConstBits: constBits}}
+	Run(t, be, b.Parse(), 5, 1)
+}

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/arith"
 	"repro/internal/ast"
+	"repro/internal/backend"
 	"repro/internal/circuit"
 	"repro/internal/interp"
 	"repro/internal/obs"
@@ -158,13 +159,19 @@ type Result struct {
 	// Synthesize calls can attribute each result (in particular the
 	// winner's) without extra bookkeeping.
 	Member string
+	// Target names the backend this run synthesized for ("pisa", "bpf").
+	Target string
 	// Feasible reports whether a configuration implementing the program
-	// on this grid exists (false also when the run timed out — check
+	// on this target exists (false also when the run timed out — check
 	// TimedOut to distinguish).
 	Feasible bool
 	// TimedOut is true when the context expired before an answer.
 	TimedOut bool
-	// Config is the synthesized configuration when Feasible.
+	// TargetConfig is the synthesized configuration when Feasible.
+	TargetConfig backend.Config
+	// Config is TargetConfig's concrete type for the PISA target, kept so
+	// existing callers (and persisted cache entries) keep their static
+	// typing; nil for other targets.
 	Config *pisa.Config
 	// Iters is the number of CEGIS iterations executed.
 	Iters int
@@ -252,32 +259,47 @@ func cexBits(cex interp.Snapshot) int {
 	return w
 }
 
-// Synthesize runs CEGIS to fit prog onto the grid. The grid's WordWidth is
-// ignored (widths come from Options); the returned configuration records
-// the verification width as its run width, since that is the widest width
-// at which it is proven correct.
+// Synthesize runs CEGIS to fit prog onto the PISA grid. The grid's
+// WordWidth is ignored (widths come from Options); the returned
+// configuration records the verification width as its run width, since
+// that is the widest width at which it is proven correct.
 func Synthesize(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, opts Options) (*Result, error) {
+	be := sketch.PISABackend{Grid: grid, Opts: sketch.Options{IndicatorAlloc: opts.IndicatorAlloc}}
+	return SynthesizeOn(ctx, prog, be, grid.Stages, opts)
+}
+
+// SynthesizeOn runs CEGIS to fit prog onto any backend at the given
+// program size (pipeline stages for PISA, instruction slots for BPF).
+// This is the algorithm of the paper's Figure 3, target-independent: the
+// backend supplies the sketch (Equation 2's P) and the synthesized
+// config supplies its own symbolic re-encoding for verification
+// (Equation 3); everything else — the two-tier widths, the incremental
+// synthesis solver, the counterexample feedback — is shared.
+func SynthesizeOn(ctx context.Context, prog *ast.Program, be backend.Backend, size int, opts Options) (*Result, error) {
 	start := time.Now()
-	res := &Result{Member: opts.Member}
+	res := &Result{Member: opts.Member, Target: be.Target()}
 
 	vars := prog.Variables()
 	fields, states := vars.Fields, vars.States
 
-	// Capacity pre-check mirrors sketch.New but yields a clean infeasible
-	// result instead of an error: a program with more fields than
-	// containers can never fit, which is a legitimate "rejected" outcome.
-	g := grid
-	g.WordWidth = opts.synthWidth()
-	if err := g.Validate(); err != nil {
+	// Capacity pre-check: a definitive "does not fit" from the backend
+	// (more fields than containers/registers) is a clean infeasible
+	// result, not an error — a legitimate "rejected" outcome. An invalid
+	// machine description or width is an error.
+	fits, err := be.Check(size, len(fields), len(states))
+	if err != nil {
 		return nil, err
 	}
-	if len(fields) > grid.Width || len(states) > g.StateSlots() {
+	if err := opts.synthWidth().Validate(); err != nil {
+		return nil, err
+	}
+	if !fits {
 		res.Elapsed = time.Since(start)
 		return res, nil
 	}
 
 	b := circuit.New()
-	sk, err := sketch.New(b, grid, len(fields), len(states), sketch.Options{IndicatorAlloc: opts.IndicatorAlloc})
+	sk, err := be.NewSketch(b, size, len(fields), len(states))
 	if err != nil {
 		return nil, err
 	}
@@ -417,7 +439,7 @@ func Synthesize(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, opts
 			res.Elapsed = time.Since(start)
 			return res, nil
 		}
-		cfg := sk.ExtractConfig(synthCNF, fields, states, vw)
+		cfg := sk.Extract(synthCNF, fields, states, vw)
 
 		// --- Verification phase (Equation 3) ---
 		phaseStart = time.Now()
@@ -454,7 +476,10 @@ func Synthesize(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, opts
 		if vo.verified {
 			iterSpan.End(obs.String("outcome", "feasible"))
 			res.Feasible = true
-			res.Config = cfg
+			res.TargetConfig = cfg
+			if pc, ok := cfg.(*pisa.Config); ok {
+				res.Config = pc
+			}
 			res.Elapsed = time.Since(start)
 			return res, nil
 		}
@@ -483,10 +508,10 @@ type verifyOutcome struct {
 	clauses int
 }
 
-// verify searches for an input on which the configured pipeline and the
+// verify searches for an input on which the configured machine and the
 // specification disagree at width w. It returns the counterexample if one
 // exists.
-func verify(ctx context.Context, prog *ast.Program, cfg *pisa.Config, fields, states []string, w word.Width, progress func(string, sat.Stats)) verifyOutcome {
+func verify(ctx context.Context, prog *ast.Program, cfg backend.Config, fields, states []string, w word.Width, progress func(string, sat.Stats)) verifyOutcome {
 	b := circuit.New()
 	cc := arith.Circ{B: b, W: w}
 
@@ -502,13 +527,10 @@ func verify(ctx context.Context, prog *ast.Program, cfg *pisa.Config, fields, st
 		env.State[s] = sw[i]
 	}
 
-	// Pipeline side: the datapath with holes lifted to constants.
-	g := cfg.Grid
-	g.WordWidth = w
-	holes := pisa.MapHoles(cfg.Values, func(v uint64) circuit.Word {
-		return b.ConstWord(v, w)
-	})
-	pipeF, pipeS := pisa.Datapath[circuit.Word](cc, g, holes, fw, sw)
+	// Pipeline side: the configured machine with holes lifted to
+	// constants, re-encoded by the config itself (for PISA this is the
+	// exact Datapath construction this function historically inlined).
+	pipeF, pipeS := cfg.Symbolic(b, w, fw, sw)
 
 	// Specification side: the program as a circuit.
 	specEnv, err := arith.EvalProgram[circuit.Word](cc, prog, env)

@@ -28,6 +28,8 @@ import (
 
 	"repro/internal/alu"
 	"repro/internal/ast"
+	"repro/internal/backend"
+	"repro/internal/bpf"
 	"repro/internal/cegis"
 	"repro/internal/interp"
 	"repro/internal/obs"
@@ -35,17 +37,32 @@ import (
 	"repro/internal/pisa"
 	"repro/internal/portfolio"
 	"repro/internal/sat"
+	"repro/internal/sketch"
 	"repro/internal/solcache"
 	"repro/internal/word"
 )
 
 // Options configures a compilation.
 type Options struct {
+	// Target selects the compile backend: "pisa" (default) targets the
+	// PISA grid of the source paper; "bpf" targets the restricted
+	// eBPF-style register machine (internal/bpf, after K2). The size axis
+	// the deepening search minimizes is stages for pisa and instruction
+	// slots for bpf (MaxStages bounds both).
+	Target string
 	// Width is the PHV width: containers and ALUs per stage. Must cover
 	// the program's packet fields (one container per field, §3.1).
+	// Ignored by the bpf target, whose register file is derived from the
+	// program's field count.
 	Width int
 	// MaxStages bounds the iterative-deepening search. 0 means 4.
 	MaxStages int
+	// BPFOpcodeMask restricts the bpf target's opcode vocabulary (a
+	// bitmask over bpf.Opcode; 0 means the full ISA). The analogue of
+	// choosing a per-benchmark stateful ALU template on the pisa target:
+	// the machine description is a per-deployment input, and a leaner
+	// ISA shrinks the synthesis search space. Ignored by pisa.
+	BPFOpcodeMask uint32
 	// StatelessALU is installed at every stateless grid point.
 	StatelessALU alu.Stateless
 	// StatefulALU is installed at every stateful grid point; per the
@@ -107,6 +124,41 @@ func (o *Options) maxStages() int {
 	return o.MaxStages
 }
 
+// targetName resolves the zero-value default target.
+func (o *Options) targetName() string {
+	if o.Target == "" {
+		return "pisa"
+	}
+	return o.Target
+}
+
+// ErrUnknownTarget reports an unrecognized Options.Target.
+var ErrUnknownTarget = fmt.Errorf("core: unknown target (want %q or %q)", "pisa", "bpf")
+
+// bpfBackend builds the register-machine backend for a compile: the
+// immediate width follows the stateless ALU's (both are the frontend's
+// constant vocabulary), the register file is derived per program, and the
+// opcode vocabulary follows the per-deployment machine description.
+func bpfBackend(opts Options) bpf.Backend {
+	return bpf.Backend{Spec: bpf.MachineSpec{
+		ConstBits:  opts.StatelessALU.EffectiveConstBits(),
+		OpcodeMask: opts.BPFOpcodeMask,
+	}}
+}
+
+// backendFor maps Options onto a backend.Backend. The pisa adapter's
+// allocation mode is the per-attempt cegis option, so it is passed
+// explicitly (portfolio members race both modes).
+func backendFor(opts Options, indicatorAlloc bool) (backend.Backend, error) {
+	switch opts.targetName() {
+	case "pisa":
+		return sketch.PISABackend{Grid: gridSpec(opts), Opts: sketch.Options{IndicatorAlloc: indicatorAlloc}}, nil
+	case "bpf":
+		return bpfBackend(opts), nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownTarget, opts.Target)
+}
+
 // DepthResult records one iterative-deepening probe (or one portfolio
 // member's attempt).
 type DepthResult struct {
@@ -154,6 +206,8 @@ type Effort struct {
 type Report struct {
 	// Program is the compiled program's name.
 	Program string
+	// Target names the backend compiled for ("pisa", "bpf").
+	Target string
 	// Feasible reports whether code generation succeeded.
 	Feasible bool
 	// TimedOut reports whether the context expired first (Table 2's
@@ -165,9 +219,13 @@ type Report struct {
 	// or that received a shared run's timed-out verdict, reports TimedOut
 	// with Cached false — nothing definitive came from the cache.
 	Cached bool
-	// Config is the synthesized hardware configuration when feasible.
+	// Artifact is the synthesized configuration when feasible, whatever
+	// the target.
+	Artifact backend.Config
+	// Config is Artifact's concrete type for the PISA target (nil for
+	// other targets), kept for existing callers' static typing.
 	Config *pisa.Config
-	// Usage is the Figure 5 resource report for Config.
+	// Usage is the Figure 5 resource report for Config (PISA only).
 	Usage pisa.Usage
 	// Depths records every stage count probed, in order. In portfolio
 	// mode it holds one entry per member that ran (plus Pruned markers
@@ -211,7 +269,10 @@ func (r *Report) Effort() Effort {
 // underlying CEGIS run.
 func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, error) {
 	start := time.Now()
-	rep := &Report{Program: prog.Name}
+	rep := &Report{Program: prog.Name, Target: opts.targetName()}
+	if _, err := backendFor(opts, opts.IndicatorAlloc); err != nil {
+		return nil, err
+	}
 
 	// History capture needs a span tree to roll up; give the compile a
 	// private tracer when the caller installed none.
@@ -261,6 +322,10 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 				Stages:   rep.Usage.Stages,
 				Iters:    rep.Effort().Iters,
 			}
+			if bc, ok := rep.Artifact.(*bpf.Config); ok {
+				sol.BPF = bc
+				sol.Stages = bc.Spec.Slots
+			}
 			return sol, !rep.TimedOut, nil
 		})
 		if err != nil {
@@ -288,8 +353,14 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 			rep.Feasible = sol.Feasible
 			rep.Config = sol.Config
 			if sol.Config != nil {
+				rep.Artifact = sol.Config
 				rep.Usage = sol.Config.Usage()
-				if err := crossCheck(prog, sol.Config, opts.Seed); err != nil {
+			}
+			if sol.BPF != nil {
+				rep.Artifact = sol.BPF
+			}
+			if rep.Artifact != nil {
+				if err := crossCheck(prog, rep.Artifact, opts.Seed); err != nil {
 					return nil, fmt.Errorf("core: %s: cached configuration: %w", prog.Name, err)
 				}
 			}
@@ -321,8 +392,9 @@ func Fingerprint(prog *ast.Program, opts Options) string {
 // of fanout and a portfolio winner populates the same entry a sequential
 // run would.
 func cacheKey(prog *ast.Program, opts Options) solcache.Key {
-	return solcache.Problem{
+	p := solcache.Problem{
 		Program: prog,
+		Target:  opts.targetName(),
 		Grid: pisa.GridSpec{
 			Width:        opts.Width,
 			WordWidth:    10,
@@ -334,7 +406,11 @@ func cacheKey(prog *ast.Program, opts Options) solcache.Key {
 		SynthWidth:     opts.SynthWidth,
 		VerifyWidth:    opts.VerifyWidth,
 		IndicatorAlloc: opts.IndicatorAlloc,
-	}.Fingerprint()
+	}
+	if p.Target == "bpf" {
+		p.BPF = bpfBackend(opts).Spec
+	}
+	return p.Fingerprint()
 }
 
 // gridSpec builds the grid template shared by every attempt of a compile.
@@ -347,20 +423,24 @@ func gridSpec(opts Options) pisa.GridSpec {
 	}
 }
 
-// attempt runs one synthesis probe at a fixed stage count: build the
-// grid, run CEGIS, and validate + interpreter-cross-check a feasible
-// configuration. Both the sequential deepening loop and the portfolio
-// scheduler go through this body, so the two paths cannot drift. The
-// returned cegis.Result carries the configuration when feasible.
-func attempt(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, stages int, copts cegis.Options) (DepthResult, *cegis.Result, error) {
-	grid.Stages = stages
+// attempt runs one synthesis probe at a fixed program size (stage count
+// for pisa, slot count for bpf): build the backend, run CEGIS, and
+// validate + interpreter-cross-check a feasible configuration. Both the
+// sequential deepening loop and the portfolio scheduler go through this
+// body, so the two paths cannot drift. The returned cegis.Result carries
+// the configuration when feasible.
+func attempt(ctx context.Context, prog *ast.Program, opts Options, stages int, copts cegis.Options) (DepthResult, *cegis.Result, error) {
+	be, err := backendFor(opts, copts.IndicatorAlloc)
+	if err != nil {
+		return DepthResult{}, nil, err
+	}
 	obs.MetricsFrom(ctx).Counter("core.attempts").Add(1)
 	attrs := []obs.Attr{obs.Int("stages", stages)}
 	if copts.Member != "" {
 		attrs = append(attrs, obs.String("member", copts.Member))
 	}
 	actx, aspan := obs.StartSpan(ctx, "attempt", attrs...)
-	res, err := cegis.Synthesize(actx, prog, grid, copts)
+	res, err := cegis.SynthesizeOn(actx, prog, be, stages, copts)
 	if err != nil {
 		aspan.End(obs.String("outcome", "error"))
 		return DepthResult{}, nil, fmt.Errorf("core: %s at %d stages: %w", prog.Name, stages, err)
@@ -389,10 +469,10 @@ func attempt(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, stages 
 		PeakCNFVars:     res.PeakCNFVars,
 	}
 	if res.Feasible {
-		if err := res.Config.Validate(); err != nil {
+		if err := res.TargetConfig.Validate(); err != nil {
 			return dr, nil, fmt.Errorf("core: synthesized configuration invalid: %w", err)
 		}
-		if err := crossCheck(prog, res.Config, copts.Seed); err != nil {
+		if err := crossCheck(prog, res.TargetConfig, copts.Seed); err != nil {
 			return dr, nil, fmt.Errorf("core: %s: %w", prog.Name, err)
 		}
 	}
@@ -401,7 +481,6 @@ func attempt(ctx context.Context, prog *ast.Program, grid pisa.GridSpec, stages 
 
 // search runs the iterative-deepening synthesis loop, filling rep in place.
 func search(ctx context.Context, prog *ast.Program, opts Options, rep *Report) error {
-	grid := gridSpec(opts)
 	copts := cegis.Options{
 		SynthWidth:     opts.SynthWidth,
 		VerifyWidth:    opts.VerifyWidth,
@@ -416,7 +495,7 @@ func search(ctx context.Context, prog *ast.Program, opts Options, rep *Report) e
 		lo = opts.maxStages()
 	}
 	for stages := lo; stages <= opts.maxStages(); stages++ {
-		dr, res, err := attempt(ctx, prog, grid, stages, copts)
+		dr, res, err := attempt(ctx, prog, opts, stages, copts)
 		if err != nil {
 			return err
 		}
@@ -429,8 +508,11 @@ func search(ctx context.Context, prog *ast.Program, opts Options, rep *Report) e
 			continue
 		}
 		rep.Feasible = true
+		rep.Artifact = res.TargetConfig
 		rep.Config = res.Config
-		rep.Usage = res.Config.Usage()
+		if res.Config != nil {
+			rep.Usage = res.Config.Usage()
+		}
 		break
 	}
 	return nil
@@ -448,7 +530,6 @@ type memberAttempt struct {
 // witness-proven floor (portfolio.DepthFloor) are pruned without SAT
 // effort and recorded as Pruned DepthResults.
 func searchPortfolio(ctx context.Context, prog *ast.Program, opts Options, rep *Report) error {
-	grid := gridSpec(opts)
 	maxS := opts.maxStages()
 	lo := 1
 	if opts.FixedStages {
@@ -464,7 +545,10 @@ func searchPortfolio(ctx context.Context, prog *ast.Program, opts Options, rep *
 	}()
 
 	floor := lo
-	if !opts.FixedStages {
+	if !opts.FixedStages && opts.targetName() == "pisa" {
+		// The depth floor's witnesses reason about stateful-ALU placement
+		// on the PISA grid; the BPF slot axis has no analogue, so bpf
+		// races from the minimum size.
 		// The floor's witnesses must run at the width feasibility is
 		// defined at: the CEGIS verification width (raised to the
 		// synthesis width when that is wider, mirroring cegis's clamp).
@@ -508,7 +592,7 @@ func searchPortfolio(ctx context.Context, prog *ast.Program, opts Options, rep *
 				Progress:       opts.Progress,
 				Member:         m.Label,
 			}
-			dr, cres, err := attempt(mctx, prog, grid, m.Stages, copts)
+			dr, cres, err := attempt(mctx, prog, opts, m.Stages, copts)
 			if err != nil {
 				return memberAttempt{}, portfolio.Unknown, err
 			}
@@ -547,8 +631,11 @@ func searchPortfolio(ctx context.Context, prog *ast.Program, opts Options, rep *
 	case res.Winner != nil:
 		win := res.Winner.Value
 		rep.Feasible = true
+		rep.Artifact = win.res.TargetConfig
 		rep.Config = win.res.Config
-		rep.Usage = win.res.Config.Usage()
+		if win.res.Config != nil {
+			rep.Usage = win.res.Config.Usage()
+		}
 		rep.Winner = res.Winner.Member.Label
 		// Record the race outcome in the registry by allocation mode, so
 		// a daemon's /metrics shows which member family wins over time —
@@ -569,16 +656,17 @@ func searchPortfolio(ctx context.Context, prog *ast.Program, opts Options, rep *
 // CEGIS already proved equivalence at that width through the SAT backend;
 // this guards the toolchain itself (sketch extraction, simulator) against
 // bugs, in the spirit of translation validation.
-func crossCheck(prog *ast.Program, cfg *pisa.Config, seed int64) error {
-	w := cfg.Grid.WordWidth
+func crossCheck(prog *ast.Program, cfg backend.Config, seed int64) error {
+	w := cfg.RunWidth()
+	fields, states := cfg.Vars()
 	in := interp.MustNew(w)
 	rng := rand.New(rand.NewSource(seed + 1))
 	for trial := 0; trial < 64; trial++ {
 		snap := interp.NewSnapshot()
-		for _, f := range cfg.Fields {
+		for _, f := range fields {
 			snap.Pkt[f] = w.Trunc(rng.Uint64())
 		}
-		for _, s := range cfg.States {
+		for _, s := range states {
 			snap.State[s] = w.Trunc(rng.Uint64())
 		}
 		want, err := in.Run(prog, snap)
@@ -586,13 +674,13 @@ func crossCheck(prog *ast.Program, cfg *pisa.Config, seed int64) error {
 			return err
 		}
 		gotPkt, gotState := cfg.Exec(snap.Pkt, snap.State)
-		for _, f := range cfg.Fields {
+		for _, f := range fields {
 			if gotPkt[f] != want.Pkt[f] {
 				return fmt.Errorf("cross-check failed on %s: pkt.%s = %d, spec says %d",
 					snap, f, gotPkt[f], want.Pkt[f])
 			}
 		}
-		for _, s := range cfg.States {
+		for _, s := range states {
 			if gotState[s] != want.State[s] {
 				return fmt.Errorf("cross-check failed on %s: state %s = %d, spec says %d",
 					snap, s, gotState[s], want.State[s])

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/ast"
+	"repro/internal/bpf"
 	"repro/internal/core"
 )
 
@@ -35,6 +36,12 @@ type CampaignOptions struct {
 	// UnsatSamples is the number of random hole assignments probed per
 	// infeasible verdict. 0 means 64.
 	UnsatSamples int
+	// BPFEvery additionally compiles every n-th iteration's scenario for
+	// the bpf register-machine target and re-validates a feasible result
+	// against the BPF brute-force oracle. 0 disables (register-machine
+	// synthesis is the campaign's slowest stage, so it is opt-in and meant
+	// for the nightly run). Negative disables explicitly.
+	BPFEvery int
 	// Gen bounds the program generator.
 	Gen GenOptions
 	// Artifacts receives one JSON line per failure, if non-nil.
@@ -103,6 +110,11 @@ type Summary struct {
 	SolverChecks int `json:"solver_checks"`
 	Mutants      int `json:"mutants"`
 	UnsatProbes  int `json:"unsat_probes"`
+	// BPFCompiles/BPFFeasible count the opt-in register-machine oracle
+	// iterations (CampaignOptions.BPFEvery); a feasible BPF config is
+	// checked against the interpreter like its grid counterpart.
+	BPFCompiles int `json:"bpf_compiles,omitempty"`
+	BPFFeasible int `json:"bpf_feasible,omitempty"`
 	// EngineProbes counts random compiled-engine-vs-interpreter probe
 	// inputs fired by the line-rate differential oracle (the exhaustive
 	// small-width sweeps it also runs are not counted here).
@@ -118,6 +130,7 @@ type Summary struct {
 	CompileMS   float64 `json:"compile_ms"`
 	OracleMS    float64 `json:"oracle_ms"`
 	MutantMS    float64 `json:"mutant_ms"`
+	BPFMS       float64 `json:"bpf_ms,omitempty"`
 }
 
 // Samples flattens the summary for the performance history
@@ -134,12 +147,15 @@ func (s Summary) Samples() map[string]float64 {
 		"mutants":       float64(s.Mutants),
 		"engine_probes": float64(s.EngineProbes),
 		"failures":      float64(s.Failures),
+		"bpf_compiles":  float64(s.BPFCompiles),
+		"bpf_feasible":  float64(s.BPFFeasible),
 		"elapsed_ms":    s.ElapsedMS,
 		"iters_per_sec": s.ItersPerSec,
 		"solver_ms":     s.SolverMS,
 		"compile_ms":    s.CompileMS,
 		"oracle_ms":     s.OracleMS,
 		"mutant_ms":     s.MutantMS,
+		"bpf_ms":        s.BPFMS,
 	}
 }
 
@@ -288,6 +304,36 @@ func runIteration(ctx context.Context, i int, opts CampaignOptions, mu *sync.Mut
 	}
 	oracleDur := time.Since(t0)
 	count(func(s *Summary) { s.OracleMS += ms(oracleDur) })
+
+	// Stage 2b: register-machine oracle on a subsample of iterations. The
+	// same scenario is recompiled for the bpf target at the fixed fuzz slot
+	// budget; a feasible register program must agree with the interpreter.
+	// Infeasible and timed-out outcomes are accepted (the two targets'
+	// resource models are incomparable, so no cross-target metamorphic
+	// claim is made).
+	if opts.BPFEvery > 0 && i%opts.BPFEvery == 0 {
+		t0 = time.Now()
+		bctx, bcancel := context.WithTimeout(ctx, opts.compileTimeout())
+		brep, berr := core.Compile(bctx, sc.Prog, bpfScenarioOptions(sc, seed))
+		bcancel()
+		count(func(s *Summary) { s.BPFCompiles++ })
+		switch {
+		case berr != nil:
+			fail(KindCompileError, "bpf: "+berr.Error(), sc.Prog.Print(), false)
+		case brep.TimedOut || !brep.Feasible:
+			// Accepted as-is.
+		default:
+			count(func(s *Summary) { s.BPFFeasible++ })
+			if cfg, ok := brep.Artifact.(*bpf.Config); ok {
+				if d := CheckBPFConfigEquivalence(sc.Prog, cfg, seed); d != nil {
+					fail(d.Kind, "bpf: "+d.Detail, sc.Prog.Print(), false)
+				}
+			} else {
+				fail(KindConfigMismatch, fmt.Sprintf("bpf artifact is %T, want *bpf.Config", brep.Artifact), sc.Prog.Print(), false)
+			}
+		}
+		count(func(s *Summary) { s.BPFMS += ms(time.Since(t0)) })
+	}
 
 	// Stage 3: metamorphic oracle on a subsample of iterations.
 	if opts.mutantsEvery() > 0 && i%opts.mutantsEvery() == 0 && err == nil && rep != nil && !rep.TimedOut {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bpf"
 	"repro/internal/core"
 )
 
@@ -51,6 +52,43 @@ func FuzzCompileEquivalence(f *testing.F) {
 			return
 		}
 		if d := CheckConfigEquivalence(sc.Prog, rep.Config, 1); d != nil {
+			t.Fatalf("%s\nprogram:\n%s", d, sc.Prog.Print())
+		}
+	})
+}
+
+// FuzzBPFCompileEquivalence is the register-machine sibling of
+// FuzzCompileEquivalence: the same scenario draw, compiled for the bpf
+// target at the fixed fuzz slot budget, with feasible results re-validated
+// against the BPF brute-force oracle. Infeasible and timed-out outcomes
+// are accepted — register-machine synthesis is slower than the grid's, so
+// timeouts are common under fuzz instrumentation; what matters is that a
+// "verified" register program never disagrees with the reference
+// interpreter.
+func FuzzBPFCompileEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte{200, 13, 86, 42, 9, 111, 250, 3, 17})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := RandomScenario(NewByteChooser(data), GenOptions{})
+		// 5s rather than the grid target's 8s: register-machine synthesis
+		// under fuzz instrumentation times out on a sizable fraction of
+		// draws, and a shorter leash buys iteration throughput.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		rep, err := core.Compile(ctx, sc.Prog, bpfScenarioOptions(sc, 1))
+		if err != nil {
+			t.Fatalf("compile error on generated program: %v\n%s", err, sc.Prog.Print())
+		}
+		if rep.TimedOut || !rep.Feasible {
+			return
+		}
+		cfg, ok := rep.Artifact.(*bpf.Config)
+		if !ok {
+			t.Fatalf("bpf artifact is %T, want *bpf.Config", rep.Artifact)
+		}
+		if d := CheckBPFConfigEquivalence(sc.Prog, cfg, 1); d != nil {
 			t.Fatalf("%s\nprogram:\n%s", d, sc.Prog.Print())
 		}
 	})

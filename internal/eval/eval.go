@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/alu"
+	"repro/internal/bpf"
 	"repro/internal/core"
 	"repro/internal/domino"
 	"repro/internal/mutate"
@@ -70,6 +71,12 @@ type Options struct {
 	// becomes a per-program sample pool the regression sentinel can test.
 	// Workers share the store; it is race-safe.
 	History *perfhist.Store
+	// BPF additionally compiles each mutant for the bpf register-machine
+	// target at the hand-worked per-program slot budgets (bpfBudgets),
+	// adding per-target columns to Table 2 and the CSV so PISA and BPF
+	// feasibility/effort can be compared on the same corpus. Programs
+	// without a worked-out budget report the BPF target as not attempted.
+	BPF bool
 }
 
 func (o *Options) mutants() int {
@@ -128,6 +135,38 @@ type MutantOutcome struct {
 	DominoReason string
 	DominoTime   time.Duration
 	DominoUsage  pisa.Usage
+
+	// BPF target (Options.BPF). BPFRan is false when the target was not
+	// requested or the program has no hand-worked slot budget; BPFInstrs
+	// is the live (non-nop) instruction count of the synthesized program.
+	BPFRan     bool
+	BPFOK      bool
+	BPFTimeout bool
+	BPFTime    time.Duration
+	BPFInstrs  int
+	BPFEffort  core.Effort
+}
+
+// reorderMask restricts marple_reorder's opcode vocabulary to the lean ISA
+// a reorder detector needs (the select idiom plus map ops) — on the full
+// ISA this benchmark's search does not converge in eval time. Mirrors the
+// difftest acceptance table.
+var reorderMask = uint32(1)<<bpf.OpNop | 1<<bpf.OpMov | 1<<bpf.OpAdd |
+	1<<bpf.OpSub | 1<<bpf.OpMul | 1<<bpf.OpLt | 1<<bpf.OpLdMap | 1<<bpf.OpStMap
+
+// bpfBudgets are hand-worked slot budgets (and, where needed, opcode
+// vocabulary restrictions) for the corpus programs whose register-program
+// encodings synthesize in eval time. Mutations are semantics-preserving
+// and the sketch depends only on variable counts and semantics, so a
+// budget worked out for the source program is valid for its mutants.
+var bpfBudgets = map[string]struct {
+	Slots int
+	Mask  uint32
+}{
+	"marple_new_flow": {Slots: 5},
+	"stateful_fw":     {Slots: 6},
+	"marple_reorder":  {Slots: 7, Mask: reorderMask},
+	"sampling":        {Slots: 8},
 }
 
 // Run compiles every mutant of every selected program with both compilers
@@ -237,6 +276,34 @@ func compileBoth(ctx context.Context, b programs.Benchmark, m mutate.Mutant, idx
 			out.ChipmunkUsage = rep.Usage
 		}
 	}
+
+	// BPF register-machine target (opt-in): same frontend program, same
+	// ALU immediates, retargeted at the hand-worked slot budget.
+	if bb, known := bpfBudgets[b.Name]; opts.BPF && known {
+		bctx, bcancel := context.WithTimeout(ctx, opts.timeout())
+		defer bcancel()
+		brep, berr := core.Compile(bctx, m.Program, core.Options{
+			Target:        "bpf",
+			MaxStages:     bb.Slots,
+			FixedStages:   true,
+			BPFOpcodeMask: bb.Mask,
+			StatelessALU:  alu.Stateless{ConstBits: b.ConstBits},
+			StatefulALU:   alu.Stateful{Kind: b.StatefulALU, ConstBits: b.ConstBits},
+			Seed:          opts.Seed + int64(idx),
+			Cache:         opts.Cache,
+			History:       opts.History,
+		})
+		if berr == nil {
+			out.BPFRan = true
+			out.BPFOK = brep.Feasible
+			out.BPFTimeout = brep.TimedOut
+			out.BPFTime = brep.Elapsed
+			out.BPFEffort = brep.Effort()
+			if cfg, isBPF := brep.Artifact.(*bpf.Config); isBPF && brep.Feasible {
+				out.BPFInstrs = cfg.LiveInstrs()
+			}
+		}
+	}
 	return out
 }
 
@@ -256,6 +323,12 @@ type Table2Row struct {
 	ChipmunkIters     int
 	ChipmunkConflicts int64
 	PeakCNFVars       int
+	// BPF per-target column (Options.BPF): mutants attempted on the
+	// register machine, their success rate, and mean synthesis time.
+	BPFAttempts int
+	BPFRate     float64
+	BPFTimeouts int
+	BPFMeanTime time.Duration
 }
 
 // Table2 aggregates outcomes into the paper's Table 2 rows, in corpus
@@ -272,8 +345,8 @@ func Table2(outcomes []MutantOutcome) []Table2Row {
 			continue
 		}
 		row := Table2Row{Program: name, Mutants: len(os)}
-		var cOK, dOK int
-		var cSum, dSum time.Duration
+		var cOK, dOK, bOK int
+		var cSum, dSum, bSum time.Duration
 		for _, o := range os {
 			if o.ChipmunkOK {
 				cOK++
@@ -283,6 +356,16 @@ func Table2(outcomes []MutantOutcome) []Table2Row {
 			}
 			if o.DominoOK {
 				dOK++
+			}
+			if o.BPFRan {
+				row.BPFAttempts++
+				bSum += o.BPFTime
+				if o.BPFOK {
+					bOK++
+				}
+				if o.BPFTimeout {
+					row.BPFTimeouts++
+				}
 			}
 			cSum += o.ChipmunkTime
 			dSum += o.DominoTime
@@ -299,23 +382,48 @@ func Table2(outcomes []MutantOutcome) []Table2Row {
 		row.DominoRate = float64(dOK) / float64(len(os))
 		row.ChipmunkMeanTime = cSum / time.Duration(len(os))
 		row.DominoMeanTime = dSum / time.Duration(len(os))
+		if row.BPFAttempts > 0 {
+			row.BPFRate = float64(bOK) / float64(row.BPFAttempts)
+			row.BPFMeanTime = bSum / time.Duration(row.BPFAttempts)
+		}
 		rows = append(rows, row)
 	}
 	return rows
 }
 
-// RenderTable2 formats rows in the layout of the paper's Table 2.
+// RenderTable2 formats rows in the layout of the paper's Table 2. When any
+// row carries BPF outcomes (Options.BPF), per-target columns are appended
+// so PISA and register-machine feasibility/time sit side by side; rows
+// whose program has no worked-out slot budget show "-".
 func RenderTable2(rows []Table2Row) string {
+	hasBPF := false
+	for _, r := range rows {
+		if r.BPFAttempts > 0 {
+			hasBPF = true
+		}
+	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-18s %10s %10s %14s %14s %9s\n",
+	fmt.Fprintf(&sb, "%-18s %10s %10s %14s %14s %9s",
 		"Program", "Chipmunk", "Domino", "Chip mean(s)", "Chip max(s)", "timeouts")
+	if hasBPF {
+		fmt.Fprintf(&sb, " %10s %13s", "BPF", "BPF mean(s)")
+	}
+	sb.WriteByte('\n')
 	var iters int
 	var conflicts int64
 	peak := 0
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-18s %9.0f%% %9.0f%% %14.3f %14.3f %9d\n",
+		fmt.Fprintf(&sb, "%-18s %9.0f%% %9.0f%% %14.3f %14.3f %9d",
 			r.Program, r.ChipmunkRate*100, r.DominoRate*100,
 			r.ChipmunkMeanTime.Seconds(), r.ChipmunkMaxTime.Seconds(), r.ChipmunkTimeouts)
+		if hasBPF {
+			if r.BPFAttempts > 0 {
+				fmt.Fprintf(&sb, " %9.0f%% %13.3f", r.BPFRate*100, r.BPFMeanTime.Seconds())
+			} else {
+				fmt.Fprintf(&sb, " %10s %13s", "-", "-")
+			}
+		}
+		sb.WriteByte('\n')
 		iters += r.ChipmunkIters
 		conflicts += r.ChipmunkConflicts
 		if r.PeakCNFVars > peak {
@@ -434,7 +542,7 @@ func renderSeries(s Series) string {
 // CSV renders outcomes as a flat CSV for external plotting.
 func CSV(outcomes []MutantOutcome) string {
 	var sb strings.Builder
-	sb.WriteString("program,mutant,ops,chipmunk_ok,chipmunk_timeout,chipmunk_ms,chipmunk_stages,chipmunk_max_alus,chipmunk_iters,chipmunk_conflicts,chipmunk_decisions,chipmunk_propagations,chipmunk_peak_cnf_vars,domino_ok,domino_ms,domino_stages,domino_max_alus,domino_reason\n")
+	sb.WriteString("program,mutant,ops,chipmunk_ok,chipmunk_timeout,chipmunk_ms,chipmunk_stages,chipmunk_max_alus,chipmunk_iters,chipmunk_conflicts,chipmunk_decisions,chipmunk_propagations,chipmunk_peak_cnf_vars,domino_ok,domino_ms,domino_stages,domino_max_alus,bpf_ran,bpf_ok,bpf_timeout,bpf_ms,bpf_instrs,bpf_iters,bpf_conflicts,domino_reason\n")
 	sorted := append([]MutantOutcome{}, outcomes...)
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].Program != sorted[j].Program {
@@ -447,7 +555,7 @@ func CSV(outcomes []MutantOutcome) string {
 		for i, op := range o.Ops {
 			ops[i] = string(op)
 		}
-		fmt.Fprintf(&sb, "%s,%d,%s,%t,%t,%.1f,%d,%d,%d,%d,%d,%d,%d,%t,%.3f,%d,%d,%q\n",
+		fmt.Fprintf(&sb, "%s,%d,%s,%t,%t,%.1f,%d,%d,%d,%d,%d,%d,%d,%t,%.3f,%d,%d,%t,%t,%t,%.1f,%d,%d,%d,%q\n",
 			o.Program, o.Index, strings.Join(ops, "+"),
 			o.ChipmunkOK, o.ChipmunkTimeout, float64(o.ChipmunkTime.Microseconds())/1000,
 			o.ChipmunkUsage.Stages, o.ChipmunkUsage.MaxALUsPerStage,
@@ -455,7 +563,10 @@ func CSV(outcomes []MutantOutcome) string {
 			o.ChipmunkEffort.Decisions, o.ChipmunkEffort.Propagations,
 			o.ChipmunkEffort.PeakCNFVars,
 			o.DominoOK, float64(o.DominoTime.Microseconds())/1000,
-			o.DominoUsage.Stages, o.DominoUsage.MaxALUsPerStage, o.DominoReason)
+			o.DominoUsage.Stages, o.DominoUsage.MaxALUsPerStage,
+			o.BPFRan, o.BPFOK, o.BPFTimeout, float64(o.BPFTime.Microseconds())/1000,
+			o.BPFInstrs, o.BPFEffort.Iters, o.BPFEffort.Conflicts,
+			o.DominoReason)
 	}
 	return sb.String()
 }

@@ -248,6 +248,47 @@ func TestEffortMetricsAndTraces(t *testing.T) {
 	}
 }
 
+// TestRunWithBPFTarget exercises the per-target column: with Options.BPF
+// set, mutants of a budgeted program carry register-machine outcomes, the
+// Table 2 render grows the BPF columns, and the CSV rows record them.
+func TestRunWithBPFTarget(t *testing.T) {
+	outcomes, err := Run(context.Background(), Options{
+		Mutants:  2,
+		Seed:     42,
+		Timeout:  2 * time.Minute,
+		Programs: []string{"marple_new_flow"},
+		BPF:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if !o.BPFRan {
+			t.Errorf("%s mutant %d: BPF target not attempted", o.Program, o.Index)
+		}
+		if !o.BPFOK {
+			t.Errorf("%s mutant %d: BPF infeasible at the hand-worked budget (timeout=%v)",
+				o.Program, o.Index, o.BPFTimeout)
+		}
+		if o.BPFOK && (o.BPFInstrs < 1 || o.BPFEffort.Iters == 0) {
+			t.Errorf("%s mutant %d: BPF outcome missing instrs/effort: %+v", o.Program, o.Index, o)
+		}
+	}
+	rendered := RenderTable2(Table2(outcomes))
+	if !strings.Contains(rendered, "BPF mean(s)") {
+		t.Errorf("render missing BPF columns:\n%s", rendered)
+	}
+	if !strings.Contains(CSV(outcomes), "bpf_ok") {
+		t.Error("CSV missing bpf columns")
+	}
+
+	// Without the flag the render must keep its pre-BPF shape.
+	plain := RenderTable2(Table2([]MutantOutcome{{Program: "sampling", ChipmunkOK: true}}))
+	if strings.Contains(plain, "BPF") {
+		t.Errorf("BPF columns leaked into a non-BPF render:\n%s", plain)
+	}
+}
+
 // TestPerProgramMutationSeedsDistinct guards the seed-derivation fix: the
 // old len(name)*7919 offset collided for same-length program names
 // (blue_increase / blue_decrease), giving them structurally parallel

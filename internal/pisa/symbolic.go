@@ -1,0 +1,37 @@
+package pisa
+
+import (
+	"repro/internal/arith"
+	"repro/internal/circuit"
+	"repro/internal/word"
+)
+
+// This file implements the backend.Config contract for *Config (the
+// interface itself lives in internal/backend; Go's structural typing
+// means pisa needs no import of it). Target/Vars/RunWidth expose the
+// allocation metadata the generic CEGIS core and difftest oracles need,
+// and Symbolic re-encodes the configured grid as a circuit — the exact
+// construction cegis verification historically inlined, now owned by the
+// config so every backend carries its own verification semantics.
+
+// Target names the backend that produced this configuration.
+func (c *Config) Target() string { return "pisa" }
+
+// Vars returns the packet fields and state variables in allocation order.
+func (c *Config) Vars() (fields, states []string) { return c.Fields, c.States }
+
+// RunWidth is the datapath width the configuration is proven at.
+func (c *Config) RunWidth() word.Width { return c.Grid.WordWidth }
+
+// Symbolic renders the configured datapath at width w over free input
+// words, with every hole lifted to a constant (ConstWord creates no
+// gates, so hole-map iteration order cannot perturb the circuit).
+func (c *Config) Symbolic(b *circuit.Builder, w word.Width, fields, states []circuit.Word) (outFields, outStates []circuit.Word) {
+	g := c.Grid
+	g.WordWidth = w
+	holes := MapHoles(c.Values, func(v uint64) circuit.Word {
+		return b.ConstWord(v, w)
+	})
+	cc := arith.Circ{B: b, W: w}
+	return Datapath[circuit.Word](cc, g, holes, fields, states)
+}

@@ -57,6 +57,7 @@ import (
 
 	"repro/internal/alu"
 	"repro/internal/ast"
+	"repro/internal/bpf"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
@@ -173,6 +174,8 @@ type CompileRequest struct {
 	Name string `json:"name"`
 	// Source is the Domino program text.
 	Source string `json:"source"`
+	// Target selects the compile backend: "pisa" (default) or "bpf".
+	Target string `json:"target,omitempty"`
 	// Width is the PHV width (containers / ALUs per stage). 0 means 2.
 	Width int `json:"width,omitempty"`
 	// MaxStages bounds iterative deepening. 0 means 4.
@@ -206,7 +209,10 @@ type CompileResult struct {
 	// Cached reports a solution-cache hit (no CEGIS run).
 	Cached    bool    `json:"cached"`
 	ElapsedMS float64 `json:"elapsed_ms"`
-	// Resource usage (Figure 5's axes) when feasible.
+	// Target echoes the backend that compiled the job ("pisa", "bpf").
+	Target string `json:"target,omitempty"`
+	// Resource usage (Figure 5's axes) when feasible. For the bpf target
+	// Stages is the slot count and the ALU axes are zero.
 	Stages          int `json:"stages,omitempty"`
 	MaxALUsPerStage int `json:"max_alus_per_stage,omitempty"`
 	TotalALUs       int `json:"total_alus,omitempty"`
@@ -510,6 +516,7 @@ func (s *Server) run(j *job) {
 			TimedOut:        rep.TimedOut,
 			Cached:          rep.Cached,
 			ElapsedMS:       float64(rep.Elapsed.Microseconds()) / 1000,
+			Target:          rep.Target,
 			Winner:          rep.Winner,
 			WastedConflicts: rep.WastedConflicts,
 		}
@@ -517,7 +524,10 @@ func (s *Server) run(j *job) {
 			res.Stages = rep.Usage.Stages
 			res.MaxALUsPerStage = rep.Usage.MaxALUsPerStage
 			res.TotalALUs = rep.Usage.TotalALUs
-			if cfg, merr := json.Marshal(rep.Config); merr == nil {
+			if bc, ok := rep.Artifact.(*bpf.Config); ok {
+				res.Stages = bc.Spec.Slots
+			}
+			if cfg, merr := json.Marshal(rep.Artifact); merr == nil {
 				res.Config = cfg
 			}
 		}
@@ -752,6 +762,11 @@ func (s *Server) newJob(req CompileRequest) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
+	switch req.Target {
+	case "", "pisa", "bpf":
+	default:
+		return nil, fmt.Errorf("unknown target %q (want pisa or bpf)", req.Target)
+	}
 	width := req.Width
 	if width <= 0 {
 		width = 2
@@ -771,6 +786,7 @@ func (s *Server) newJob(req CompileRequest) (*job, error) {
 		req:  req,
 		prog: prog,
 		opts: core.Options{
+			Target:       req.Target,
 			Width:        width,
 			MaxStages:    req.MaxStages,
 			StatelessALU: alu.Stateless{ConstBits: req.ConstBits},

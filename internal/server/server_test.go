@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bpf"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pisa"
@@ -109,6 +110,46 @@ func TestCompileEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCompileBPFTarget exercises the target field end to end: a bpf
+// compile over HTTP returns a register-machine artifact whose JSON
+// deserializes as a bpf.Config, with Stages reporting the slot count.
+func TestCompileBPFTarget(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2, JobTimeout: 2 * time.Minute})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := CompileRequest{
+		Name:   "new_flow",
+		Source: "int seen = 0; if (seen == 0) { pkt.new_flow = 1; seen = 1; } else { pkt.new_flow = 0; }",
+		Target: "bpf",
+		// Iterative deepening stops at the first feasible slot count.
+		MaxStages: 5,
+		Seed:      1,
+		Wait:      true,
+	}
+	resp, st := postCompile(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if st.State != StateDone || st.Result == nil || !st.Result.Feasible {
+		t.Fatalf("job state %q result=%+v", st.State, st.Result)
+	}
+	if st.Result.Target != "bpf" {
+		t.Fatalf("result target = %q, want bpf", st.Result.Target)
+	}
+	if st.Result.Stages < 1 || st.Result.Stages > 5 {
+		t.Fatalf("slot count %d out of range", st.Result.Stages)
+	}
+	var cfg bpf.Config
+	if err := json.Unmarshal(st.Result.Config, &cfg); err != nil {
+		t.Fatalf("config does not deserialize as bpf.Config: %v", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("returned bpf config invalid: %v", err)
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Shutdown(context.Background())
@@ -119,6 +160,7 @@ func TestBadRequests(t *testing.T) {
 		"empty source": {Name: "x"},
 		"parse error":  {Name: "x", Source: "if (((("},
 		"bad alu":      {Name: "x", Source: samplingSrc, ALU: "quantum"},
+		"bad target":   {Name: "x", Source: samplingSrc, Target: "riscv"},
 	} {
 		resp, _ := postCompile(t, ts, req)
 		if resp.StatusCode != http.StatusBadRequest {

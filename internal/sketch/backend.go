@@ -1,0 +1,52 @@
+package sketch
+
+import (
+	"repro/internal/backend"
+	"repro/internal/circuit"
+	"repro/internal/pisa"
+	"repro/internal/word"
+)
+
+// PISABackend adapts the PISA grid sketch onto the backend seam, making
+// the paper's original target one implementation among several. The
+// grid's Stages field is ignored: the size axis of backend.Backend (what
+// the core's deepening loop minimizes) supplies it per sketch.
+type PISABackend struct {
+	Grid pisa.GridSpec
+	Opts Options
+}
+
+// Target implements backend.Backend.
+func (PISABackend) Target() string { return "pisa" }
+
+// Check implements backend.Backend: grid validity is an error, capacity
+// overflow (more fields than PHV containers, more states than stateful
+// slots) a definitive infeasible. The grid's word width is substituted
+// with a placeholder for validation — datapath widths are per-phase
+// choices owned by the CEGIS loop, not the machine description.
+func (p PISABackend) Check(size, numFields, numStates int) (bool, error) {
+	g := p.Grid
+	g.Stages = size
+	g.WordWidth = 1
+	if err := g.Validate(); err != nil {
+		return false, err
+	}
+	return numFields <= g.Width && numStates <= g.StateSlots(), nil
+}
+
+// NewSketch implements backend.Backend.
+func (p PISABackend) NewSketch(b *circuit.Builder, size, numFields, numStates int) (backend.Sketch, error) {
+	g := p.Grid
+	g.Stages = size
+	sk, err := New(b, g, numFields, numStates, p.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+// Extract implements backend.Sketch for *Sketch, wrapping ExtractConfig's
+// concrete return type in the seam interface.
+func (s *Sketch) Extract(cnf *circuit.CNF, fields, states []string, runWidth word.Width) backend.Config {
+	return s.ExtractConfig(cnf, fields, states, runWidth)
+}

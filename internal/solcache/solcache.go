@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"repro/internal/ast"
+	"repro/internal/bpf"
 	"repro/internal/cegis"
 	"repro/internal/obs"
 	"repro/internal/pisa"
@@ -46,7 +47,10 @@ import (
 // folds into the key so zero-valued options and explicit defaults collide.
 // On-disk files written by another version are discarded wholesale at load
 // time.
-const FormatVersion = 1
+//
+// Version history: 2 added the backend target (and, for bpf, the machine
+// spec) to the fingerprint and a BPF configuration to Solution.
+const FormatVersion = 2
 
 // Key is a content address for a compilation problem.
 type Key string
@@ -57,9 +61,17 @@ type Key string
 type Problem struct {
 	// Program is the specification; only its canonical form matters.
 	Program *ast.Program
+	// Target is the compile backend ("" is normalized to "pisa"). PISA
+	// and BPF solutions for the same program must never collide on a
+	// cache hit, so the target is part of the content address.
+	Target string
 	// Grid carries Width, WordWidth and the ALU templates. Stages is
-	// ignored — the deepening bound is MaxStages below.
+	// ignored — the deepening bound is MaxStages below. Only meaningful
+	// for the pisa target.
 	Grid pisa.GridSpec
+	// BPF is the register-machine description for the bpf target (Slots
+	// ignored — the deepening bound is MaxStages below).
+	BPF bpf.MachineSpec
 	// MaxStages and FixedStages describe the iterative-deepening search.
 	MaxStages   int
 	FixedStages bool
@@ -82,10 +94,18 @@ func (p Problem) Fingerprint() Key {
 	if vw == 0 {
 		vw = cegis.DefaultVerifyWidth
 	}
-	fmt.Fprintf(h, "|v%d|w%d ww%d|sl%+v|sf%+v|ms%d fx%t|sw%d vw%d|ind%t",
-		FormatVersion, p.Grid.Width, p.Grid.WordWidth,
+	target := p.Target
+	if target == "" {
+		target = "pisa"
+	}
+	fmt.Fprintf(h, "|v%d|tgt%s|w%d ww%d|sl%+v|sf%+v|ms%d fx%t|sw%d vw%d|ind%t",
+		FormatVersion, target, p.Grid.Width, p.Grid.WordWidth,
 		p.Grid.StatelessALU, p.Grid.StatefulALU,
 		p.MaxStages, p.FixedStages, sw, vw, p.IndicatorAlloc)
+	if target == "bpf" {
+		fmt.Fprintf(h, "|bpf r%d cb%d om%d",
+			p.BPF.Regs, p.BPF.ConstBits, p.BPF.EffectiveOpcodeMask())
+	}
 	return Key(hex.EncodeToString(h.Sum(nil)))
 }
 
@@ -179,7 +199,11 @@ type Solution struct {
 	Feasible bool         `json:"feasible"`
 	TimedOut bool         `json:"timed_out,omitempty"`
 	Config   *pisa.Config `json:"config,omitempty"`
-	// Stages is the minimized pipeline depth when feasible.
+	// BPF is the synthesized register-machine program for bpf-target
+	// problems (Config stays nil for those).
+	BPF *bpf.Config `json:"bpf,omitempty"`
+	// Stages is the minimized pipeline depth (pisa) or slot count (bpf)
+	// when feasible.
 	Stages int `json:"stages,omitempty"`
 	// Iters is the CEGIS iteration count of the original run, kept so
 	// warm hits can still report the effort they avoided.
@@ -196,19 +220,32 @@ type Solution struct {
 // solution cannot belong to prog's canonical problem (a fingerprint
 // collision or a corrupted persisted entry) and is reported as an error.
 func (s Solution) ForProgram(prog *ast.Program) (Solution, error) {
-	if s.Config == nil {
+	if s.Config == nil && s.BPF == nil {
 		return s, nil
 	}
 	fields, states := cegis.CanonicalVars(prog)
-	if len(fields) != len(s.Config.Fields) || len(states) != len(s.Config.States) {
-		return Solution{}, fmt.Errorf(
-			"solcache: cached config names %d fields / %d states but %s has %d / %d (fingerprint collision?)",
-			len(s.Config.Fields), len(s.Config.States), prog.Name, len(fields), len(states))
+	if s.Config != nil {
+		if len(fields) != len(s.Config.Fields) || len(states) != len(s.Config.States) {
+			return Solution{}, fmt.Errorf(
+				"solcache: cached config names %d fields / %d states but %s has %d / %d (fingerprint collision?)",
+				len(s.Config.Fields), len(s.Config.States), prog.Name, len(fields), len(states))
+		}
+		cfg := *s.Config
+		cfg.Fields = fields
+		cfg.States = states
+		s.Config = &cfg
 	}
-	cfg := *s.Config
-	cfg.Fields = fields
-	cfg.States = states
-	s.Config = &cfg
+	if s.BPF != nil {
+		if len(fields) != len(s.BPF.Fields) || len(states) != len(s.BPF.States) {
+			return Solution{}, fmt.Errorf(
+				"solcache: cached bpf config names %d fields / %d states but %s has %d / %d (fingerprint collision?)",
+				len(s.BPF.Fields), len(s.BPF.States), prog.Name, len(fields), len(states))
+		}
+		cfg := *s.BPF
+		cfg.Fields = fields
+		cfg.States = states
+		s.BPF = &cfg
+	}
 	return s, nil
 }
 
@@ -483,6 +520,11 @@ func (c *Cache) Load() error {
 			continue
 		}
 		if cfg := e.Solution.Config; cfg != nil {
+			if err := cfg.Validate(); err != nil {
+				continue
+			}
+		}
+		if cfg := e.Solution.BPF; cfg != nil {
 			if err := cfg.Validate(); err != nil {
 				continue
 			}

@@ -353,3 +353,47 @@ func TestNilCacheIsNoop(t *testing.T) {
 		t.Errorf("nil cache Do: ran=%v sol=%+v err=%v", ran, sol, err)
 	}
 }
+
+// TestCrossTargetMiss: the same canonical program compiled for different
+// backends must occupy different cache slots — a PISA pipeline
+// configuration is not a BPF register program. The zero-value target
+// normalizes to "pisa" so pre-v2 callers keep their keys stable within a
+// format version.
+func TestCrossTargetMiss(t *testing.T) {
+	p := mustParse(t, "p", samplingSrc)
+	base := problem(p)
+	k0 := base.Fingerprint()
+
+	expl := base
+	expl.Target = "pisa"
+	if expl.Fingerprint() != k0 {
+		t.Error("explicit pisa target got a different fingerprint than the zero value")
+	}
+
+	bpfP := base
+	bpfP.Target = "bpf"
+	kb := bpfP.Fingerprint()
+	if kb == k0 {
+		t.Error("bpf target collided with pisa")
+	}
+
+	masked := bpfP
+	masked.BPF.OpcodeMask = 0xff
+	if masked.Fingerprint() == kb {
+		t.Error("restricted bpf opcode mask collided with the full ISA")
+	}
+
+	constd := bpfP
+	constd.BPF.ConstBits = 8
+	if constd.Fingerprint() == kb {
+		t.Error("different bpf immediate width collided")
+	}
+
+	// The bpf machine spec must not perturb pisa keys: it is folded into
+	// the fingerprint only for the bpf target.
+	pisaWithSpec := base
+	pisaWithSpec.BPF.OpcodeMask = 0xff
+	if pisaWithSpec.Fingerprint() != k0 {
+		t.Error("bpf spec leaked into a pisa fingerprint")
+	}
+}

@@ -6,7 +6,10 @@
 // compiles a random Domino program end-to-end, re-validates feasible
 // results against the reference interpreter (brute force, independent of
 // the SAT/CEGIS machinery), spot-checks infeasible claims by sampling hole
-// assignments, and periodically cross-checks semantics-preserving mutants.
+// assignments, audits infeasibility forensics on a subsample of infeasible
+// verdicts (the blamed UNSAT core must be jointly unsatisfiable and
+// minimal under re-solve), and periodically cross-checks
+// semantics-preserving mutants.
 //
 // Usage:
 //
@@ -50,6 +53,7 @@ func run() error {
 		out         = flag.String("out", "", "write failure artifacts (JSONL) to this file instead of stderr")
 		mutantsEach = flag.Int("mutants-every", 8, "run the metamorphic oracle every n-th iteration (0 disables)")
 		unsatSamp   = flag.Int("unsat-samples", 64, "random hole assignments sampled per infeasible verdict")
+		explainEach = flag.Int("explain-every", 4, "audit infeasibility forensics (blame-set minimality under re-solve) on every n-th iteration's infeasible verdict (0 disables)")
 		bpfEach     = flag.Int("bpf-every", 0, "also compile every n-th iteration for the bpf register-machine target and oracle-check it (0 disables; meant for the nightly run)")
 		verbose     = flag.Bool("v", false, "log per-failure details and the final summary")
 		perfHistory = flag.String("perf-history", os.Getenv(perfhist.EnvVar),
@@ -81,11 +85,15 @@ func run() error {
 		CompileTimeout: *timeout,
 		MutantsEvery:   *mutantsEach,
 		UnsatSamples:   *unsatSamp,
+		ExplainEvery:   *explainEach,
 		BPFEvery:       *bpfEach,
 		Artifacts:      artifacts,
 	}
 	if *mutantsEach == 0 {
 		opts.MutantsEvery = -1
+	}
+	if *explainEach == 0 {
+		opts.ExplainEvery = -1
 	}
 	if *verbose {
 		opts.Log = os.Stderr

@@ -9,7 +9,16 @@
 // file is given. On success the synthesized hardware configuration is
 // printed (or dumped as JSON with -json) together with Figure 5's resource
 // metrics; on failure the tool reports whether the program is infeasible on
-// the requested grid or the compile timed out.
+// the requested grid or the compile timed out. With -explain, an
+// infeasible verdict is followed by a forensics report naming the binding
+// resource dimension and the minimal set of blamed constraint groups.
+//
+// Exit codes:
+//
+//	0  compiled successfully
+//	1  usage or internal error (bad flags, unreadable file, parse error)
+//	2  the compile timed out before reaching a verdict
+//	3  the program is infeasible on the requested machine
 //
 // Example:
 //
@@ -63,6 +72,7 @@ func run() error {
 		timeout     = flag.Duration("timeout", 2*time.Minute, "compile timeout")
 		indicator   = flag.Bool("indicator-alloc", false, "use indicator-variable field allocation instead of canonical")
 		fixed       = flag.Bool("fixed-stages", false, "synthesize at exactly max-stages (skip depth minimization)")
+		explain     = flag.Bool("explain", false, "on an infeasible verdict, run UNSAT-core forensics and report the binding resource and blamed statements")
 		seed        = flag.Int64("seed", 1, "random seed for CEGIS test inputs")
 		parallel    = flag.Int("parallel", 1, "portfolio parallelism: race stage depths and seeds on this many workers (1 = sequential)")
 		seedFanout  = flag.Int("seed-fanout", 1, "diversified CEGIS seeds raced per stage depth in portfolio mode")
@@ -77,7 +87,16 @@ func run() error {
 		watch       = flag.Bool("watch", false, "with -remote: stream the job's live progress events (SSE) to stderr while it compiles")
 		cachePath   = flag.String("cache-path", "", "persist a local solution cache to this JSON file so repeat invocations skip synthesis")
 	)
-	flag.Parse()
+	// Parse with ContinueOnError so a bad flag exits 1 like every other
+	// usage error, instead of the flag package's default exit 2 — which
+	// would collide with the TIMEOUT exit code below.
+	flag.CommandLine.Init("chipmunk", flag.ContinueOnError)
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		os.Exit(1) // the flag package already reported the error
+	}
 
 	if *watch && *remote == "" {
 		return fmt.Errorf("-watch requires -remote (live events stream from a chipmunkd daemon)")
@@ -109,6 +128,7 @@ func run() error {
 			Seed:        *seed,
 			Parallel:    *parallel,
 			SeedFanout:  *seedFanout,
+			Explain:     *explain,
 		}, *timeout, *asJSON, *watch)
 	}
 
@@ -127,6 +147,7 @@ func run() error {
 		VerifyWidth:    word.Width(*verifyWidth),
 		IndicatorAlloc: *indicator,
 		FixedStages:    *fixed,
+		Explain:        *explain,
 		Seed:           *seed,
 		Parallelism:    *parallel,
 		SeedFanout:     *seedFanout,
@@ -203,9 +224,11 @@ func run() error {
 		os.Exit(2)
 	case !rep.Feasible && rep.Target == "bpf":
 		fmt.Printf("INFEASIBLE on the bpf register machine up to %d slots (%v)\n", *maxStages, rep.Elapsed.Round(time.Millisecond))
+		renderExplanation(rep.Explanation, *asJSON)
 		os.Exit(3)
 	case !rep.Feasible:
 		fmt.Printf("INFEASIBLE on a %d-wide grid up to %d stages (%v)\n", *width, *maxStages, rep.Elapsed.Round(time.Millisecond))
+		renderExplanation(rep.Explanation, *asJSON)
 		os.Exit(3)
 	}
 
@@ -302,6 +325,7 @@ func runRemote(base string, req server.CompileRequest, timeout time.Duration, as
 		os.Exit(2)
 	case !res.Feasible:
 		fmt.Printf("INFEASIBLE on a %d-wide grid up to %d stages (remote job %s)\n", req.Width, req.MaxStages, st.ID)
+		renderExplanation(res.Explanation, asJSON)
 		os.Exit(3)
 	}
 	if asJSON {
@@ -370,6 +394,22 @@ func attrSummary(attrs map[string]any) string {
 		fmt.Fprintf(&sb, " %s=%v", k, v)
 	}
 	return sb.String()
+}
+
+// renderExplanation prints the infeasibility-forensics report, if one was
+// produced, before the INFEASIBLE exit. With -json the structured
+// Explanation is emitted instead of the human-readable rendering.
+func renderExplanation(exp *core.Explanation, asJSON bool) {
+	if exp == nil {
+		return
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(exp)
+		return
+	}
+	fmt.Print(exp.Render())
 }
 
 func depthSummary(rep *core.Report) string {

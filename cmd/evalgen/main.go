@@ -47,6 +47,7 @@ func run() error {
 		stats     = flag.Bool("stats", false, "print aggregate solver metrics after the run")
 		cachePath = flag.String("cache-path", "", "persist the solution cache to this JSON file; repeat sweeps skip already-solved mutants")
 		withBPF   = flag.Bool("bpf", false, "also compile each mutant for the bpf register-machine target (hand-worked slot budgets) and add per-target columns")
+		explain   = flag.Bool("explain", false, "run infeasibility forensics on infeasible mutants and record the binding dimension in the CSV infeasibility columns")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func run() error {
 		IntraParallelism: *intraPar,
 		SeedFanout:       *fanout,
 		BPF:              *withBPF,
+		Explain:          *explain,
 	}
 	if *progs != "" {
 		opts.Programs = strings.Split(*progs, ",")

@@ -40,3 +40,29 @@ func TestBPFConformance(t *testing.T) {
 	be := bpf.Backend{Spec: bpf.MachineSpec{ConstBits: constBits}}
 	Run(t, be, b.Parse(), 5, 1)
 }
+
+// The infeasible fixtures drive the forensics half of the battery:
+// marple_reorder needs two pipeline stages on the grid, and
+// marple_new_flow needs five register slots — one size below each is the
+// cheapest proven-infeasible problem per target.
+func TestPISAInfeasibleConformance(t *testing.T) {
+	b, err := programs.ByName("marple_reorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := sketch.PISABackend{
+		Grid: pisa.GridSpec{
+			Width:        b.Width,
+			WordWidth:    10,
+			StatelessALU: alu.Stateless{ConstBits: b.ConstBits},
+			StatefulALU:  alu.Stateful{Kind: b.StatefulALU, ConstBits: b.ConstBits},
+		},
+	}
+	RunInfeasible(t, be, b.Parse(), 1, 7)
+}
+
+func TestBPFInfeasibleConformance(t *testing.T) {
+	b, constBits := fixture(t)
+	be := bpf.Backend{Spec: bpf.MachineSpec{ConstBits: constBits}}
+	RunInfeasible(t, be, b.Parse(), 3, 1)
+}

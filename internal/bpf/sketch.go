@@ -189,6 +189,9 @@ func (s *Sketch) AssertDomains(cnf *circuit.CNF) {
 	if maxCell < 1 {
 		maxCell = 1
 	}
+	// Tagged as named constraint groups for blame tracking; the tags are
+	// no-ops unless the caller called circuit.EnableGroups on the CNF.
+	defer cnf.SetGroup("")
 	for i := 0; i < s.Spec.Slots; i++ {
 		op := s.holes.Op[i]
 		allowed := circuit.False
@@ -198,9 +201,12 @@ func (s *Sketch) AssertDomains(cnf *circuit.CNF) {
 			}
 			allowed = b.Or(allowed, b.EqW(op, b.ConstWord(uint64(v), word.Width(len(op)))))
 		}
+		cnf.SetGroup(circuit.GroupOpcodeMask)
 		cnf.Assert(allowed)
+		cnf.SetGroup(circuit.GroupMuxRange)
 		assertLess(s.holes.Dst[i], s.Spec.Regs)
 		assertLess(s.holes.Src[i], s.Spec.Regs)
+		cnf.SetGroup(circuit.GroupStateAlloc)
 		assertLess(s.holes.Cell[i], maxCell)
 	}
 }

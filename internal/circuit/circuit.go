@@ -19,6 +19,7 @@ package circuit
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/sat"
 	"repro/internal/word"
@@ -512,6 +513,16 @@ type CNF struct {
 
 	nVars    int // SAT variables this encoder allocated
 	nClauses int // clauses this encoder added (Tseitin + assertions)
+
+	// Constraint groups (EnableGroups): assertion clauses are gated by a
+	// per-group selector literal so the solver's UNSAT core can blame
+	// named groups. Off by default — the feasible path emits exactly the
+	// same clause stream as before groups existed.
+	groupsOn   bool
+	groupSels  map[string]sat.Lit
+	groupNames []string // insertion order
+	curSel     sat.Lit
+	curSet     bool
 }
 
 // NewCNF creates a Tseitin encoder targeting the given solver.
@@ -588,9 +599,132 @@ func (c *CNF) lit(n Bit) sat.Lit {
 	return out
 }
 
+// --- Constraint groups -----------------------------------------------------
+
+// Well-known constraint-group names shared by the backends and the
+// explanation pass. Domain groups gate the sketch's allocation/domain
+// assertions; output groups (GroupPktField/GroupStateVar) gate the
+// per-test correctness assertions of one observable output, which is what
+// lets an UNSAT core blame individual program statements.
+const (
+	GroupOpcodeMask = "domain:opcode-mask"
+	GroupMuxRange   = "domain:mux-range"
+	GroupStateAlloc = "domain:state-alloc"
+	GroupFieldAlloc = "domain:field-alloc"
+
+	groupPktPrefix   = "out:pkt."
+	groupStatePrefix = "out:state."
+)
+
+// GroupPktField names the constraint group asserting the packet field f is
+// computed correctly on every test input.
+func GroupPktField(f string) string { return groupPktPrefix + f }
+
+// GroupStateVar names the constraint group asserting the state variable v
+// is updated correctly on every test input.
+func GroupStateVar(v string) string { return groupStatePrefix + v }
+
+// ParseOutputGroup decodes a GroupPktField/GroupStateVar name back into
+// the output it asserts. ok is false for domain (non-output) groups.
+func ParseOutputGroup(name string) (kind, output string, ok bool) {
+	if rest, found := strings.CutPrefix(name, groupPktPrefix); found {
+		return "pkt", rest, true
+	}
+	if rest, found := strings.CutPrefix(name, groupStatePrefix); found {
+		return "state", rest, true
+	}
+	return "", "", false
+}
+
+// EnableGroups switches the encoder into blame-tracking mode: assertion
+// clauses emitted while a group is active (SetGroup) are gated behind a
+// fresh per-group selector literal as (¬sel ∨ lit). Solving under the
+// assumption that every selector is true is equisatisfiable with the
+// ungated encoding, but an UNSAT outcome now yields a core of selector
+// literals — i.e. a set of named constraint groups that is jointly
+// unsatisfiable. Tseitin definitional clauses are never gated: they are
+// equivalences, not constraints, and must hold in every group subset.
+//
+// Groups are off by default and EnableGroups is deliberately the only way
+// to turn them on, so the normal compile path's clause stream (and hence
+// its solver-effort counters) is bit-identical to a build without this
+// machinery.
+func (c *CNF) EnableGroups() {
+	c.groupsOn = true
+	if c.groupSels == nil {
+		c.groupSels = make(map[string]sat.Lit)
+	}
+	c.curSet = false
+}
+
+// SetGroup makes subsequent Assert/AssertNot calls members of the named
+// group, allocating the group's selector on first use. The empty name
+// reverts to ungated assertions. A no-op unless EnableGroups was called.
+func (c *CNF) SetGroup(name string) {
+	if !c.groupsOn {
+		return
+	}
+	if name == "" {
+		c.curSet = false
+		return
+	}
+	sel, ok := c.groupSels[name]
+	if !ok {
+		sel = sat.PosLit(c.solver.NewVar())
+		c.nVars++
+		c.groupSels[name] = sel
+		c.groupNames = append(c.groupNames, name)
+	}
+	c.curSel, c.curSet = sel, true
+}
+
+// Groups returns the names of all groups allocated so far, in first-use
+// order.
+func (c *CNF) Groups() []string {
+	out := make([]string, len(c.groupNames))
+	copy(out, c.groupNames)
+	return out
+}
+
+// GroupAssumptions returns the selector literal of each named group, in
+// the same order as the names. Passing all of them to Solve enforces every
+// group; passing a subset leaves the omitted groups' constraints off.
+func (c *CNF) GroupAssumptions(names []string) []sat.Lit {
+	out := make([]sat.Lit, 0, len(names))
+	for _, n := range names {
+		sel, ok := c.groupSels[n]
+		if !ok {
+			panic(fmt.Sprintf("circuit: unknown constraint group %q", n))
+		}
+		out = append(out, sel)
+	}
+	return out
+}
+
+// GroupName maps a selector literal (e.g. an UNSAT-core member) back to
+// its group name.
+func (c *CNF) GroupName(l sat.Lit) (string, bool) {
+	for name, sel := range c.groupSels {
+		if sel == l {
+			return name, true
+		}
+	}
+	return "", false
+}
+
 // Assert adds the constraint that bit n is true.
 func (c *CNF) Assert(n Bit) {
 	if n == True {
+		return
+	}
+	if c.curSet {
+		if n == False {
+			// The group is unconditionally violated: asserting its
+			// selector alone forces UNSAT.
+			c.addClause(c.curSel.Not())
+			return
+		}
+		c.addClause(c.curSel.Not(), c.Lit(n))
 		return
 	}
 	if n == False {
@@ -604,6 +738,14 @@ func (c *CNF) Assert(n Bit) {
 // AssertNot adds the constraint that bit n is false.
 func (c *CNF) AssertNot(n Bit) {
 	if n == False {
+		return
+	}
+	if c.curSet {
+		if n == True {
+			c.addClause(c.curSel.Not())
+			return
+		}
+		c.addClause(c.curSel.Not(), c.Lit(n).Not())
 		return
 	}
 	if n == True {

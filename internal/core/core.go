@@ -115,6 +115,13 @@ type Options struct {
 	// installs a private one so the profile exists; history capture never
 	// fails a compile — append errors are dropped.
 	History *perfhist.Store
+	// Explain runs the infeasibility-forensics pass when a fresh search
+	// concludes infeasible (not on timeouts or cached verdicts): a gated
+	// re-run with named constraint groups whose minimal UNSAT core is
+	// attached to the report as Report.Explanation. Costs roughly one
+	// extra compile attempt, and only when the compile already failed —
+	// the feasible path is untouched.
+	Explain bool
 }
 
 func (o *Options) maxStages() int {
@@ -238,6 +245,10 @@ type Report struct {
 	// other than the winner — the redundancy cost of racing. Zero on the
 	// sequential path.
 	WastedConflicts int64
+	// Explanation is the infeasibility-forensics report (Options.Explain):
+	// the binding resource dimension and a minimal blamed constraint set.
+	// Nil unless the compile concluded infeasible with Explain set.
+	Explanation *Explanation
 	// Elapsed is total compile time (Table 2's time column).
 	Elapsed time.Duration
 }
@@ -365,6 +376,7 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 				}
 			}
 		}
+		maybeExplain(ctx, prog, opts, rep)
 		rep.Elapsed = time.Since(start)
 		return rep, nil
 	}
@@ -372,6 +384,7 @@ func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, err
 	if err := searchFn(ctx, prog, opts, rep); err != nil {
 		return nil, err
 	}
+	maybeExplain(ctx, prog, opts, rep)
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }

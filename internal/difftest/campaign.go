@@ -36,6 +36,14 @@ type CampaignOptions struct {
 	// UnsatSamples is the number of random hole assignments probed per
 	// infeasible verdict. 0 means 64.
 	UnsatSamples int
+	// ExplainEvery audits infeasibility forensics on every n-th
+	// iteration's infeasible verdict: the blamed UNSAT core must be
+	// jointly unsatisfiable and minimal under re-solve, and the gated
+	// rerun must not contradict the ungated verdict. Forensics costs
+	// roughly one extra compile attempt plus the minimization probes, so
+	// it is subsampled like the metamorphic oracle. 0 means 4; negative
+	// disables.
+	ExplainEvery int
 	// BPFEvery additionally compiles every n-th iteration's scenario for
 	// the bpf register-machine target and re-validates a feasible result
 	// against the BPF brute-force oracle. 0 disables (register-machine
@@ -85,6 +93,13 @@ func (o CampaignOptions) unsatSamples() int {
 	return o.UnsatSamples
 }
 
+func (o CampaignOptions) explainEvery() int {
+	if o.ExplainEvery == 0 {
+		return 4
+	}
+	return o.ExplainEvery
+}
+
 // Failure is one reported discrepancy, serialized as a JSONL artifact.
 // Program is a standalone reproducer: the (minimized) Domino source of the
 // offending program, re-parseable with internal/parser.
@@ -110,6 +125,10 @@ type Summary struct {
 	SolverChecks int `json:"solver_checks"`
 	Mutants      int `json:"mutants"`
 	UnsatProbes  int `json:"unsat_probes"`
+	// ExplainChecks counts infeasible verdicts whose forensics blame set
+	// was audited for joint unsatisfiability and minimality
+	// (CampaignOptions.ExplainEvery).
+	ExplainChecks int `json:"explain_checks"`
 	// BPFCompiles/BPFFeasible count the opt-in register-machine oracle
 	// iterations (CampaignOptions.BPFEvery); a feasible BPF config is
 	// checked against the interpreter like its grid counterpart.
@@ -138,24 +157,25 @@ type Summary struct {
 // metric; the rest give the trend tables their context.
 func (s Summary) Samples() map[string]float64 {
 	return map[string]float64{
-		"iters":         float64(s.Iters),
-		"compiles":      float64(s.Compiles),
-		"feasible":      float64(s.Feasible),
-		"infeasible":    float64(s.Infeasible),
-		"timed_out":     float64(s.TimedOut),
-		"solver_checks": float64(s.SolverChecks),
-		"mutants":       float64(s.Mutants),
-		"engine_probes": float64(s.EngineProbes),
-		"failures":      float64(s.Failures),
-		"bpf_compiles":  float64(s.BPFCompiles),
-		"bpf_feasible":  float64(s.BPFFeasible),
-		"elapsed_ms":    s.ElapsedMS,
-		"iters_per_sec": s.ItersPerSec,
-		"solver_ms":     s.SolverMS,
-		"compile_ms":    s.CompileMS,
-		"oracle_ms":     s.OracleMS,
-		"mutant_ms":     s.MutantMS,
-		"bpf_ms":        s.BPFMS,
+		"iters":          float64(s.Iters),
+		"compiles":       float64(s.Compiles),
+		"feasible":       float64(s.Feasible),
+		"infeasible":     float64(s.Infeasible),
+		"timed_out":      float64(s.TimedOut),
+		"solver_checks":  float64(s.SolverChecks),
+		"mutants":        float64(s.Mutants),
+		"explain_checks": float64(s.ExplainChecks),
+		"engine_probes":  float64(s.EngineProbes),
+		"failures":       float64(s.Failures),
+		"bpf_compiles":   float64(s.BPFCompiles),
+		"bpf_feasible":   float64(s.BPFFeasible),
+		"elapsed_ms":     s.ElapsedMS,
+		"iters_per_sec":  s.ItersPerSec,
+		"solver_ms":      s.SolverMS,
+		"compile_ms":     s.CompileMS,
+		"oracle_ms":      s.OracleMS,
+		"mutant_ms":      s.MutantMS,
+		"bpf_ms":         s.BPFMS,
 	}
 }
 
@@ -300,6 +320,17 @@ func runIteration(ctx context.Context, i int, opts CampaignOptions, mu *sync.Mut
 		count(func(s *Summary) { s.UnsatProbes += opts.unsatSamples() })
 		if d := SpotCheckInfeasible(sc, sc.MaxStages, opts.unsatSamples(), seed); d != nil {
 			fail(d.Kind, d.Detail, sc.Prog.Print(), false)
+		}
+		// Forensics minimality oracle on a subsample: re-derive the blamed
+		// UNSAT core for this verdict and hold it to its contract.
+		if opts.explainEvery() > 0 && i%opts.explainEvery() == 0 {
+			count(func(s *Summary) { s.ExplainChecks++ })
+			ectx, ecancel := context.WithTimeout(ctx, opts.compileTimeout())
+			d := CheckExplainMinimal(ectx, sc, sc.MaxStages, seed)
+			ecancel()
+			if d != nil {
+				fail(d.Kind, d.Detail, sc.Prog.Print(), false)
+			}
 		}
 	}
 	oracleDur := time.Since(t0)

@@ -1,0 +1,62 @@
+package difftest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/parser"
+	"repro/internal/programs"
+)
+
+// marple_reorder at one stage is the repo's canonical proven-infeasible
+// problem: its two outputs (state.max_seq, pkt.reordered) form a
+// read-after-write chain no single stage can fold. A healthy forensics
+// stack must blame a core that survives the audit — jointly UNSAT,
+// minimal under single-member drops — without raising a discrepancy.
+func TestCheckExplainMinimalHealthy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs gated CEGIS plus audit re-solves")
+	}
+	b, err := programs.ByName("marple_reorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Prog:      b.Parse(),
+		Width:     b.Width,
+		MaxStages: 1,
+		Stateless: alu.Stateless{ConstBits: b.ConstBits},
+		Stateful:  alu.Stateful{Kind: b.StatefulALU, ConstBits: b.ConstBits},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if d := CheckExplainMinimal(ctx, sc, sc.MaxStages, 7); d != nil {
+		t.Fatalf("healthy forensics flagged: %s", d)
+	}
+}
+
+// Feeding the oracle a scenario that is actually feasible must surface
+// the divergence kind: the gated rerun synthesizes a config, directly
+// contradicting the (presumed) ungated infeasibility verdict it was
+// called to explain.
+func TestCheckExplainMinimalFlagsFeasibleScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs gated CEGIS")
+	}
+	sc := Scenario{
+		Prog:      parser.MustParse("copy", "pkt.a = pkt.b;"),
+		Width:     2,
+		MaxStages: 1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	d := CheckExplainMinimal(ctx, sc, sc.MaxStages, 7)
+	if d == nil {
+		t.Fatal("feasible scenario produced no discrepancy")
+	}
+	if d.Kind != KindExplainDiverged {
+		t.Fatalf("discrepancy kind = %q, want %q", d.Kind, KindExplainDiverged)
+	}
+}

@@ -33,6 +33,8 @@ const (
 	KindCompileError    = "compile-error"       // Compile returned a hard error
 	KindConfigInvalid   = "config-invalid"      // synthesized config fails validation
 	KindEngineMismatch  = "engine-mismatch"     // compiled line-rate engine vs interpreted datapath disagree
+	KindCoreNotMinimal  = "core-not-minimal"    // blamed UNSAT core fails its minimality contract on re-solve
+	KindExplainDiverged = "explain-diverged"    // gated forensics rerun found a config where ungated proved UNSAT
 )
 
 // exhaustiveCheckWidth is the small width used for exhaustive

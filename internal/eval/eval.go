@@ -77,6 +77,11 @@ type Options struct {
 	// feasibility/effort can be compared on the same corpus. Programs
 	// without a worked-out budget report the BPF target as not attempted.
 	BPF bool
+	// Explain runs the infeasibility-forensics pass (core.Options.Explain)
+	// on mutants whose compile concludes infeasible, recording each
+	// target's binding resource dimension in the CSV infeasibility
+	// columns. Feasible and timed-out mutants are unaffected.
+	Explain bool
 }
 
 func (o *Options) mutants() int {
@@ -131,6 +136,11 @@ type MutantOutcome struct {
 	// iterations, SAT conflicts, peak CNF size) for the CSV effort columns.
 	ChipmunkEffort core.Effort
 
+	// ChipmunkInfeasibleDim names the binding resource dimension (a
+	// core.Dim* constant) when the mutant was infeasible and forensics ran
+	// (Options.Explain); empty otherwise.
+	ChipmunkInfeasibleDim string
+
 	DominoOK     bool
 	DominoReason string
 	DominoTime   time.Duration
@@ -145,6 +155,8 @@ type MutantOutcome struct {
 	BPFTime    time.Duration
 	BPFInstrs  int
 	BPFEffort  core.Effort
+	// BPFInfeasibleDim mirrors ChipmunkInfeasibleDim for the bpf target.
+	BPFInfeasibleDim string
 }
 
 // reorderMask restricts marple_reorder's opcode vocabulary to the lean ISA
@@ -266,6 +278,7 @@ func compileBoth(ctx context.Context, b programs.Benchmark, m mutate.Mutant, idx
 		SeedFanout:   opts.SeedFanout,
 		Cache:        opts.Cache,
 		History:      opts.History,
+		Explain:      opts.Explain,
 	})
 	if err == nil {
 		out.ChipmunkOK = rep.Feasible
@@ -274,6 +287,9 @@ func compileBoth(ctx context.Context, b programs.Benchmark, m mutate.Mutant, idx
 		out.ChipmunkEffort = rep.Effort()
 		if rep.Feasible {
 			out.ChipmunkUsage = rep.Usage
+		}
+		if rep.Explanation != nil {
+			out.ChipmunkInfeasibleDim = rep.Explanation.Dimension
 		}
 	}
 
@@ -292,6 +308,7 @@ func compileBoth(ctx context.Context, b programs.Benchmark, m mutate.Mutant, idx
 			Seed:          opts.Seed + int64(idx),
 			Cache:         opts.Cache,
 			History:       opts.History,
+			Explain:       opts.Explain,
 		})
 		if berr == nil {
 			out.BPFRan = true
@@ -301,6 +318,9 @@ func compileBoth(ctx context.Context, b programs.Benchmark, m mutate.Mutant, idx
 			out.BPFEffort = brep.Effort()
 			if cfg, isBPF := brep.Artifact.(*bpf.Config); isBPF && brep.Feasible {
 				out.BPFInstrs = cfg.LiveInstrs()
+			}
+			if brep.Explanation != nil {
+				out.BPFInfeasibleDim = brep.Explanation.Dimension
 			}
 		}
 	}
@@ -542,7 +562,7 @@ func renderSeries(s Series) string {
 // CSV renders outcomes as a flat CSV for external plotting.
 func CSV(outcomes []MutantOutcome) string {
 	var sb strings.Builder
-	sb.WriteString("program,mutant,ops,chipmunk_ok,chipmunk_timeout,chipmunk_ms,chipmunk_stages,chipmunk_max_alus,chipmunk_iters,chipmunk_conflicts,chipmunk_decisions,chipmunk_propagations,chipmunk_peak_cnf_vars,domino_ok,domino_ms,domino_stages,domino_max_alus,bpf_ran,bpf_ok,bpf_timeout,bpf_ms,bpf_instrs,bpf_iters,bpf_conflicts,domino_reason\n")
+	sb.WriteString("program,mutant,ops,chipmunk_ok,chipmunk_timeout,chipmunk_ms,chipmunk_stages,chipmunk_max_alus,chipmunk_iters,chipmunk_conflicts,chipmunk_decisions,chipmunk_propagations,chipmunk_peak_cnf_vars,chipmunk_infeasible_dim,domino_ok,domino_ms,domino_stages,domino_max_alus,bpf_ran,bpf_ok,bpf_timeout,bpf_ms,bpf_instrs,bpf_iters,bpf_conflicts,bpf_infeasible_dim,domino_reason\n")
 	sorted := append([]MutantOutcome{}, outcomes...)
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].Program != sorted[j].Program {
@@ -555,18 +575,18 @@ func CSV(outcomes []MutantOutcome) string {
 		for i, op := range o.Ops {
 			ops[i] = string(op)
 		}
-		fmt.Fprintf(&sb, "%s,%d,%s,%t,%t,%.1f,%d,%d,%d,%d,%d,%d,%d,%t,%.3f,%d,%d,%t,%t,%t,%.1f,%d,%d,%d,%q\n",
+		fmt.Fprintf(&sb, "%s,%d,%s,%t,%t,%.1f,%d,%d,%d,%d,%d,%d,%d,%s,%t,%.3f,%d,%d,%t,%t,%t,%.1f,%d,%d,%d,%s,%q\n",
 			o.Program, o.Index, strings.Join(ops, "+"),
 			o.ChipmunkOK, o.ChipmunkTimeout, float64(o.ChipmunkTime.Microseconds())/1000,
 			o.ChipmunkUsage.Stages, o.ChipmunkUsage.MaxALUsPerStage,
 			o.ChipmunkEffort.Iters, o.ChipmunkEffort.Conflicts,
 			o.ChipmunkEffort.Decisions, o.ChipmunkEffort.Propagations,
-			o.ChipmunkEffort.PeakCNFVars,
+			o.ChipmunkEffort.PeakCNFVars, o.ChipmunkInfeasibleDim,
 			o.DominoOK, float64(o.DominoTime.Microseconds())/1000,
 			o.DominoUsage.Stages, o.DominoUsage.MaxALUsPerStage,
 			o.BPFRan, o.BPFOK, o.BPFTimeout, float64(o.BPFTime.Microseconds())/1000,
 			o.BPFInstrs, o.BPFEffort.Iters, o.BPFEffort.Conflicts,
-			o.DominoReason)
+			o.BPFInfeasibleDim, o.DominoReason)
 	}
 	return sb.String()
 }

@@ -123,6 +123,54 @@ func TestCSVWellFormed(t *testing.T) {
 	}
 }
 
+// TestCSVInfeasibleDimColumns checks the infeasibility columns: the
+// header names them for both targets and a forensics-annotated outcome
+// renders its binding dimensions in the right fields.
+func TestCSVInfeasibleDimColumns(t *testing.T) {
+	csv := CSV([]MutantOutcome{{
+		Program:               "marple_reorder",
+		ChipmunkInfeasibleDim: "stage-depth",
+		BPFRan:                true,
+		BPFInfeasibleDim:      "instruction-slots",
+	}})
+	header := strings.Split(strings.SplitN(csv, "\n", 2)[0], ",")
+	for _, col := range []string{"chipmunk_infeasible_dim", "bpf_infeasible_dim"} {
+		found := false
+		for _, h := range header {
+			if h == col {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("CSV header missing %q", col)
+		}
+	}
+	row := strings.SplitN(csv, "\n", 3)[1]
+	if !strings.Contains(row, ",stage-depth,") || !strings.Contains(row, ",instruction-slots,") {
+		t.Errorf("CSV row missing dimensions: %s", row)
+	}
+
+	// A feasible sweep with the knob on leaves the columns empty.
+	outcomes, err := Run(context.Background(), Options{
+		Mutants:  1,
+		Seed:     42,
+		Timeout:  2 * time.Minute,
+		Programs: []string{"marple_new_flow"},
+		Explain:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if !o.ChipmunkOK {
+			t.Fatalf("%s mutant %d should compile", o.Program, o.Index)
+		}
+		if o.ChipmunkInfeasibleDim != "" {
+			t.Errorf("feasible mutant carries infeasibility dimension %q", o.ChipmunkInfeasibleDim)
+		}
+	}
+}
+
 func TestSeriesStats(t *testing.T) {
 	s := newSeries([]int{2, 5, 3})
 	if s.Mean != 10.0/3 || s.Min != 2 || s.Max != 5 || s.Variance() != 3 {

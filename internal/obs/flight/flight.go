@@ -3,8 +3,9 @@
 // on the happy path and dumped only when something goes wrong.
 //
 // The paper's CEGIS solve times are heavy-tailed (Table 2 spans seconds
-// to an hour), so the interesting jobs — the ones that time out — are
-// exactly the ones whose trace nobody asked for in advance. A Recorder
+// to an hour), so the interesting jobs — the ones that time out or prove
+// infeasible — are exactly the ones whose trace nobody asked for in
+// advance. A Recorder
 // subscribes to a job's obs.Tracer and records every span start/end
 // (compile → attempt → cegis.iter → synth/verify → sat.solve), plus
 // ad-hoc Note events for in-solve milestones (SAT conflict progress,
@@ -139,7 +140,8 @@ func (r *Recorder) Dropped() uint64 {
 }
 
 // WriteJSONL dumps the tail as JSON lines — the postmortem artifact the
-// server writes into a job's trace directory on timeout or failure.
+// server writes into a job's trace directory on timeout, failure, or an
+// infeasible verdict.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
 	for _, e := range r.Tail() {
 		b, err := json.Marshal(e)

@@ -207,6 +207,7 @@ type Solver struct {
 	stopped bool        // set by search when stopFn fired
 
 	assumptions []Lit
+	core        []Lit // assumption subset blamed for the last Unsat
 }
 
 // New returns an empty solver.
@@ -549,6 +550,56 @@ func (s *Solver) analyze(confl clauseRef) int {
 	return bt
 }
 
+// analyzeFinal expresses the final conflict in terms of assumption
+// literals (the MiniSat procedure of the same name). It is called from
+// search at the moment an assumption a is found falsified: it seeds the
+// core with a, then walks the trail top-down resolving each marked
+// variable through its reason clause. Marked variables with no reason are
+// decisions, and every decision below the assumption prefix is an
+// assumption literal verbatim, so they join the core; level-0 variables
+// are facts and never marked. The result — stored in s.core and read via
+// UnsatCore — is a subset of the caller's assumptions whose conjunction
+// already makes the formula unsatisfiable.
+func (s *Solver) analyzeFinal(a Lit) {
+	s.core = append(s.core[:0], a)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[a.Var()] = true
+	for i := len(s.trail) - 1; i >= int(s.trailLim[0]); i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if r := s.reason[v]; r == refUndef {
+			s.core = append(s.core, s.trail[i])
+		} else {
+			for _, q := range s.clauses[r].lits[1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	// a may have been falsified at level 0, in which case the walk above
+	// never visits it; clear its mark explicitly.
+	s.seen[a.Var()] = false
+}
+
+// UnsatCore returns the subset of the most recent Solve call's assumption
+// literals that the solver used to derive unsatisfiability. It is
+// meaningful only after a Solve/SolveWithBudget call returned Unsat; any
+// other outcome (including formula-level UNSAT with no assumptions
+// involved) yields an empty slice. The core is not guaranteed minimal —
+// callers wanting a minimal core re-solve under subsets (see
+// internal/cegis's explanation pass).
+func (s *Solver) UnsatCore() []Lit {
+	out := make([]Lit, len(s.core))
+	copy(out, s.core)
+	return out
+}
+
 // cancelUntil undoes assignments above the given decision level.
 func (s *Solver) cancelUntil(lvl int) {
 	if s.decisionLevel() <= lvl {
@@ -704,6 +755,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 // SolveWithBudget is Solve with a conflict budget; budget < 0 means
 // unlimited. If the budget is exhausted it returns (Unknown, ErrBudget).
 func (s *Solver) SolveWithBudget(budget int64, assumptions ...Lit) (Status, error) {
+	s.core = s.core[:0]
 	if !s.ok {
 		return Unsat, nil
 	}
@@ -803,7 +855,10 @@ func (s *Solver) search(maxConfl int64, budget *int64) Status {
 				s.trailLim = append(s.trailLim, int32(len(s.trail)))
 				continue
 			case lFalse:
-				// Assumptions conflict with the formula.
+				// Assumptions conflict with the formula. Record which
+				// assumptions participate before the deferred cancelUntil
+				// tears down the trail.
+				s.analyzeFinal(a)
 				return Unsat
 			}
 			next = a

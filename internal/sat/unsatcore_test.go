@@ -1,0 +1,201 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// coreSet runs Solve under assumptions, requires Unsat, and returns the
+// core as a set for membership checks.
+func coreSet(t *testing.T, s *Solver, assumptions ...Lit) map[Lit]bool {
+	t.Helper()
+	if got := s.Solve(assumptions...); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+	core := s.UnsatCore()
+	set := map[Lit]bool{}
+	for _, l := range core {
+		set[l] = true
+	}
+	if len(set) != len(core) {
+		t.Fatalf("core has duplicate literals: %v", core)
+	}
+	allowed := map[Lit]bool{}
+	for _, a := range assumptions {
+		allowed[a] = true
+	}
+	for _, l := range core {
+		if !allowed[l] {
+			t.Fatalf("core literal %v is not among the assumptions %v", l, assumptions)
+		}
+	}
+	return set
+}
+
+func TestUnsatCoreSubsetStillUnsat(t *testing.T) {
+	// x AND y AND (¬x ∨ ¬y) is UNSAT; z is an irrelevant assumption that
+	// must not be blamed.
+	s := New()
+	vs := mkVars(s, 3)
+	x, y, z := PosLit(vs[0]), PosLit(vs[1]), PosLit(vs[2])
+	s.AddClause(x.Not(), y.Not())
+	set := coreSet(t, s, x, y, z)
+	if set[z] {
+		t.Fatalf("irrelevant assumption z blamed: core %v", set)
+	}
+	if !set[x] || !set[y] {
+		t.Fatalf("core should blame x and y, got %v", set)
+	}
+	// Re-solving under just the core must still be UNSAT.
+	var coreLits []Lit
+	for l := range set {
+		coreLits = append(coreLits, l)
+	}
+	if got := s.Solve(coreLits...); got != Unsat {
+		t.Fatalf("re-solve under core = %v, want Unsat", got)
+	}
+	// ...and the solver remains usable: dropping one core member is SAT.
+	if got := s.Solve(x, z); got != Sat {
+		t.Fatalf("solve under {x,z} = %v, want Sat", got)
+	}
+	if len(s.UnsatCore()) != 0 {
+		t.Fatal("Sat outcome should clear the core")
+	}
+}
+
+func TestUnsatCoreThroughPropagationChain(t *testing.T) {
+	// a → b → c and assumption ¬c: the conflict reaches the assumption a
+	// only through reason clauses, so analyzeFinal must resolve the chain.
+	s := New()
+	vs := mkVars(s, 3)
+	a, b, c := PosLit(vs[0]), PosLit(vs[1]), PosLit(vs[2])
+	s.AddClause(a.Not(), b)
+	s.AddClause(b.Not(), c)
+	set := coreSet(t, s, a, c.Not())
+	if !set[a] || !set[c.Not()] {
+		t.Fatalf("core should blame a and ¬c, got %v", set)
+	}
+}
+
+func TestUnsatCoreLevelZeroFalsified(t *testing.T) {
+	// The formula fixes ¬x at level 0; assuming x must yield core {x}.
+	s := New()
+	vs := mkVars(s, 2)
+	x, pad := PosLit(vs[0]), PosLit(vs[1])
+	s.AddClause(x.Not())
+	set := coreSet(t, s, pad, x)
+	if !set[x] {
+		t.Fatalf("core should contain the level-0-falsified assumption, got %v", set)
+	}
+	if set[pad] {
+		t.Fatalf("unrelated leading assumption blamed: %v", set)
+	}
+}
+
+func TestUnsatCoreEmptyWithoutAssumptions(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(PosLit(v))
+	s.AddClause(NegLit(v))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+	if core := s.UnsatCore(); len(core) != 0 {
+		t.Fatalf("formula-level UNSAT should have empty core, got %v", core)
+	}
+}
+
+func TestUnsatCoreContradictoryAssumptions(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	x := PosLit(v)
+	set := coreSet(t, s, x, x.Not())
+	if !set[x] || !set[x.Not()] {
+		t.Fatalf("core should blame both contradictory assumptions, got %v", set)
+	}
+}
+
+// TestUnsatCoreRandomSelectors mimics the clause-group usage pattern:
+// random 3-CNF formulas gated by selector literals, solved under the
+// all-selectors assumption. Whenever the gated formula is UNSAT, the core
+// must (a) be a subset of the selectors and (b) remain UNSAT when
+// re-solved alone, on a fresh solver as well as incrementally.
+func TestUnsatCoreRandomSelectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(5)
+		nGroups := 2 + rng.Intn(4)
+		nClauses := 8 + rng.Intn(20)
+
+		type gated struct {
+			sel  Lit
+			lits [][]Lit
+		}
+		s := New()
+		vars := mkVars(s, n)
+		sels := make([]Lit, nGroups)
+		groups := make([]gated, nGroups)
+		for g := range sels {
+			sels[g] = PosLit(s.NewVar())
+			groups[g].sel = sels[g]
+		}
+		for i := 0; i < nClauses; i++ {
+			g := rng.Intn(nGroups)
+			cl := make([]Lit, 0, 3)
+			for k := 0; k < 3; k++ {
+				cl = append(cl, MkLit(vars[rng.Intn(n)], rng.Intn(2) == 0))
+			}
+			groups[g].lits = append(groups[g].lits, cl)
+			s.AddClause(append([]Lit{sels[g].Not()}, cl...)...)
+		}
+		st := s.Solve(sels...)
+		if st != Unsat {
+			continue
+		}
+		core := s.UnsatCore()
+		if len(core) == 0 {
+			t.Fatalf("trial %d: UNSAT under assumptions but empty core", trial)
+		}
+		inCore := map[Lit]bool{}
+		for _, l := range core {
+			inCore[l] = true
+		}
+		for _, l := range core {
+			found := false
+			for _, sel := range sels {
+				if l == sel {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: core literal %v is not a selector", trial, l)
+			}
+		}
+		// Incremental re-solve under the core alone stays UNSAT.
+		if got := s.Solve(core...); got != Unsat {
+			t.Fatalf("trial %d: incremental re-solve under core = %v, want Unsat", trial, got)
+		}
+		// Fresh-solver replay of only the core groups' clauses is UNSAT too
+		// (the core names sufficient groups, independent of learnt state).
+		fresh := New()
+		mkVars(fresh, n)
+		freshSels := make(map[Lit]Lit, nGroups)
+		for _, sel := range sels {
+			freshSels[sel] = PosLit(fresh.NewVar())
+		}
+		var assume []Lit
+		for _, grp := range groups {
+			if !inCore[grp.sel] {
+				continue
+			}
+			fs := freshSels[grp.sel]
+			assume = append(assume, fs)
+			for _, cl := range grp.lits {
+				fresh.AddClause(append([]Lit{fs.Not()}, cl...)...)
+			}
+		}
+		if got := fresh.Solve(assume...); got != Unsat {
+			t.Fatalf("trial %d: fresh re-solve of core groups = %v, want Unsat", trial, got)
+		}
+	}
+}

@@ -32,9 +32,9 @@
 //
 // Observability: every job runs under its own obs.Tracer feeding both the
 // SSE stream and a bounded flight recorder (internal/obs/flight); on
-// timeout, failure, or cancellation the recorder's tail is attached to
-// the job status and, with Config.TraceDir set, dumped as JSONL into the
-// job's trace directory. Jobs exceeding Config.SlowJobThreshold get a
+// timeout, failure, cancellation, or an infeasible verdict the recorder's
+// tail is attached to the job status and, with Config.TraceDir set,
+// dumped as JSONL into the job's trace directory. Jobs exceeding Config.SlowJobThreshold get a
 // CPU profile for their remainder. Lifecycle events are logged through
 // Config.Logger (log/slog) with job_id and fingerprint fields that join
 // log lines, dumps, and streams on the same job.
@@ -197,6 +197,11 @@ type CompileRequest struct {
 	// SeedFanout is how many diversified CEGIS seeds race per stage depth
 	// in portfolio mode (clamped to [1, 8]; ignored unless Parallel > 1).
 	SeedFanout int `json:"seed_fanout,omitempty"`
+	// Explain runs the infeasibility-forensics pass when the job's fresh
+	// search concludes infeasible: the result then carries a structured
+	// Explanation naming the binding resource dimension and the minimal
+	// blamed constraint groups. Feasible and cached jobs are unaffected.
+	Explain bool `json:"explain,omitempty"`
 	// Wait blocks the HTTP request until the job finishes and returns the
 	// final status instead of 202.
 	Wait bool `json:"wait,omitempty"`
@@ -223,6 +228,9 @@ type CompileResult struct {
 	// members' solver work; both are zero-valued for sequential jobs.
 	Winner          string `json:"winner,omitempty"`
 	WastedConflicts int64  `json:"wasted_conflicts,omitempty"`
+	// Explanation is the infeasibility-forensics report, present when the
+	// request asked for Explain and the job concluded infeasible.
+	Explanation *core.Explanation `json:"explanation,omitempty"`
 }
 
 // Job states.
@@ -498,7 +506,7 @@ func (s *Server) run(j *job) {
 	stopSlowWatch()
 
 	rec.Close()
-	if err != nil || rep.TimedOut {
+	if err != nil || rep.TimedOut || !rep.Feasible {
 		s.dumpFlight(j, rec)
 	}
 
@@ -519,6 +527,10 @@ func (s *Server) run(j *job) {
 			Target:          rep.Target,
 			Winner:          rep.Winner,
 			WastedConflicts: rep.WastedConflicts,
+			Explanation:     rep.Explanation,
+		}
+		if rep.Explanation != nil {
+			s.metrics.Counter("server.jobs.explained").Add(1)
 		}
 		if rep.Feasible {
 			res.Stages = rep.Usage.Stages
@@ -555,6 +567,10 @@ func (s *Server) logJobFinished(j *job, rep *core.Report, err error, elapsed tim
 	attrs = append(attrs, "feasible", rep.Feasible, "cached", rep.Cached)
 	if rep.Winner != "" {
 		attrs = append(attrs, "winner", rep.Winner, "wasted_conflicts", rep.WastedConflicts)
+	}
+	if rep.Explanation != nil {
+		attrs = append(attrs, "binding_dimension", rep.Explanation.Dimension,
+			"blamed_groups", len(rep.Explanation.BlamedGroups))
 	}
 	if rep.TimedOut {
 		s.logger.Warn("job timed out", attrs...)
@@ -794,6 +810,7 @@ func (s *Server) newJob(req CompileRequest) (*job, error) {
 			SynthWidth:   word.Width(req.SynthWidth),
 			VerifyWidth:  word.Width(req.VerifyWidth),
 			Seed:         req.Seed,
+			Explain:      req.Explain,
 			Parallelism:  parallel,
 			SeedFanout:   fanout,
 			Cache:        s.cfg.Cache,

@@ -487,6 +487,82 @@ func TestMetricsPrometheus(t *testing.T) {
 	}
 }
 
+// TestExplainInfeasibleJob submits a known-infeasible job (marple_reorder
+// needs two stages; the request allows one) with the explain knob set and
+// checks the full forensics surface: the result carries a structured
+// Explanation naming the binding dimension with a minimal blame set, the
+// flight-recorder tail is attached to the status even though the job
+// neither failed nor timed out, and the explain counters reach the
+// Prometheus endpoint.
+func TestExplainInfeasibleJob(t *testing.T) {
+	s := New(Config{Workers: 1, JobTimeout: 2 * time.Minute})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := CompileRequest{
+		Name:      "marple_reorder",
+		Source:    "int max_seq = 0; if (pkt.seq < max_seq) { pkt.reordered = 1; } else { pkt.reordered = 0; max_seq = pkt.seq; }",
+		Width:     2,
+		MaxStages: 1,
+		ALU:       "pred_raw",
+		Explain:   true,
+		Wait:      true,
+	}
+	resp, st := postCompile(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if st.State != StateDone || st.Result == nil {
+		t.Fatalf("job state %q result=%v error=%q", st.State, st.Result, st.Error)
+	}
+	if st.Result.Feasible || st.Result.TimedOut {
+		t.Fatalf("marple_reorder at 1 stage should be infeasible, got %+v", st.Result)
+	}
+	exp := st.Result.Explanation
+	if exp == nil {
+		t.Fatal("infeasible job with explain set must return an explanation")
+	}
+	if exp.Dimension != core.DimStageDepth {
+		t.Fatalf("binding dimension = %q (core %v), want %q", exp.Dimension, exp.BlamedGroups, core.DimStageDepth)
+	}
+	if !exp.Minimal || len(exp.BlamedGroups) == 0 || len(exp.BlamedStatements) == 0 {
+		t.Fatalf("expected a minimal blame set with statements, got %+v", exp)
+	}
+	if len(st.Flight) == 0 {
+		t.Fatal("infeasible verdict should attach the flight-recorder tail")
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"explain_runs 1", "explain_minimal_cores 1", "server_jobs_explained 1"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("/metrics/prom missing %q", want)
+		}
+	}
+
+	// A feasible job with the knob set stays explanation-free.
+	freq := compileReq(true)
+	freq.Explain = true
+	_, fst := postCompile(t, ts, freq)
+	if fst.Result == nil || !fst.Result.Feasible {
+		t.Fatalf("sampling should compile: %+v", fst.Result)
+	}
+	if fst.Result.Explanation != nil {
+		t.Fatal("feasible job must not carry an explanation")
+	}
+	if len(fst.Flight) != 0 {
+		t.Fatal("feasible job must not attach a flight tail")
+	}
+}
+
 func keys(m map[string]any) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {

@@ -193,7 +193,14 @@ func (s *Sketch) AssertDomains(cnf *circuit.CNF) {
 	b := s.B
 	g := s.Grid
 
+	// Each category is tagged as a named constraint group; the tags are
+	// no-ops unless the caller enabled blame tracking on the CNF
+	// (circuit.EnableGroups), in which case an UNSAT core can name the
+	// binding domain constraint.
+	defer cnf.SetGroup("")
+
 	// Opcode mask: each stateless opcode hole must name an allowed opcode.
+	cnf.SetGroup(circuit.GroupOpcodeMask)
 	mask := g.StatelessALU.EffectiveOpcodeMask()
 	if mask != alu.FullOpcodeMask {
 		for i := range s.holes.Stateless {
@@ -212,6 +219,7 @@ func (s *Sketch) AssertDomains(cnf *circuit.CNF) {
 	}
 
 	// Mux ranges (only needed when the option count is not a power of 2).
+	cnf.SetGroup(circuit.GroupMuxRange)
 	assertLess := func(hw circuit.Word, n int) {
 		if n >= 1<<uint(len(hw)) {
 			return
@@ -235,6 +243,7 @@ func (s *Sketch) AssertDomains(cnf *circuit.CNF) {
 
 	// State allocation: used slots are active in exactly one stage, unused
 	// slots never (the appendix's salu_active assertions).
+	cnf.SetGroup(circuit.GroupStateAlloc)
 	ns := g.StatefulALU.NumStates()
 	usedSlots := (s.NumStates + ns - 1) / ns
 	cw := word.Width(pisa.MuxBits(g.Stages) + 1)
@@ -254,6 +263,7 @@ func (s *Sketch) AssertDomains(cnf *circuit.CNF) {
 
 	// Indicator allocation: each field in exactly one container, each
 	// container holding at most one field.
+	cnf.SetGroup(circuit.GroupFieldAlloc)
 	if s.holes.FieldAlloc != nil {
 		cw := word.Width(pisa.MuxBits(g.Width) + 1)
 		for f := range s.holes.FieldAlloc {

@@ -64,6 +64,12 @@ type Sketch interface {
 	// HoleInventory returns each hole's name and bit width in
 	// deterministic (creation) order.
 	HoleInventory() (names []string, bits []int)
+	// HoleWords returns every hole word in deterministic (creation)
+	// order — the complete configuration space as circuit words.
+	// Hole-elimination CEGIS blocks refuted candidates by asserting a
+	// clause over exactly these bits, so the slice must cover every bit
+	// Extract reads.
+	HoleWords() []circuit.Word
 	// MinWidth is the narrowest datapath width at which the sketch may be
 	// instantiated soundly: the width of the widest control hole (control
 	// encodings must not truncate; data holes/immediates may).
@@ -82,6 +88,19 @@ type Sketch interface {
 	// variable-name orders; runWidth is the datapath width recorded for
 	// subsequent simulation.
 	Extract(cnf *circuit.CNF, fields, states []string, runWidth word.Width) Config
+}
+
+// SymmetryBreaker is the optional opt-in seam for symmetry breaking: a
+// Backend that also implements it and reports true emits
+// solution-space-pruning constraints (tagged circuit.GroupSymmetry) from
+// AssertDomains in addition to the hole domains. Backends without
+// interchangeable resources (e.g. the BPF register machine, whose slots
+// are ordered by control flow) simply do not implement the interface and
+// never pay for — or risk being perturbed by — the machinery.
+type SymmetryBreaker interface {
+	// SymmetryBreaking reports whether this backend instance emits
+	// symmetry-breaking constraints from its sketches' AssertDomains.
+	SymmetryBreaking() bool
 }
 
 // Config is a fully synthesized artifact: concrete values for every hole,

@@ -50,6 +50,7 @@ func Run(t *testing.T, be backend.Backend, prog *ast.Program, size int, seed int
 
 	checkInventory(t, be, size, nf, ns)
 	checkNamedGroups(t, be, size, nf, ns)
+	checkSymmetrySeam(t, be, size, nf, ns)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
@@ -134,10 +135,43 @@ func RunInfeasible(t *testing.T, be backend.Backend, prog *ast.Program, size int
 func isDomainGroup(g string) bool {
 	switch g {
 	case circuit.GroupOpcodeMask, circuit.GroupMuxRange,
-		circuit.GroupStateAlloc, circuit.GroupFieldAlloc:
+		circuit.GroupStateAlloc, circuit.GroupFieldAlloc,
+		circuit.GroupSymmetry:
 		return true
 	}
 	return false
+}
+
+// checkSymmetrySeam pins the opt-in contract for symmetry breaking:
+// AssertDomains may emit circuit.GroupSymmetry constraints exactly when
+// the backend advertises them via backend.SymmetryBreaker. A backend
+// that does not implement the interface (or reports false) must never
+// emit the group — symmetry clauses are target-specific pruning, and a
+// backend that has not vouched for their soundness on its datapath must
+// not inherit them through the shared seam.
+func checkSymmetrySeam(t *testing.T, be backend.Backend, size, nf, ns int) {
+	t.Helper()
+	wantSym := false
+	if sb, ok := be.(backend.SymmetryBreaker); ok {
+		wantSym = sb.SymmetryBreaking()
+	}
+	b := circuit.New()
+	sk, err := be.NewSketch(b, size, nf, ns)
+	if err != nil {
+		t.Fatalf("%s: NewSketch: %v", be.Target(), err)
+	}
+	cnf := circuit.NewCNF(b, sat.New())
+	cnf.EnableGroups()
+	sk.AssertDomains(cnf)
+	gotSym := false
+	for _, g := range cnf.Groups() {
+		if g == circuit.GroupSymmetry {
+			gotSym = true
+		}
+	}
+	if gotSym != wantSym {
+		t.Errorf("%s: symmetry group emitted=%v, SymmetryBreaker opt-in=%v", be.Target(), gotSym, wantSym)
+	}
 }
 
 // checkNamedGroups asserts the forensics contract on AssertDomains: with
@@ -226,6 +260,21 @@ func checkInventory(t *testing.T, be backend.Backend, size, nf, ns int) {
 	}
 	if sum != bits {
 		t.Errorf("%s: HoleCount bits = %d, inventory sums to %d", be.Target(), bits, sum)
+	}
+	words := sk.HoleWords()
+	if len(words) != holes {
+		t.Errorf("%s: HoleWords returns %d words, inventory has %d holes", be.Target(), len(words), holes)
+	}
+	wsum := 0
+	for i, w := range words {
+		if len(w) < 1 {
+			t.Errorf("%s: hole word %d is empty", be.Target(), i)
+		}
+		wsum += len(w)
+	}
+	if wsum != bits {
+		t.Errorf("%s: HoleWords spans %d bits, inventory sums to %d — hole elimination would quotient the space",
+			be.Target(), wsum, bits)
 	}
 	if err := sk.MinWidth().Validate(); err != nil {
 		t.Errorf("%s: MinWidth invalid: %v", be.Target(), err)

@@ -41,6 +41,24 @@ func TestBPFConformance(t *testing.T) {
 	Run(t, be, b.Parse(), 5, 1)
 }
 
+// TestPISASymmetryConformance runs the full battery against the grid
+// backend with symmetry breaking opted in: the pruned encoding must
+// still synthesize a correct config, and checkSymmetrySeam flips to
+// requiring the symmetry group's presence.
+func TestPISASymmetryConformance(t *testing.T) {
+	b, constBits := fixture(t)
+	be := sketch.PISABackend{
+		Grid: pisa.GridSpec{
+			Width:        b.Width,
+			WordWidth:    10,
+			StatelessALU: alu.Stateless{ConstBits: constBits},
+			StatefulALU:  alu.Stateful{Kind: b.StatefulALU, ConstBits: constBits},
+		},
+		Opts: sketch.Options{SymmetryBreak: true},
+	}
+	Run(t, be, b.Parse(), 1, 7)
+}
+
 // The infeasible fixtures drive the forensics half of the battery:
 // marple_reorder needs two pipeline stages on the grid, and
 // marple_new_flow needs five register slots — one size below each is the

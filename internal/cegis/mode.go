@@ -1,0 +1,63 @@
+package cegis
+
+import "fmt"
+
+// Mode selects the CEGIS refinement strategy — the axis the upstream
+// Chipmunk driver (repeated_solver.py) races as counter_example_mode vs
+// hole_elimination_mode.
+//
+// In counterexample mode a failed candidate feeds the refuting input back
+// into the synthesis solver as an additional concrete test (Figure 3's
+// outer loop): each iteration constrains the hole space by a whole
+// semantic slice of the specification. In hole-elimination mode the
+// refuting input is discarded and the candidate itself is blocked — one
+// clause over the hole bits forbidding exactly that assignment — so the
+// persistent synthesis solver enumerates the candidate space directly.
+// Counterexample mode usually converges in fewer iterations; elimination
+// iterations are far cheaper (no datapath re-instantiation, no new
+// Tseitin cone), which wins when the first consistent candidates verify
+// or the hole space is small. Racing both is the point (see
+// portfolio.Spec.RaceModes).
+type Mode string
+
+const (
+	// ModeCounterexample is the default: refuted candidates contribute
+	// their counterexample as a new concrete test input.
+	ModeCounterexample Mode = "cex"
+	// ModeHoleElimination blocks each refuted candidate's hole assignment
+	// instead of adding its counterexample as a test.
+	ModeHoleElimination Mode = "holes"
+)
+
+// DefaultHoleElimMaxIters is the iteration bound for hole-elimination
+// mode when Options.MaxIters is zero. Elimination visits one candidate
+// per iteration, so it routinely needs far more rounds than
+// counterexample mode's default of 64; exhausting the bound is an
+// ordinary inconclusive outcome (Result.TimedOut), not an error.
+const DefaultHoleElimMaxIters = 512
+
+// DefaultHoleElimInitialTests is the initial random test count for
+// hole-elimination mode when Options.InitialTests is zero. Elimination
+// never grows its test set — the initial sample is all the specification
+// evidence a candidate must fit before verification — so it wants a much
+// richer sample than counterexample mode's default of 2 (seeded at both
+// tier widths; see SynthesizeOn). On the corpus, 16-per-tier moves most
+// programs from budget exhaustion to convergence within a few candidates.
+const DefaultHoleElimInitialTests = 16
+
+// ParseMode canonicalizes a user-facing mode string, accepting both our
+// short names and the upstream driver's spellings. The empty string is
+// counterexample mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "cex", "counterexample", "counter-example", "counter_example_mode":
+		return ModeCounterexample, nil
+	case "holes", "hole-elimination", "hole_elimination", "hole_elimination_mode":
+		return ModeHoleElimination, nil
+	}
+	return "", fmt.Errorf("cegis: unknown mode %q (want cex or holes)", s)
+}
+
+// Modes lists every mode, in racing order (counterexample first, so
+// portfolio member 0 stays the historical sequential attempt).
+func Modes() []Mode { return []Mode{ModeCounterexample, ModeHoleElimination} }

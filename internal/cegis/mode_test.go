@@ -1,0 +1,119 @@
+package cegis
+
+import (
+	"testing"
+
+	"repro/internal/alu"
+)
+
+func TestParseMode(t *testing.T) {
+	good := map[string]Mode{
+		"":                      ModeCounterexample,
+		"cex":                   ModeCounterexample,
+		"counterexample":        ModeCounterexample,
+		"counter-example":       ModeCounterexample,
+		"counter_example_mode":  ModeCounterexample,
+		"holes":                 ModeHoleElimination,
+		"hole-elimination":      ModeHoleElimination,
+		"hole_elimination":      ModeHoleElimination,
+		"hole_elimination_mode": ModeHoleElimination,
+	}
+	for in, want := range good {
+		got, err := ParseMode(in)
+		if err != nil {
+			t.Errorf("ParseMode(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("ParseMode(%q) = %q, want %q", in, got, want)
+		}
+	}
+	for _, in := range []string{"hole", "ce", "both", "HOLES"} {
+		if _, err := ParseMode(in); err == nil {
+			t.Errorf("ParseMode(%q): want error", in)
+		}
+	}
+}
+
+func TestHoleEliminationFeasible(t *testing.T) {
+	res := synth(t, "pkt.a = pkt.a + 1;", grid(1, 1, alu.Counter, 4), Options{Seed: 1, Mode: ModeHoleElimination})
+	if !res.Feasible {
+		t.Fatalf("increment should fit a 1x1 grid in hole-elimination mode (timedout=%v after %d iters)",
+			res.TimedOut, res.Iters)
+	}
+	if res.Mode != ModeHoleElimination {
+		t.Fatalf("Result.Mode = %q, want %q", res.Mode, ModeHoleElimination)
+	}
+	outPkt, _ := res.Config.Exec(map[string]uint64{"a": 41}, nil)
+	if outPkt["a"] != 42 {
+		t.Fatalf("a = %d, want 42", outPkt["a"])
+	}
+	// Hole elimination never grows the test set: every refinement is a
+	// blocking clause, so Tests stays at the initial seeding — the zero
+	// snapshot plus DefaultHoleElimInitialTests randoms per tier width —
+	// no matter how many candidates were tried.
+	if want := 1 + 2*DefaultHoleElimInitialTests; res.Tests != want {
+		t.Fatalf("Tests = %d, want the initial %d (mode must not add counterexample tests)", res.Tests, want)
+	}
+}
+
+func TestHoleEliminationStateful(t *testing.T) {
+	res := synth(t, "total = total + pkt.v;", grid(1, 1, alu.PredRaw, 4), Options{Seed: 7, Mode: ModeHoleElimination})
+	if !res.Feasible {
+		t.Fatalf("accumulator should fit pred_raw in hole-elimination mode (timedout=%v after %d iters)",
+			res.TimedOut, res.Iters)
+	}
+	state := map[string]uint64{"total": 0}
+	for i := uint64(1); i <= 5; i++ {
+		_, state = res.Config.Exec(map[string]uint64{"v": i}, state)
+	}
+	if state["total"] != 15 {
+		t.Fatalf("total = %d, want 15", state["total"])
+	}
+}
+
+func TestHoleEliminationCapacityInfeasible(t *testing.T) {
+	// Capacity rejection happens before any solving, identically per mode.
+	src := "pkt.tmp = pkt.a; pkt.a = pkt.b; pkt.b = pkt.tmp;"
+	res := synth(t, src, grid(2, 2, alu.Counter, 4), Options{Seed: 1, Mode: ModeHoleElimination})
+	if res.Feasible || res.TimedOut || res.Iters != 0 {
+		t.Fatalf("3 fields in 2 containers must be rejected without search: %+v", res)
+	}
+}
+
+func TestHoleEliminationNeverErrorsOnExhaustion(t *testing.T) {
+	// A tight candidate budget must yield an inconclusive TimedOut result,
+	// not counterexample mode's "no convergence" error: enumeration
+	// routinely outlives any fixed bound without being wrong.
+	res := synth(t, "pkt.a = pkt.a * pkt.b;", grid(1, 2, alu.Counter, 4),
+		Options{Seed: 1, Mode: ModeHoleElimination, MaxIters: 1})
+	if res.Feasible {
+		t.Fatal("field*field must not be declared feasible")
+	}
+	if !res.TimedOut && res.Iters >= 1 && res.Tests > 1+2*DefaultHoleElimInitialTests {
+		t.Fatalf("hole elimination added tests: %+v", res)
+	}
+}
+
+func TestModeAgreementOnVerdicts(t *testing.T) {
+	// Both modes must agree whenever both conclude; hole elimination may
+	// instead report TimedOut (inconclusive), never the opposite verdict.
+	cases := []struct {
+		src  string
+		kind alu.Kind
+	}{
+		{"pkt.a = pkt.a + 1;", alu.Counter},
+		{"total = total + pkt.v;", alu.PredRaw},
+		{"pkt.a = pkt.a * pkt.b;", alu.Counter},
+	}
+	for _, c := range cases {
+		g := grid(1, 2, c.kind, 4)
+		cex := synth(t, c.src, g, Options{Seed: 7})
+		hol := synth(t, c.src, g, Options{Seed: 7, Mode: ModeHoleElimination})
+		if hol.TimedOut {
+			continue // inconclusive: allowed, just not a disagreement
+		}
+		if cex.Feasible != hol.Feasible {
+			t.Errorf("%q: cex feasible=%v, holes feasible=%v", c.src, cex.Feasible, hol.Feasible)
+		}
+	}
+}

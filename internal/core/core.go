@@ -76,6 +76,15 @@ type Options struct {
 	// IndicatorAlloc uses indicator-variable packet-field allocation
 	// instead of canonical allocation (Figure 4 ablation).
 	IndicatorAlloc bool
+	// CEGISMode selects the refinement strategy ("cex", "holes", or any
+	// spelling cegis.ParseMode accepts; empty means counterexample mode —
+	// the historical behaviour).
+	CEGISMode string
+	// SymmetryBreak asks the backend to prune grid symmetries from the
+	// hole space (sketch.Options.SymmetryBreak). Backends without
+	// interchangeable resources ignore it. Verdict-preserving; off by
+	// default so the standard path's clause stream is untouched.
+	SymmetryBreak bool
 	// FixedStages disables depth minimization and synthesizes directly at
 	// MaxStages (iterative-deepening ablation).
 	FixedStages bool
@@ -96,6 +105,11 @@ type Options struct {
 	// RaceAllocs additionally races the opposite field-allocation mode
 	// (canonical vs indicator) for every portfolio member.
 	RaceAllocs bool
+	// RaceModes additionally races both CEGIS refinement strategies
+	// (counterexample vs hole elimination) for every portfolio member —
+	// the upstream driver's repeated_solver race. Requires Parallelism
+	// >= 2 to have any effect.
+	RaceModes bool
 	// Trace receives CEGIS events, if non-nil. In portfolio mode events
 	// from racing members arrive concurrently (distinguished by
 	// Event.Member); the callback must be safe for concurrent use.
@@ -155,11 +169,13 @@ func bpfBackend(opts Options) bpf.Backend {
 
 // backendFor maps Options onto a backend.Backend. The pisa adapter's
 // allocation mode is the per-attempt cegis option, so it is passed
-// explicitly (portfolio members race both modes).
-func backendFor(opts Options, indicatorAlloc bool) (backend.Backend, error) {
+// explicitly (portfolio members race both modes); symmetry breaking is
+// passed explicitly too, because the forensics pass must build a
+// symmetry-free backend so UNSAT cores blame only real resources.
+func backendFor(opts Options, indicatorAlloc, symmetry bool) (backend.Backend, error) {
 	switch opts.targetName() {
 	case "pisa":
-		return sketch.PISABackend{Grid: gridSpec(opts), Opts: sketch.Options{IndicatorAlloc: indicatorAlloc}}, nil
+		return sketch.PISABackend{Grid: gridSpec(opts), Opts: sketch.Options{IndicatorAlloc: indicatorAlloc, SymmetryBreak: symmetry}}, nil
 	case "bpf":
 		return bpfBackend(opts), nil
 	}
@@ -181,6 +197,13 @@ type DepthResult struct {
 	// Member labels the portfolio member that ran this probe (e.g.
 	// "d2.s1.canon"); empty on the sequential path.
 	Member string
+	// Mode is the CEGIS refinement strategy the probe ran ("cex" or
+	// "holes").
+	Mode string
+	// Exhausted marks a hole-elimination probe that ran out of its
+	// candidate budget without a verdict (inconclusive, but not a compile
+	// timeout).
+	Exhausted bool
 	// Pruned marks a depth skipped without any SAT effort because the
 	// portfolio's witness-based depth floor proved it infeasible.
 	Pruned bool
@@ -241,6 +264,10 @@ type Report struct {
 	// Winner labels the portfolio member that produced Config (empty on
 	// the sequential path).
 	Winner string
+	// Mode is the CEGIS refinement strategy that produced the verdict
+	// ("cex" or "holes"): the winner's mode in portfolio mode, the
+	// configured mode on the sequential path. Empty on cached outcomes.
+	Mode string
 	// WastedConflicts sums the SAT conflicts spent by portfolio members
 	// other than the winner — the redundancy cost of racing. Zero on the
 	// sequential path.
@@ -281,7 +308,10 @@ func (r *Report) Effort() Effort {
 func Compile(ctx context.Context, prog *ast.Program, opts Options) (*Report, error) {
 	start := time.Now()
 	rep := &Report{Program: prog.Name, Target: opts.targetName()}
-	if _, err := backendFor(opts, opts.IndicatorAlloc); err != nil {
+	if _, err := backendFor(opts, opts.IndicatorAlloc, opts.SymmetryBreak); err != nil {
+		return nil, err
+	}
+	if _, err := cegis.ParseMode(opts.CEGISMode); err != nil {
 		return nil, err
 	}
 
@@ -399,11 +429,13 @@ func Fingerprint(prog *ast.Program, opts Options) string {
 }
 
 // cacheKey derives the solution-cache fingerprint for a compilation. The
-// seed, the callbacks, and the portfolio knobs (Parallelism, SeedFanout,
-// RaceAllocs) are excluded: they steer the search, not the validity of
-// its result, so one canonical problem keeps one fingerprint regardless
-// of fanout and a portfolio winner populates the same entry a sequential
-// run would.
+// seed, the callbacks, the portfolio knobs (Parallelism, SeedFanout,
+// RaceAllocs, RaceModes), and the search-strategy knobs (CEGISMode,
+// SymmetryBreak) are excluded: they steer the search, not the validity of
+// its result — both CEGIS modes prove the same verdicts and symmetry
+// breaking is verdict-preserving — so one canonical problem keeps one
+// fingerprint regardless of strategy and a portfolio winner populates the
+// same entry a sequential run would.
 func cacheKey(prog *ast.Program, opts Options) solcache.Key {
 	p := solcache.Problem{
 		Program: prog,
@@ -443,7 +475,12 @@ func gridSpec(opts Options) pisa.GridSpec {
 // body, so the two paths cannot drift. The returned cegis.Result carries
 // the configuration when feasible.
 func attempt(ctx context.Context, prog *ast.Program, opts Options, stages int, copts cegis.Options) (DepthResult, *cegis.Result, error) {
-	be, err := backendFor(opts, copts.IndicatorAlloc)
+	// Hole-elimination members always get symmetry breaking (on backends
+	// that support it): enumeration pays one full iteration per symmetric
+	// duplicate of a refuted candidate, so it always wants the quotient
+	// space. Counterexample members keep it behind the explicit option.
+	sym := opts.SymmetryBreak || copts.Mode == cegis.ModeHoleElimination
+	be, err := backendFor(opts, copts.IndicatorAlloc, sym)
 	if err != nil {
 		return DepthResult{}, nil, err
 	}
@@ -475,11 +512,17 @@ func attempt(ctx context.Context, prog *ast.Program, opts Options, stages int, c
 		Elapsed:         res.Elapsed,
 		Seed:            copts.Seed,
 		Member:          copts.Member,
+		Mode:            string(res.Mode),
 		SynthConflicts:  res.SynthConflicts,
 		VerifyConflicts: res.VerifyConflicts,
 		Decisions:       res.Decisions,
 		Propagations:    res.Propagations,
 		PeakCNFVars:     res.PeakCNFVars,
+	}
+	if res.TimedOut && ctx.Err() == nil && res.Mode == cegis.ModeHoleElimination {
+		// The enumeration ran out of candidates before the deadline did:
+		// inconclusive, but not a timeout in the wall-clock sense.
+		dr.Exhausted = true
 	}
 	if res.Feasible {
 		if err := res.TargetConfig.Validate(); err != nil {
@@ -494,10 +537,16 @@ func attempt(ctx context.Context, prog *ast.Program, opts Options, stages int, c
 
 // search runs the iterative-deepening synthesis loop, filling rep in place.
 func search(ctx context.Context, prog *ast.Program, opts Options, rep *Report) error {
+	mode, err := cegis.ParseMode(opts.CEGISMode)
+	if err != nil {
+		return err
+	}
+	rep.Mode = string(mode)
 	copts := cegis.Options{
 		SynthWidth:     opts.SynthWidth,
 		VerifyWidth:    opts.VerifyWidth,
 		IndicatorAlloc: opts.IndicatorAlloc,
+		Mode:           mode,
 		Seed:           opts.Seed,
 		Trace:          opts.Trace,
 		Progress:       opts.Progress,
@@ -543,6 +592,11 @@ type memberAttempt struct {
 // witness-proven floor (portfolio.DepthFloor) are pruned without SAT
 // effort and recorded as Pruned DepthResults.
 func searchPortfolio(ctx context.Context, prog *ast.Program, opts Options, rep *Report) error {
+	baseMode, err := cegis.ParseMode(opts.CEGISMode)
+	if err != nil {
+		return err
+	}
+	rep.Mode = string(baseMode) // a winner overrides with its own mode
 	maxS := opts.maxStages()
 	lo := 1
 	if opts.FixedStages {
@@ -593,6 +647,14 @@ func searchPortfolio(ctx context.Context, prog *ast.Program, opts Options, rep *
 		BaseSeed:       opts.Seed,
 		IndicatorAlloc: opts.IndicatorAlloc,
 		RaceAllocs:     opts.RaceAllocs,
+		Mode:           string(baseMode),
+	}
+	if opts.RaceModes {
+		for _, m := range cegis.Modes() {
+			if m != baseMode {
+				spec.RaceModes = append(spec.RaceModes, string(m))
+			}
+		}
 	}
 	res, err := portfolio.Run(pctx, spec.Members(), opts.Parallelism,
 		func(mctx context.Context, m portfolio.Member) (memberAttempt, portfolio.Verdict, error) {
@@ -600,6 +662,7 @@ func searchPortfolio(ctx context.Context, prog *ast.Program, opts Options, rep *
 				SynthWidth:     opts.SynthWidth,
 				VerifyWidth:    opts.VerifyWidth,
 				IndicatorAlloc: m.IndicatorAlloc,
+				Mode:           cegis.Mode(m.Mode),
 				Seed:           m.Seed,
 				Trace:          opts.Trace,
 				Progress:       opts.Progress,
@@ -611,6 +674,10 @@ func searchPortfolio(ctx context.Context, prog *ast.Program, opts Options, rep *
 			}
 			v := portfolio.Infeasible
 			switch {
+			case dr.Exhausted:
+				// Hole elimination ran out of candidates with the deadline
+				// intact: the member lost, the portfolio lives on.
+				v = portfolio.Exhausted
 			case cres.TimedOut:
 				v = portfolio.TimedOut
 			case cres.Feasible:
@@ -650,14 +717,17 @@ func searchPortfolio(ctx context.Context, prog *ast.Program, opts Options, rep *
 			rep.Usage = win.res.Config.Usage()
 		}
 		rep.Winner = res.Winner.Member.Label
-		// Record the race outcome in the registry by allocation mode, so
-		// a daemon's /metrics shows which member family wins over time —
-		// until now winner attribution lived only on individual reports.
+		rep.Mode = win.dr.Mode
+		// Record the race outcome in the registry by allocation mode and
+		// by CEGIS mode, so a daemon's /metrics shows which member family
+		// wins over time — until now winner attribution lived only on
+		// individual reports.
 		mode := "canon"
 		if res.Winner.Member.IndicatorAlloc {
 			mode = "ind"
 		}
 		obs.MetricsFrom(pctx).Counter("portfolio.winner." + mode).Add(1)
+		obs.MetricsFrom(pctx).Counter("portfolio.winner.mode." + win.dr.Mode).Add(1)
 	case res.TimedOut:
 		rep.TimedOut = true
 	}

@@ -105,7 +105,12 @@ func maybeExplain(ctx context.Context, prog *ast.Program, opts Options, rep *Rep
 	if !opts.Explain || rep.Feasible || rep.TimedOut || rep.Cached {
 		return
 	}
-	be, err := backendFor(opts, opts.IndicatorAlloc)
+	// Symmetry breaking is deliberately stripped here: its constraints are
+	// search-space pruning, not physics, and letting them into the gated
+	// encoding could surface circuit.GroupSymmetry in UNSAT cores and
+	// shift the blamed dimension. Forensics verdicts (and the -explain
+	// output) are therefore identical with symmetry breaking on or off.
+	be, err := backendFor(opts, opts.IndicatorAlloc, false)
 	if err != nil {
 		return
 	}

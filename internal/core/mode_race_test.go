@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/programs"
+)
+
+// TestRaceModesPortfolio races counterexample against hole-elimination
+// CEGIS on marple_reorder (infeasible at one stage, feasible at two): both
+// mode families must appear in the depth log, the winner must carry a mode
+// and land at the proven minimum depth, and the per-mode winner counter
+// must record the race outcome.
+func TestRaceModesPortfolio(t *testing.T) {
+	b, err := programs.ByName("marple_reorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := benchOptions(b)
+	opts.Parallelism = 4
+	opts.RaceModes = true
+
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Compile(obs.ContextWithMetrics(ctx, reg), b.Parse(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible || rep.TimedOut {
+		t.Fatalf("marple_reorder should compile under a mode race: %+v", rep)
+	}
+	if rep.Usage.Stages != 2 {
+		t.Fatalf("winner at %d stages, want the proven minimum 2", rep.Usage.Stages)
+	}
+
+	if rep.Winner == "" || !strings.Contains(rep.Winner, ".") {
+		t.Fatalf("winner label %q missing", rep.Winner)
+	}
+	if rep.Mode != "cex" && rep.Mode != "holes" {
+		t.Fatalf("report mode %q, want cex or holes", rep.Mode)
+	}
+	if !strings.HasSuffix(rep.Winner, "."+rep.Mode) {
+		t.Fatalf("winner label %q does not carry report mode %q", rep.Winner, rep.Mode)
+	}
+
+	modes := map[string]bool{}
+	for _, d := range rep.Depths {
+		if d.Pruned {
+			continue
+		}
+		if d.Mode != "cex" && d.Mode != "holes" {
+			t.Fatalf("depth result with mode %q: %+v", d.Mode, d)
+		}
+		modes[d.Mode] = true
+		if !strings.HasSuffix(d.Member, "."+d.Mode) {
+			t.Errorf("member %q label does not end with its mode %q", d.Member, d.Mode)
+		}
+	}
+	if !modes["cex"] || !modes["holes"] {
+		t.Fatalf("depth log missing a mode family: %v", modes)
+	}
+
+	if got := reg.Counter("portfolio.winner.mode." + rep.Mode).Value(); got != 1 {
+		t.Errorf("portfolio.winner.mode.%s = %d, want 1", rep.Mode, got)
+	}
+
+	// The winning configuration must implement the program regardless of
+	// which strategy found it.
+	if err := crossCheck(b.Parse(), rep.Artifact, 99); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHoleElimSequentialExhaustion pins the sequential (non-portfolio)
+// contract for hole elimination on a corpus program whose hole space
+// outlives the candidate budget: the compile must come back inconclusive
+// (TimedOut with an Exhausted depth), never an error or a bogus verdict.
+func TestHoleElimSequentialExhaustion(t *testing.T) {
+	b, err := programs.ByName("rcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := benchOptions(b)
+	opts.CEGISMode = "holes"
+	opts.Seed = 1 // exhausts at this seed; see the mode sweep in cegis tests
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Compile(ctx, b.Parse(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible {
+		t.Skip("hole elimination converged at this seed; exhaustion contract not exercised")
+	}
+	if !rep.TimedOut {
+		t.Fatalf("exhausted enumeration must report TimedOut, got %+v", rep)
+	}
+	found := false
+	for _, d := range rep.Depths {
+		if d.Exhausted {
+			found = true
+			if d.Mode != "holes" {
+				t.Errorf("exhausted depth carries mode %q", d.Mode)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no depth recorded the candidate-budget exhaustion")
+	}
+}

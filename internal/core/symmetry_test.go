@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/interp"
+	"repro/internal/programs"
+	"repro/internal/word"
+)
+
+// TestSymmetryVerdictParity is the soundness gate for symmetry breaking:
+// over the whole corpus, turning it on must change neither the verdict
+// nor the depth floor — only which witness (if any) comes back. Feasible
+// witnesses found under symmetry constraints are additionally probed
+// against the interpreter, since a sound-but-wrong pruning clause would
+// most likely surface as a config that satisfies the pruned CNF but not
+// the program.
+func TestSymmetryVerdictParity(t *testing.T) {
+	for _, b := range programs.Corpus() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			plain, err := Compile(ctx, b.Parse(), benchOptions(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := benchOptions(b)
+			opts.SymmetryBreak = true
+			sym, err := Compile(ctx, b.Parse(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.TimedOut || sym.TimedOut {
+				t.Fatalf("corpus compile timed out (plain=%v sym=%v)", plain.TimedOut, sym.TimedOut)
+			}
+			if plain.Feasible != sym.Feasible {
+				t.Fatalf("verdict flipped: plain=%v symmetry=%v", plain.Feasible, sym.Feasible)
+			}
+			if len(plain.Depths) != len(sym.Depths) {
+				t.Fatalf("depth probes diverged: plain=%+v symmetry=%+v", plain.Depths, sym.Depths)
+			}
+			for i := range plain.Depths {
+				if plain.Depths[i].Feasible != sym.Depths[i].Feasible {
+					t.Fatalf("verdict at depth %d flipped: plain=%v symmetry=%v",
+						plain.Depths[i].Stages, plain.Depths[i].Feasible, sym.Depths[i].Feasible)
+				}
+			}
+			if !sym.Feasible {
+				return
+			}
+			if plain.Config.Grid.Stages != sym.Config.Grid.Stages {
+				t.Fatalf("depth floor moved: plain=%d symmetry=%d",
+					plain.Config.Grid.Stages, sym.Config.Grid.Stages)
+			}
+
+			// Probe the symmetry-found witness against the interpreter.
+			const w = word.Width(5)
+			cfg := *sym.Config
+			cfg.Grid.WordWidth = w
+			in := interp.MustNew(w)
+			prog := b.Parse()
+			vars := prog.Variables()
+			rng := rand.New(rand.NewSource(11))
+			for probe := 0; probe < 128; probe++ {
+				snap := interp.NewSnapshot()
+				for _, f := range vars.Fields {
+					snap.Pkt[f] = rng.Uint64() % w.Size()
+				}
+				for _, s := range vars.States {
+					snap.State[s] = rng.Uint64() % w.Size()
+				}
+				want, err := in.Run(prog, snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotPkt, gotState := cfg.Exec(snap.Pkt, snap.State)
+				for _, f := range vars.Fields {
+					if gotPkt[f] != want.Pkt[f] {
+						t.Fatalf("probe %d: field %s = %d, want %d\nconfig:\n%s",
+							probe, f, gotPkt[f], want.Pkt[f], sym.Config)
+					}
+				}
+				for _, s := range vars.States {
+					if gotState[s] != want.State[s] {
+						t.Fatalf("probe %d: state %s = %d, want %d\nconfig:\n%s",
+							probe, s, gotState[s], want.State[s], sym.Config)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSymmetryExplainParity: forensics run on the symmetry-stripped
+// encoding, so the acceptance scenario (marple_reorder below its depth
+// floor) must report the same binding dimension with symmetry breaking
+// requested, and the blame set must never name the symmetry group.
+func TestSymmetryExplainParity(t *testing.T) {
+	b, err := programs.ByName("marple_reorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	opts := benchOptions(b)
+	opts.MaxStages = 1
+	opts.Explain = true
+	opts.SymmetryBreak = true
+	rep, err := Compile(ctx, b.Parse(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible || rep.TimedOut {
+		t.Fatalf("marple_reorder at 1 stage should stay infeasible: %+v", rep)
+	}
+	exp := rep.Explanation
+	if exp == nil {
+		t.Fatal("missing explanation")
+	}
+	if exp.Dimension != DimStageDepth {
+		t.Fatalf("binding dimension = %q (core %v), want %q", exp.Dimension, exp.BlamedGroups, DimStageDepth)
+	}
+	for _, g := range exp.BlamedGroups {
+		if g == circuit.GroupSymmetry {
+			t.Fatalf("symmetry group leaked into the blame set: %v", exp.BlamedGroups)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// CheckModeAgreement is the differential oracle over CEGIS strategies:
+// counterexample-guided and hole-elimination search explore the same
+// candidate space under the same correctness condition, so whenever both
+// reach a verdict on a scenario they must reach the same one. A
+// feasible hole-elimination result is additionally held to the
+// interpreter- and engine-equivalence oracles, since its witness comes
+// off a search path (model enumeration with blocking clauses) the
+// default pipeline never exercises.
+//
+// Returns (discrepancy, conclusive): a timeout — including
+// hole-elimination's candidate-budget exhaustion, which the core
+// reports as TimedOut — on either side makes the comparison
+// inconclusive, reported as (nil, false). Hard compile errors are
+// discrepancies in their own right: the strategy axis must never change
+// whether options validate.
+func CheckModeAgreement(ctx context.Context, sc Scenario, seed int64) (*Discrepancy, bool) {
+	cexOpts := compileOptions(sc, seed)
+	cexRep, err := core.Compile(ctx, sc.Prog, cexOpts)
+	if err != nil {
+		return &Discrepancy{Kind: KindCompileError, Detail: "mode cex: " + err.Error()}, true
+	}
+	holOpts := compileOptions(sc, seed)
+	holOpts.CEGISMode = "holes"
+	holRep, err := core.Compile(ctx, sc.Prog, holOpts)
+	if err != nil {
+		return &Discrepancy{Kind: KindCompileError, Detail: "mode holes: " + err.Error()}, true
+	}
+	if cexRep.TimedOut || holRep.TimedOut {
+		return nil, false
+	}
+	if cexRep.Feasible != holRep.Feasible {
+		return &Discrepancy{
+			Kind: KindModeDiverged,
+			Detail: fmt.Sprintf("counterexample mode feasible=%v, hole-elimination mode feasible=%v\nprogram:\n%s",
+				cexRep.Feasible, holRep.Feasible, sc.Prog.Print()),
+		}, true
+	}
+	if !holRep.Feasible {
+		return nil, true
+	}
+	if d := CheckConfigEquivalence(sc.Prog, holRep.Config, seed); d != nil {
+		d.Detail = "mode holes: " + d.Detail
+		return d, true
+	}
+	if d := CheckEngineEquivalence(holRep.Config, seed, 512); d != nil {
+		d.Detail = "mode holes: " + d.Detail
+		return d, true
+	}
+	return nil, true
+}

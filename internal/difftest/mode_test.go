@@ -1,0 +1,75 @@
+package difftest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/alu"
+	"repro/internal/parser"
+)
+
+// TestModeAgreementOnCorpusSamples drives the strategy oracle over a
+// feasible and an infeasible fixture: both must come back conclusive
+// with no discrepancy.
+func TestModeAgreementOnCorpusSamples(t *testing.T) {
+	cases := []Scenario{
+		{
+			// Small enough for hole elimination to settle inside its
+			// candidate budget (larger corpus programs legitimately
+			// exhaust it, which the oracle treats as inconclusive).
+			Prog:  parser.MustParse("inc", "pkt.a = pkt.a + 1;"),
+			Width: 1, MaxStages: 1,
+			Stateless: alu.Stateless{ConstBits: 4},
+			Stateful:  alu.Stateful{Kind: alu.Counter, ConstBits: 4},
+		},
+		{
+			Prog:  parser.MustParse("hard", "pkt.a = pkt.a * pkt.b;"),
+			Width: 2, MaxStages: 1,
+			Stateless: alu.Stateless{ConstBits: 4},
+			Stateful:  alu.Stateful{Kind: alu.Counter, ConstBits: 4},
+		},
+	}
+	for _, sc := range cases {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		d, conclusive := CheckModeAgreement(ctx, sc, 7)
+		cancel()
+		if d != nil {
+			t.Errorf("%s: %s", sc.Prog.Name, d)
+		}
+		if !conclusive {
+			t.Errorf("%s: oracle inconclusive on a fixture both modes settle quickly", sc.Prog.Name)
+		}
+	}
+}
+
+// TestModeAgreementCampaignStage wires ModeEvery through a tiny campaign
+// and checks the summary accounting: every iteration runs the oracle,
+// none may diverge.
+func TestModeAgreementCampaignStage(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	sum, failures, err := Run(ctx, CampaignOptions{
+		Iters:          8,
+		Seed:           1,
+		ModeEvery:      1,
+		MutantsEvery:   -1,
+		ExplainEvery:   -1,
+		CompileTimeout: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Errorf("iter %d: %s: %s", f.Iter, f.Kind, f.Detail)
+	}
+	if sum.ModeDiverged != 0 {
+		t.Fatalf("mode_diverged = %d, want 0", sum.ModeDiverged)
+	}
+	if sum.ModeChecks == 0 {
+		t.Fatal("ModeEvery=1 over 8 iterations produced no conclusive mode checks")
+	}
+	if s := sum.Samples(); s["mode_checks"] != float64(sum.ModeChecks) || s["mode_diverged"] != 0 {
+		t.Fatalf("summary samples missing mode metrics: %v", s)
+	}
+}

@@ -58,6 +58,7 @@ import (
 	"repro/internal/alu"
 	"repro/internal/ast"
 	"repro/internal/bpf"
+	"repro/internal/cegis"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
@@ -202,6 +203,16 @@ type CompileRequest struct {
 	// Explanation naming the binding resource dimension and the minimal
 	// blamed constraint groups. Feasible and cached jobs are unaffected.
 	Explain bool `json:"explain,omitempty"`
+	// CEGISMode selects the refinement strategy: "cex" (default,
+	// counterexample-guided) or "holes" (hole elimination). Rejected at
+	// submission when it names no known mode.
+	CEGISMode string `json:"cegis_mode,omitempty"`
+	// RaceModes additionally races the other CEGIS strategy per depth in
+	// portfolio mode (ignored unless Parallel > 1).
+	RaceModes bool `json:"race_modes,omitempty"`
+	// SymmetryBreak adds the grid's symmetry-breaking clauses to the
+	// synthesis encoding (pisa target only; bpf ignores it).
+	SymmetryBreak bool `json:"symmetry_break,omitempty"`
 	// Wait blocks the HTTP request until the job finishes and returns the
 	// final status instead of 202.
 	Wait bool `json:"wait,omitempty"`
@@ -228,6 +239,9 @@ type CompileResult struct {
 	// members' solver work; both are zero-valued for sequential jobs.
 	Winner          string `json:"winner,omitempty"`
 	WastedConflicts int64  `json:"wasted_conflicts,omitempty"`
+	// Mode is the CEGIS strategy that produced the verdict ("cex" or
+	// "holes") — the winning member's mode under RaceModes.
+	Mode string `json:"mode,omitempty"`
 	// Explanation is the infeasibility-forensics report, present when the
 	// request asked for Explain and the job concluded infeasible.
 	Explanation *core.Explanation `json:"explanation,omitempty"`
@@ -526,6 +540,7 @@ func (s *Server) run(j *job) {
 			ElapsedMS:       float64(rep.Elapsed.Microseconds()) / 1000,
 			Target:          rep.Target,
 			Winner:          rep.Winner,
+			Mode:            rep.Mode,
 			WastedConflicts: rep.WastedConflicts,
 			Explanation:     rep.Explanation,
 		}
@@ -778,6 +793,9 @@ func (s *Server) newJob(req CompileRequest) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, err := cegis.ParseMode(req.CEGISMode); err != nil {
+		return nil, err
+	}
 	switch req.Target {
 	case "", "pisa", "bpf":
 	default:
@@ -802,19 +820,22 @@ func (s *Server) newJob(req CompileRequest) (*job, error) {
 		req:  req,
 		prog: prog,
 		opts: core.Options{
-			Target:       req.Target,
-			Width:        width,
-			MaxStages:    req.MaxStages,
-			StatelessALU: alu.Stateless{ConstBits: req.ConstBits},
-			StatefulALU:  alu.Stateful{Kind: kind, ConstBits: req.ConstBits},
-			SynthWidth:   word.Width(req.SynthWidth),
-			VerifyWidth:  word.Width(req.VerifyWidth),
-			Seed:         req.Seed,
-			Explain:      req.Explain,
-			Parallelism:  parallel,
-			SeedFanout:   fanout,
-			Cache:        s.cfg.Cache,
-			History:      s.cfg.History,
+			Target:        req.Target,
+			Width:         width,
+			MaxStages:     req.MaxStages,
+			StatelessALU:  alu.Stateless{ConstBits: req.ConstBits},
+			StatefulALU:   alu.Stateful{Kind: kind, ConstBits: req.ConstBits},
+			SynthWidth:    word.Width(req.SynthWidth),
+			VerifyWidth:   word.Width(req.VerifyWidth),
+			Seed:          req.Seed,
+			Explain:       req.Explain,
+			CEGISMode:     req.CEGISMode,
+			RaceModes:     req.RaceModes,
+			SymmetryBreak: req.SymmetryBreak,
+			Parallelism:   parallel,
+			SeedFanout:    fanout,
+			Cache:         s.cfg.Cache,
+			History:       s.cfg.History,
 		},
 		state:  StateQueued,
 		queued: s.now(),

@@ -19,6 +19,11 @@ type PISABackend struct {
 // Target implements backend.Backend.
 func (PISABackend) Target() string { return "pisa" }
 
+// SymmetryBreaking implements backend.SymmetryBreaker: the PISA grid has
+// interchangeable resources (dead ALUs, unused stateful columns) worth
+// pruning, so the backend opts in whenever its options ask for it.
+func (p PISABackend) SymmetryBreaking() bool { return p.Opts.SymmetryBreak }
+
 // Check implements backend.Backend: grid validity is an error, capacity
 // overflow (more fields than PHV containers, more states than stateful
 // slots) a definitive infeasible. The grid's word width is substituted

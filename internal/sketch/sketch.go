@@ -21,6 +21,7 @@ package sketch
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/alu"
@@ -36,6 +37,12 @@ type Options struct {
 	// IndicatorAlloc uses the indicator-variable field allocation instead
 	// of the canonical one (Figure 4 ablation).
 	IndicatorAlloc bool
+	// SymmetryBreak adds solution-space-pruning constraints to
+	// AssertDomains (tagged circuit.GroupSymmetry): don't-care pinning of
+	// dead ALUs and lex-ordering of interchangeable stateful columns.
+	// Verdict-preserving at every width (see assertSymmetry); off by
+	// default so the standard path's clause stream is untouched.
+	SymmetryBreak bool
 }
 
 // Sketch is a symbolic PISA datapath with free holes.
@@ -53,7 +60,8 @@ type Sketch struct {
 
 	holes     *pisa.Holes[circuit.Word] // words at natural hole width
 	holeBits  map[string]int
-	holeNames []string // deterministic order
+	holeNames []string       // deterministic order
+	holeWords []circuit.Word // same order as holeNames
 	minWidth  word.Width
 }
 
@@ -85,7 +93,9 @@ func New(b *circuit.Builder, grid pisa.GridSpec, numFields, numStates int, opts 
 			if !data && word.Width(bits) > s.minWidth {
 				s.minWidth = word.Width(bits)
 			}
-			return b.InputWord(name, word.Width(bits))
+			hw := b.InputWord(name, word.Width(bits))
+			s.holeWords = append(s.holeWords, hw)
+			return hw
 		})
 	return s, nil
 }
@@ -108,6 +118,13 @@ func (s *Sketch) HoleInventory() (names []string, bits []int) {
 		bits[i] = s.holeBits[n]
 	}
 	return names, bits
+}
+
+// HoleWords returns every hole word in deterministic (creation) order —
+// the complete configuration space hole-elimination CEGIS blocks refuted
+// candidates over.
+func (s *Sketch) HoleWords() []circuit.Word {
+	return append([]circuit.Word{}, s.holeWords...)
 }
 
 // PublishMetrics records the sketch's hole inventory into the registry:
@@ -281,6 +298,112 @@ func (s *Sketch) AssertDomains(cnf *circuit.CNF) {
 			cnf.Assert(b.UltW(sum, b.ConstWord(2, cw)))
 		}
 	}
+
+	if s.Opts.SymmetryBreak {
+		cnf.SetGroup(circuit.GroupSymmetry)
+		s.assertSymmetry(cnf)
+	}
+}
+
+// assertSymmetry prunes grid symmetries from the hole space. Every
+// constraint here is verdict-preserving at every datapath width: for any
+// hole assignment there is a semantically identical one (same
+// input/output function, obtained by zeroing dead ALUs and permuting
+// interchangeable columns together with the output-mux values that
+// reference them) that satisfies all of them jointly, so feasibility is
+// unchanged — only the number of equivalent candidates the solver can
+// propose shrinks. Three families:
+//
+//  1. Dead stateless ALUs are pinned. Container j's stateless output
+//     dest[j] is read only when omux_j selects index Width (any smaller
+//     value selects a stateful output instead), so under omux_j < Width
+//     the ALU's holes are forced to a canonical value: the lowest allowed
+//     opcode and zeros elsewhere.
+//  2. Dead stateful ALUs are pinned to zero. Slot j's output in stage i
+//     is read only by an omux selecting index j, and its state register
+//     is touched only when salu_active is set; when neither holds the
+//     ALU's holes are forced to zero (zero satisfies every stateful
+//     domain constraint).
+//  3. Unused stateful columns are sorted. Slots j >= usedSlots carry no
+//     state variable, so within one stage any permutation of their hole
+//     columns (with omux values remapped to follow) is equivalent;
+//     adjacent columns are ordered by unsigned comparison of their
+//     concatenated hole words. Jointly consistent with (2): zeroed dead
+//     columns are the unsigned minimum, so sorting can always place them
+//     first.
+func (s *Sketch) assertSymmetry(cnf *circuit.CNF) {
+	b := s.B
+	g := s.Grid
+
+	slKeys := sortedKeys(s.holes.Stateless[0][0])
+	sfKeys := sortedKeys(s.holes.Stateful[0][0])
+
+	mask := g.StatelessALU.EffectiveOpcodeMask()
+	minOp := uint64(0)
+	for v := 0; v < alu.NumStatelessOpcodes; v++ {
+		if mask&(1<<uint(v)) != 0 {
+			minOp = uint64(v)
+			break
+		}
+	}
+
+	pin := func(cond circuit.Bit, hw circuit.Word, val uint64) {
+		cnf.Assert(b.Implies(cond, b.EqW(hw, b.ConstWord(val, word.Width(len(hw))))))
+	}
+
+	for i := 0; i < g.Stages; i++ {
+		for j := 0; j < g.Width; j++ {
+			omux := s.holes.OMux[i][j]
+			deadSl := b.UltW(omux, b.ConstWord(uint64(g.Width), word.Width(len(omux))))
+			for _, k := range slKeys {
+				v := uint64(0)
+				if k == "opcode" {
+					v = minOp
+				}
+				pin(deadSl, s.holes.Stateless[i][j][k], v)
+			}
+
+			unread := circuit.True
+			for c := 0; c < g.Width; c++ {
+				om := s.holes.OMux[i][c]
+				unread = b.And(unread, b.Not(b.EqW(om, b.ConstWord(uint64(j), word.Width(len(om))))))
+			}
+			deadSf := b.And(unread, b.Not(s.holes.SaluActive[i][j][0]))
+			for _, k := range sfKeys {
+				pin(deadSf, s.holes.Stateful[i][j][k], 0)
+			}
+		}
+	}
+
+	ns := g.StatefulALU.NumStates()
+	usedSlots := (s.NumStates + ns - 1) / ns
+	for i := 0; i < g.Stages; i++ {
+		for j := usedSlots; j+1 < g.Width; j++ {
+			lo := s.statefulColumn(i, j, sfKeys)
+			hi := s.statefulColumn(i, j+1, sfKeys)
+			cnf.AssertNot(b.UltW(hi, lo))
+		}
+	}
+}
+
+// statefulColumn concatenates slot j's stateful hole words in stage i
+// into one word, in the given deterministic key order, for the symmetry
+// lex comparison.
+func (s *Sketch) statefulColumn(i, j int, keys []string) circuit.Word {
+	var col circuit.Word
+	for _, k := range keys {
+		col = append(col, s.holes.Stateful[i][j][k]...)
+	}
+	return col
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // ExtractConfig reads every hole's value from the solver model (via the
